@@ -1,0 +1,170 @@
+// Package cmd_test builds the command-line tools and exercises them end to
+// end as a user would.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// build compiles one command into dir and returns the binary path.
+func build(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+const demoProgram = `
+int a[16];
+int f(int i, int j, int v) {
+	a[i] = v;
+	return a[j] * 2;
+}
+void main() {
+	int s = 0;
+	for (int k = 0; k < 32; k = k + 1) { s = s + f(k % 16, (k + 5) % 16, k); }
+	print(s);
+}
+`
+
+func TestSpdcEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "cmd/spdc")
+	src := filepath.Join(dir, "demo.mc")
+	if err := os.WriteFile(src, []byte(demoProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var outputs []string
+	for _, kind := range []string{"naive", "static", "spec", "perfect"} {
+		out, err := exec.Command(bin, "-disamb", kind, "-fus", "5", "-mem", "6", "-stats", src).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", kind, err, out)
+		}
+		s := string(out)
+		if !strings.Contains(s, "cycles") {
+			t.Fatalf("%s output lacks cycle report:\n%s", kind, s)
+		}
+		// The program output (the line just before the cycle report) must be
+		// identical across disambiguators; the -stats preamble differs.
+		lines := strings.Split(strings.TrimSpace(strings.SplitN(s, "[", 2)[0]), "\n")
+		outputs = append(outputs, lines[len(lines)-1])
+		if kind == "spec" && !strings.Contains(s, "SpD applications") {
+			t.Errorf("spec run lacks SpD stats:\n%s", s)
+		}
+	}
+	for _, o := range outputs[1:] {
+		if o != outputs[0] {
+			t.Fatalf("disambiguators disagree: %q vs %q", o, outputs[0])
+		}
+	}
+
+	// Dump and timeline modes must work and mention trees/cycles.
+	out, err := exec.Command(bin, "-disamb", "spec", "-dump", "-timeline", "-quiet", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("dump: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "tree ") {
+		t.Fatalf("dump lacks trees:\n%s", out)
+	}
+
+	// Errors: missing file and bad disambiguator.
+	if _, err := exec.Command(bin, filepath.Join(dir, "nope.mc")).CombinedOutput(); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := exec.Command(bin, "-disamb", "wat", src).CombinedOutput(); err == nil {
+		t.Error("bad disambiguator accepted")
+	}
+
+	// A compile error must be reported with a position.
+	bad := filepath.Join(dir, "bad.mc")
+	if err := os.WriteFile(bad, []byte("void main() { x = ; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, bad).CombinedOutput()
+	if err == nil {
+		t.Error("bad program accepted")
+	}
+	if !strings.Contains(string(out), "1:") {
+		t.Errorf("error lacks position:\n%s", out)
+	}
+}
+
+func TestSpdbenchSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := build(t, dir, "cmd/spdbench")
+
+	out, err := exec.Command(bin, "-only", "table61").CombinedOutput()
+	if err != nil {
+		t.Fatalf("table61: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Branches                      2") {
+		t.Fatalf("table61 wrong:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-only", "table63", "-bench", "fft").CombinedOutput()
+	if err != nil {
+		t.Fatalf("table63: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "fft") || !strings.Contains(s, "TOTAL") {
+		t.Fatalf("table63 wrong:\n%s", s)
+	}
+
+	out, err = exec.Command(bin, "-only", "fig64", "-bench", "quick").CombinedOutput()
+	if err != nil {
+		t.Fatalf("fig64: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Code size increase") {
+		t.Fatalf("fig64 wrong:\n%s", out)
+	}
+
+	if out, err := exec.Command(bin, "-bench", "nope").CombinedOutput(); err == nil {
+		t.Errorf("unknown benchmark accepted:\n%s", out)
+	}
+}
+
+func TestSpdfmt(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "cmd/spdfmt")
+	src := filepath.Join(dir, "m.mc")
+	if err := os.WriteFile(src, []byte("void   main( ) {print( 1+2 );}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "print((1 + 2));") {
+		t.Fatalf("unexpected formatting:\n%s", out)
+	}
+	// In-place rewrite round-trips.
+	if out, err := exec.Command(bin, "-w", src).CombinedOutput(); err != nil {
+		t.Fatalf("-w: %v\n%s", err, out)
+	}
+	again, err := exec.Command(bin, src).CombinedOutput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(src)
+	if string(again) != string(data) {
+		t.Fatal("formatting not idempotent")
+	}
+	// Errors are reported.
+	bad := filepath.Join(dir, "bad.mc")
+	os.WriteFile(bad, []byte("void main() { x = 1; }"), 0o644)
+	if _, err := exec.Command(bin, bad).CombinedOutput(); err == nil {
+		t.Error("semantic error accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Command spdbench runs the paper's full evaluation and prints every table
+// and figure of §6: Table 6-1 (latencies), Table 6-2 (benchmarks), Table 6-3
+// (SpD applications by dependence type), Figure 6-2 (speedup over NAIVE on a
+// 5-FU machine), Figure 6-3 (SPEC over STATIC vs machine width), and
+// Figure 6-4 (code-size increase).
+//
+// Usage:
+//
+//	spdbench                  # every table and figure of the paper
+//	spdbench -only table63    # one experiment: table61|table62|table63|fig62|fig63|fig64
+//	spdbench -only ext        # the §7 extension experiments (grafting, combined)
+//	spdbench -bench fft       # restrict to one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"specdis/internal/bench"
+	"specdis/internal/exper"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spdbench: ")
+	only := flag.String("only", "", "run a single experiment: table61|table62|table63|fig62|fig63|fig64|ext|overhead")
+	benchName := flag.String("bench", "", "restrict to one benchmark")
+	maxExpansion := flag.Float64("maxexpansion", 0, "override SpD MaxExpansion")
+	minGain := flag.Float64("mingain", -1, "override SpD MinGain")
+	flag.Parse()
+
+	r := exper.New()
+	if *benchName != "" {
+		b := bench.ByName(*benchName)
+		if b == nil {
+			log.Fatalf("unknown benchmark %q", *benchName)
+		}
+		r.Benchmarks = []*bench.Benchmark{b}
+	}
+	if *maxExpansion > 0 {
+		r.Params.MaxExpansion = *maxExpansion
+	}
+	if *minGain >= 0 {
+		r.Params.MinGain = *minGain
+	}
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	out := os.Stdout
+
+	if want("table61") {
+		exper.RenderTable61(out)
+		fmt.Fprintln(out)
+	}
+	if want("table62") {
+		exper.RenderTable62(out, r.Benchmarks)
+		fmt.Fprintln(out)
+	}
+	if want("table63") {
+		rows, err := r.Table63()
+		if err != nil {
+			log.Fatal(err)
+		}
+		exper.RenderTable63(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("fig62") {
+		rows, err := r.Figure62()
+		if err != nil {
+			log.Fatal(err)
+		}
+		exper.RenderFigure62(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("fig63") {
+		rows, err := r.Figure63()
+		if err != nil {
+			log.Fatal(err)
+		}
+		exper.RenderFigure63(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("fig64") {
+		rows, err := r.Figure64()
+		if err != nil {
+			log.Fatal(err)
+		}
+		exper.RenderFigure64(out, rows)
+		fmt.Fprintln(out)
+	}
+	if *only == "overhead" {
+		rows, err := r.DynamicOverhead(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exper.RenderOverhead(out, rows)
+	}
+	if *only == "ext" {
+		grows, err := r.ExtGrafting(6, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		crows, err := r.ExtCombined(6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exper.RenderExtensions(out, grows, crows)
+	}
+}

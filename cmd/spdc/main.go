@@ -1,0 +1,129 @@
+// Command spdc is the MiniC compiler driver: it compiles a program to
+// decision trees, applies a chosen disambiguator (NAIVE, STATIC, SPEC,
+// PERFECT), schedules it for a LIFE machine configuration, and runs it on
+// the cycle-level simulator.
+//
+// Usage:
+//
+//	spdc [flags] program.mc
+//
+//	-disamb string   disambiguator: naive|static|spec|perfect (default "spec")
+//	-fus int         functional units, 0 = infinite machine (default 5)
+//	-mem int         memory latency in cycles (default 2)
+//	-dump            dump the decision trees after disambiguation
+//	-timeline        render per-tree schedule timelines (text Gantt)
+//	-stats           print compilation statistics
+//	-quiet           suppress program output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"specdis/internal/disamb"
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sched"
+	"specdis/internal/spd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spdc: ")
+	disambName := flag.String("disamb", "spec", "disambiguator: naive|static|spec|perfect")
+	fus := flag.Int("fus", 5, "functional units (0 = infinite machine)")
+	memLat := flag.Int("mem", 2, "memory latency in cycles")
+	dump := flag.Bool("dump", false, "dump decision trees after disambiguation")
+	timeline := flag.Bool("timeline", false, "render per-tree schedule timelines")
+	stats := flag.Bool("stats", false, "print compilation statistics")
+	quiet := flag.Bool("quiet", false, "suppress program output")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: spdc [flags] program.mc")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var kind disamb.Kind
+	switch strings.ToLower(*disambName) {
+	case "naive":
+		kind = disamb.Naive
+	case "static":
+		kind = disamb.Static
+	case "spec":
+		kind = disamb.Spec
+	case "perfect":
+		kind = disamb.Perfect
+	default:
+		log.Fatalf("unknown disambiguator %q", *disambName)
+	}
+
+	p, err := disamb.Prepare(string(src), kind, *memLat, spd.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *stats {
+		trees, arcs, ambig := 0, 0, 0
+		for _, name := range p.Prog.Order {
+			for _, t := range p.Prog.Funcs[name].Trees {
+				trees++
+				arcs += len(t.Arcs)
+				ambig += len(t.AmbiguousArcs())
+			}
+		}
+		fmt.Printf("functions: %d  trees: %d  operations: %d\n",
+			len(p.Prog.Order), trees, p.Prog.OpCount())
+		fmt.Printf("memory arcs: %d (%d ambiguous)\n", arcs, ambig)
+		if kind == disamb.Static || kind == disamb.Spec {
+			fmt.Printf("static disambiguation: %d removed, %d definite, %d kept\n",
+				p.Static.Removed, p.Static.Definite, p.Static.Kept)
+		}
+		if p.SpD != nil {
+			fmt.Printf("SpD applications: %d RAW, %d WAR, %d WAW (+%d ops)\n",
+				p.SpD.RAW, p.SpD.WAR, p.SpD.WAW, p.SpD.AddedOps)
+			for _, app := range p.SpD.Apps {
+				fmt.Printf("  %s in %s: predicted gain %.2f cyc/exec, +%d ops\n",
+					app.Kind, app.Tree.Name, app.Gain, app.Added)
+			}
+		}
+	}
+
+	if *dump {
+		for _, name := range p.Prog.Order {
+			fn := p.Prog.Funcs[name]
+			for _, t := range fn.Trees {
+				fmt.Print(t.String())
+			}
+		}
+	}
+
+	var m machine.Model
+	if *fus <= 0 {
+		m = machine.Infinite(*memLat)
+	} else {
+		m = machine.New(*fus, *memLat)
+	}
+	if *timeline {
+		sched.RenderProgramTimelines(os.Stdout, p.Prog, m, 4)
+	}
+	res, err := disamb.Measure(p, []machine.Model{m})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		fmt.Print(res.Output)
+	}
+	fmt.Printf("[%s on %s: %d cycles, %d dynamic ops, exit %s]\n",
+		kind, m.Name, res.Times[0], res.Ops, fmtValue(res.Exit))
+}
+
+func fmtValue(v ir.Value) string {
+	return fmt.Sprintf("%d", v.I)
+}

@@ -1,0 +1,47 @@
+// Command spdfmt normalizes MiniC source: it parses, type-checks, and
+// pretty-prints a program in the canonical form produced by lang.Print.
+//
+// Usage:
+//
+//	spdfmt file.mc           # print formatted source to stdout
+//	spdfmt -w file.mc        # rewrite the file in place
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"specdis/internal/lang"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spdfmt: ")
+	write := flag.Bool("w", false, "write result back to the source file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: spdfmt [-w] file.mc")
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lang.Check(prog); err != nil {
+		log.Fatal(err)
+	}
+	out := lang.Print(prog)
+	if *write {
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,74 @@
+// rawdep walks through the paper's Figure 4-4 at the IR level: a decision
+// tree is built by hand with an ambiguous RAW dependence (store S, load L,
+// dependent multiply and add), the SpD transformation is applied to it
+// directly, and the before/after trees and infinite-machine schedules are
+// printed so the critical-path shortening is visible.
+//
+//	go run ./examples/rawdep
+package main
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sched"
+	"specdis/internal/spd"
+)
+
+func main() {
+	fn := &ir.Function{Name: "fig44"}
+	t := &ir.Tree{ID: 0, Fn: fn, Name: "fig44.body"}
+	t.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{t}
+
+	// Registers: r0 = &a[i] (store address), r1 = &a[j] (load address),
+	// r2 = stored value; all arrive from a previous tree.
+	addrS := fn.NewReg()
+	addrL := fn.NewReg()
+	val := fn.NewReg()
+	fn.NumRegs = 3
+
+	// S:  mem[r0] = r2
+	t.NewOp(ir.OpStore, []ir.Reg{addrS, val}, ir.NoReg)
+	// L:  r3 = mem[r1]
+	l := t.NewOp(ir.OpLoad, []ir.Reg{addrL}, fn.NewReg())
+	// mul: r4 = r3 * r3     (data dependent on the load)
+	mul := t.NewOp(ir.OpMul, []ir.Reg{l.Dest, l.Dest}, fn.NewReg())
+	// add: r5 = r4 + r2     (indirectly dependent)
+	add := t.NewOp(ir.OpAdd, []ir.Reg{mul.Dest, val}, fn.NewReg())
+	add.VarWrite = true // externally observable result
+	ret := t.NewOp(ir.OpExit, []ir.Reg{add.Dest}, ir.NoReg)
+	ret.Exit = ir.ExitRet
+
+	t.BuildMemArcs()
+	m := machine.Infinite(2)
+
+	show := func(label string) {
+		fmt.Printf("== %s\n", label)
+		fmt.Print(t.String())
+		sc := sched.Tree(t, m)
+		fmt.Println("ASAP schedule (infinite machine, 2-cycle memory):")
+		for i, op := range t.Ops {
+			fmt.Printf("  cycle %2d..%2d  %s\n", sc.Issue[i], sc.Comp[i], op)
+		}
+		fmt.Printf("schedule length: %d cycles\n\n", sc.Length())
+	}
+
+	show("before SpD: load serialized behind the maybe-aliasing store")
+
+	arc := t.Arcs[0]
+	fmt.Printf("applying SpD to %s (ambiguous RAW, Figure 4-4)\n\n", arc)
+	added, err := spd.Apply(t, arc, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ops added: %d (address compare + duplicated dependents)\n\n", added)
+
+	show("after SpD: speculative copy runs concurrently, alias copy forwards")
+
+	fmt.Println("The no-alias copy issues its load in cycle 0 instead of")
+	fmt.Println("waiting out the store's latency, and the alias copy forwards")
+	fmt.Println("the stored value straight into the multiply, exactly as the")
+	fmt.Println("paper's Figure 4-4 describes: both outcomes finish sooner.")
+}

@@ -1,0 +1,3 @@
+module specdis
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package alias implements the static memory disambiguator: the GCD test and
+// the Banerjee inequalities over affine subscripts (the paper's §6.1 STATIC
+// configuration), plus distinct-base reasoning.
+//
+// Because decision trees execute one iteration of the enclosing loops at a
+// time (cross-execution ordering is enforced by tree serialization), the
+// dependence question for an arc is loop-independent: do the two references
+// access the same address *within one execution of the tree*? Both
+// references therefore see the same values of the enclosing induction
+// variables, and the test reduces to deciding whether the subscript
+// difference d = sub1 − sub2 can be zero, with induction variables ranging
+// over their (exit-widened) bounds and loop-invariant opaque symbols ranging
+// over all integers.
+package alias
+
+import "specdis/internal/ir"
+
+// Verdict is the static disambiguator's answer for a reference pair.
+type Verdict uint8
+
+// Verdicts, mirroring §2.2 of the paper.
+const (
+	// VerdictNo: the references never alias; the arc can be removed.
+	VerdictNo Verdict = iota
+	// VerdictAlways: the references always alias (subscript difference is
+	// identically zero); the arc is a definite dependence.
+	VerdictAlways
+	// VerdictMaybe: aliasing could not be disproved ("Yes at least once" and
+	// "Unknown" both leave the arc in place, marked ambiguous).
+	VerdictMaybe
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNo:
+		return "no"
+	case VerdictAlways:
+		return "always"
+	case VerdictMaybe:
+		return "maybe"
+	}
+	return "verdict(?)"
+}
+
+// Test statically disambiguates a pair of references.
+func Test(a, b *ir.MemRef) Verdict {
+	if a == nil || b == nil {
+		return VerdictMaybe
+	}
+	if a.DistinctBase(b) {
+		return VerdictNo
+	}
+	if !a.SameBase(b) {
+		return VerdictMaybe // param/param or param/global: caller may overlap them
+	}
+	if a.Sub == nil || b.Sub == nil {
+		return VerdictMaybe
+	}
+	d := a.Sub.Sub(b.Sub)
+	if d.IsConst() {
+		if d.Const == 0 {
+			return VerdictAlways
+		}
+		return VerdictNo
+	}
+	if gcdTest(d) == VerdictNo {
+		return VerdictNo
+	}
+	return banerjeeTest(d, a, b)
+}
+
+// gcdTest checks whether gcd of the variable coefficients divides the
+// constant term; if not, d = 0 has no integer solution at all.
+func gcdTest(d *ir.Affine) Verdict {
+	var g int64
+	for _, t := range d.Terms {
+		g = gcd(g, abs64(t.Coef))
+	}
+	if g != 0 && d.Const%g != 0 {
+		return VerdictNo
+	}
+	return VerdictMaybe
+}
+
+// banerjeeTest bounds d over the known induction-variable ranges. If zero
+// lies outside [min(d), max(d)], the references are independent. Variables
+// without known bounds (opaque symbols, unbounded loops) leave the
+// corresponding side unbounded and the test inconclusive.
+func banerjeeTest(d *ir.Affine, a, b *ir.MemRef) Verdict {
+	lo, hi := d.Const, d.Const
+	for _, t := range d.Terms {
+		info, ok := lookupLoop(t.Var, a, b)
+		if !ok || !info.BoundsKnown {
+			return VerdictMaybe
+		}
+		v1 := t.Coef * info.Lo
+		v2 := t.Coef * info.Hi
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		lo += v1
+		hi += v2
+	}
+	if lo > 0 || hi < 0 {
+		return VerdictNo
+	}
+	return VerdictMaybe
+}
+
+func lookupLoop(v ir.LoopVar, refs ...*ir.MemRef) (ir.LoopInfo, bool) {
+	for _, r := range refs {
+		for _, l := range r.Loops {
+			if l.Var == v {
+				return l, true
+			}
+		}
+	}
+	return ir.LoopInfo{}, false
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Stats summarizes a static-disambiguation pass.
+type Stats struct {
+	Removed  int // arcs proved independent and deleted
+	Definite int // arcs proved to always alias
+	Kept     int // arcs left ambiguous
+}
+
+// ResolveTree runs the static disambiguator over a tree's arcs, removing
+// proven-independent arcs and reclassifying proven-definite ones.
+func ResolveTree(t *ir.Tree) Stats {
+	var st Stats
+	kept := t.Arcs[:0]
+	for _, a := range t.Arcs {
+		switch Test(a.From.Ref, a.To.Ref) {
+		case VerdictNo:
+			st.Removed++
+		case VerdictAlways:
+			a.Ambiguous = false
+			st.Definite++
+			kept = append(kept, a)
+		default:
+			st.Kept++
+			kept = append(kept, a)
+		}
+	}
+	t.Arcs = kept
+	return st
+}
+
+// ResolveProgram runs ResolveTree over every tree.
+func ResolveProgram(p *ir.Program) Stats {
+	var st Stats
+	for _, name := range p.Order {
+		for _, t := range p.Funcs[name].Trees {
+			s := ResolveTree(t)
+			st.Removed += s.Removed
+			st.Definite += s.Definite
+			st.Kept += s.Kept
+		}
+	}
+	return st
+}

@@ -1,0 +1,203 @@
+package alias
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specdis/internal/ir"
+)
+
+func ref(kind ir.BaseKind, sym string, sub *ir.Affine, loops ...ir.LoopInfo) *ir.MemRef {
+	return &ir.MemRef{BaseKind: kind, BaseSym: sym, Sub: sub, Loops: loops}
+}
+
+func TestDistinctGlobalsNeverAlias(t *testing.T) {
+	a := ref(ir.BaseGlobal, "a", ir.VarAffine(0))
+	b := ref(ir.BaseGlobal, "b", ir.VarAffine(0))
+	if got := Test(a, b); got != VerdictNo {
+		t.Errorf("distinct globals: %v", got)
+	}
+}
+
+func TestParamsMayAlias(t *testing.T) {
+	x := ref(ir.BaseParam, "x", ir.ConstAffine(0))
+	y := ref(ir.BaseParam, "y", ir.ConstAffine(0))
+	g := ref(ir.BaseGlobal, "g", ir.ConstAffine(0))
+	if Test(x, y) != VerdictMaybe {
+		t.Error("distinct params must stay ambiguous")
+	}
+	if Test(x, g) != VerdictMaybe {
+		t.Error("param vs global must stay ambiguous")
+	}
+}
+
+func TestSameBaseConstants(t *testing.T) {
+	a0 := ref(ir.BaseGlobal, "a", ir.ConstAffine(0))
+	a0b := ref(ir.BaseGlobal, "a", ir.ConstAffine(0))
+	a1 := ref(ir.BaseGlobal, "a", ir.ConstAffine(1))
+	if Test(a0, a0b) != VerdictAlways {
+		t.Error("identical constant subscripts must be definite")
+	}
+	if Test(a0, a1) != VerdictNo {
+		t.Error("distinct constant subscripts must be independent")
+	}
+}
+
+func TestSameParamAffine(t *testing.T) {
+	// x[i] vs x[i+1] within one execution: never equal.
+	i := ir.VarAffine(3)
+	a := ref(ir.BaseParam, "x", i)
+	b := ref(ir.BaseParam, "x", i.Add(ir.ConstAffine(1)))
+	if Test(a, b) != VerdictNo {
+		t.Error("x[i] vs x[i+1] must be independent")
+	}
+	// x[i] vs x[i]: always.
+	if Test(a, ref(ir.BaseParam, "x", ir.VarAffine(3))) != VerdictAlways {
+		t.Error("x[i] vs x[i] must be definite")
+	}
+}
+
+func TestGCD(t *testing.T) {
+	i := ir.LoopVar(1)
+	// a[2i] vs a[2i+1]: difference -1 with gcd 0 over shared i... the terms
+	// cancel leaving constant -1: independent.
+	a := ref(ir.BaseGlobal, "a", ir.VarAffine(i).Scale(2))
+	b := ref(ir.BaseGlobal, "a", ir.VarAffine(i).Scale(2).Add(ir.ConstAffine(1)))
+	if Test(a, b) != VerdictNo {
+		t.Error("a[2i] vs a[2i+1] must be independent")
+	}
+	// a[2i] vs a[4j+1]: gcd(2,4)=2 does not divide 1: independent even with
+	// unknown bounds.
+	j := ir.LoopVar(2)
+	c := ref(ir.BaseGlobal, "a", ir.VarAffine(j).Scale(4).Add(ir.ConstAffine(1)))
+	if Test(a, c) != VerdictNo {
+		t.Error("GCD test failed to disprove")
+	}
+	// a[2i] vs a[4j]: gcd divides 0: maybe.
+	d := ref(ir.BaseGlobal, "a", ir.VarAffine(j).Scale(4))
+	if Test(a, d) != VerdictMaybe {
+		t.Error("solvable diophantine should stay ambiguous")
+	}
+}
+
+func TestBanerjeeBounds(t *testing.T) {
+	// Example 2-2 of the paper: a[2i] vs a[i+4] with i in [1,100]:
+	// d(i) = 2i - (i+4) = i - 4, zero at i=4 which is inside the range.
+	loop := ir.LoopInfo{Var: 1, Lo: 1, Hi: 100, Step: 1, BoundsKnown: true}
+	a := ref(ir.BaseGlobal, "a", ir.VarAffine(1).Scale(2), loop)
+	b := ref(ir.BaseGlobal, "a", ir.VarAffine(1).Add(ir.ConstAffine(4)), loop)
+	if Test(a, b) != VerdictMaybe {
+		t.Error("example 2-2 pair must stay ambiguous (aliases at i=4)")
+	}
+	// With i in [5,100], i-4 is always positive: independent.
+	loop5 := ir.LoopInfo{Var: 1, Lo: 5, Hi: 100, Step: 1, BoundsKnown: true}
+	a5 := ref(ir.BaseGlobal, "a", ir.VarAffine(1).Scale(2), loop5)
+	b5 := ref(ir.BaseGlobal, "a", ir.VarAffine(1).Add(ir.ConstAffine(4)), loop5)
+	if Test(a5, b5) != VerdictNo {
+		t.Error("Banerjee should disprove with bounds [5,100]")
+	}
+	// Unknown bounds: inconclusive.
+	aU := ref(ir.BaseGlobal, "a", ir.VarAffine(1).Scale(2))
+	bU := ref(ir.BaseGlobal, "a", ir.VarAffine(1).Add(ir.ConstAffine(4)))
+	if Test(aU, bU) != VerdictMaybe {
+		t.Error("without bounds the pair must stay ambiguous")
+	}
+}
+
+func TestOpaqueRefs(t *testing.T) {
+	a := ref(ir.BaseGlobal, "a", nil) // non-affine subscript
+	b := ref(ir.BaseGlobal, "a", ir.ConstAffine(0))
+	if Test(a, b) != VerdictMaybe {
+		t.Error("opaque subscript must stay ambiguous")
+	}
+	if Test(nil, b) != VerdictMaybe {
+		t.Error("nil ref must stay ambiguous")
+	}
+	u := &ir.MemRef{BaseKind: ir.BaseUnknown}
+	if Test(u, b) != VerdictMaybe {
+		t.Error("unknown base must stay ambiguous")
+	}
+}
+
+// TestSoundnessAgainstBruteForce: for random affine pairs over one bounded
+// loop variable, a VerdictNo must mean the subscripts never collide at any
+// in-range value, and VerdictAlways must mean they always do.
+func TestSoundnessAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lo := r.Int63n(10)
+		hi := lo + r.Int63n(30)
+		loop := ir.LoopInfo{Var: 1, Lo: lo, Hi: hi, Step: 1, BoundsKnown: true}
+		mk := func() *ir.Affine {
+			return ir.VarAffine(1).Scale(r.Int63n(7) - 3).Add(ir.ConstAffine(r.Int63n(21) - 10))
+		}
+		s1, s2 := mk(), mk()
+		a := ref(ir.BaseGlobal, "a", s1, loop)
+		b := ref(ir.BaseGlobal, "a", s2, loop)
+		verdict := Test(a, b)
+
+		collides, always := false, true
+		for i := lo; i <= hi; i++ {
+			env := map[ir.LoopVar]int64{1: i}
+			if s1.Eval(env) == s2.Eval(env) {
+				collides = true
+			} else {
+				always = false
+			}
+		}
+		switch verdict {
+		case VerdictNo:
+			return !collides
+		case VerdictAlways:
+			return always
+		}
+		return true // Maybe is always sound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveTree(t *testing.T) {
+	fn := &ir.Function{Name: "rt"}
+	tr := &ir.Tree{Fn: fn, Name: "rt.t0"}
+	tr.NewBlock(-1, ir.NoReg, false)
+	addr := fn.NewReg()
+	val := fn.NewReg()
+
+	mkMem := func(kind ir.OpKind, r *ir.MemRef) *ir.Op {
+		var op *ir.Op
+		if kind == ir.OpStore {
+			op = tr.NewOp(ir.OpStore, []ir.Reg{addr, val}, ir.NoReg)
+		} else {
+			op = tr.NewOp(ir.OpLoad, []ir.Reg{addr}, fn.NewReg())
+		}
+		op.Ref = r
+		return op
+	}
+	// store a[0]; load b[0] (distinct: removed); load a[0] (definite);
+	// load x[?] param (kept ambiguous).
+	mkMem(ir.OpStore, ref(ir.BaseGlobal, "a", ir.ConstAffine(0)))
+	mkMem(ir.OpLoad, ref(ir.BaseGlobal, "b", ir.ConstAffine(0)))
+	mkMem(ir.OpLoad, ref(ir.BaseGlobal, "a", ir.ConstAffine(0)))
+	mkMem(ir.OpLoad, ref(ir.BaseParam, "x", ir.ConstAffine(0)))
+	ex := tr.NewOp(ir.OpExit, nil, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	tr.BuildMemArcs()
+	if len(tr.Arcs) != 3 {
+		t.Fatalf("expected 3 arcs, got %d", len(tr.Arcs))
+	}
+	st := ResolveTree(tr)
+	if st.Removed != 1 || st.Definite != 1 || st.Kept != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	for _, a := range tr.Arcs {
+		if a.To.Ref.BaseSym == "a" && a.Ambiguous {
+			t.Error("definite arc still ambiguous")
+		}
+		if a.To.Ref.BaseSym == "x" && !a.Ambiguous {
+			t.Error("param arc must stay ambiguous")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package bench carries the benchmark suite of the paper's Table 6-2, ported
+// to MiniC: six Numerical Recipes in C kernels that are hard to disambiguate
+// statically, four Stanford Integer programs, and an espresso stand-in
+// (boolmin, a two-level boolean minimizer with the same access behaviour).
+//
+// Three Stanford programs (bubble, intmm, puzzle in the original suite) were
+// reported by the paper as unaffected by SpD and are not part of its data;
+// they are likewise omitted here.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+)
+
+//go:embed programs/*.mc
+var programFS embed.FS
+
+// Benchmark is one suite program.
+type Benchmark struct {
+	Name  string
+	Suite string // "NRC", "StanfInt", "SPEC"
+	Desc  string
+	// Source is the MiniC program text.
+	Source string
+	// Unaffected marks the Stanford programs the paper reports as "not
+	// affected by SpD at all" and excludes from its data; they are kept
+	// here so that the claim itself can be verified.
+	Unaffected bool
+}
+
+// Lines counts source lines, for the Table 6-2 style listing.
+func (b *Benchmark) Lines() int {
+	return strings.Count(strings.TrimRight(b.Source, "\n"), "\n") + 1
+}
+
+var meta = []struct {
+	name, suite, desc string
+	unaffected        bool
+}{
+	{"adi", "NRC", "Alternating direction implicit method for partial differential equations.", false},
+	{"bcuint", "NRC", "Bicubic interpolation.", false},
+	{"fft", "NRC", "Fast fourier transform.", false},
+	{"moment", "NRC", "Moments of distribution.", false},
+	{"smooft", "NRC", "Smoothing of data.", false},
+	{"solvde", "NRC", "Relaxation method for two point boundary value problems.", false},
+	{"perm", "StanfInt", "Recursive permutation program.", false},
+	{"queen", "StanfInt", "Eight queens problem.", false},
+	{"quick", "StanfInt", "Quicksort.", false},
+	{"tree", "StanfInt", "Treesort.", false},
+	{"boolmin", "SPEC", "Boolean function minimization (espresso stand-in).", false},
+	{"bubble", "StanfInt", "Bubble sort (unaffected by SpD).", true},
+	{"intmm", "StanfInt", "Integer matrix multiplication (unaffected by SpD).", true},
+	{"towers", "StanfInt", "Towers of Hanoi (unaffected by SpD).", true},
+}
+
+var all []*Benchmark
+
+func init() {
+	for _, m := range meta {
+		src, err := programFS.ReadFile("programs/" + m.name + ".mc")
+		if err != nil {
+			panic(fmt.Sprintf("bench: missing program %s: %v", m.name, err))
+		}
+		all = append(all, &Benchmark{
+			Name:       m.name,
+			Suite:      m.suite,
+			Desc:       m.desc,
+			Source:     string(src),
+			Unaffected: m.unaffected,
+		})
+	}
+}
+
+// All returns the paper's data set in Table 6-2 order (the three unaffected
+// Stanford programs are excluded, as in the paper's own tables).
+func All() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range all {
+		if !b.Unaffected {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Everything returns every ported program, including the three Stanford
+// programs the paper reports as unaffected by SpD.
+func Everything() []*Benchmark { return all }
+
+// NRC returns only the Numerical Recipes benchmarks (used by Figure 6-3).
+func NRC() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range all {
+		if b.Suite == "NRC" {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName looks a benchmark up, or returns nil.
+func ByName(name string) *Benchmark {
+	for _, b := range all {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package bench_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"specdis/internal/bench"
+	"specdis/internal/compile"
+	"specdis/internal/disamb"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+	"specdis/internal/spd"
+)
+
+func TestSuiteIsComplete(t *testing.T) {
+	want := []string{"adi", "bcuint", "fft", "moment", "smooft", "solvde",
+		"perm", "queen", "quick", "tree", "boolmin"}
+	got := bench.All()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d programs, want %d", len(got), len(want))
+	}
+	for i, b := range got {
+		if b.Name != want[i] {
+			t.Errorf("program %d = %s, want %s", i, b.Name, want[i])
+		}
+		if b.Lines() < 20 {
+			t.Errorf("%s suspiciously short: %d lines", b.Name, b.Lines())
+		}
+	}
+	if bench.ByName("fft") == nil || bench.ByName("nope") != nil {
+		t.Error("ByName misbehaves")
+	}
+	if n := len(bench.NRC()); n != 6 {
+		t.Errorf("NRC subset has %d programs, want 6", n)
+	}
+}
+
+func TestBenchmarksCompileAndRun(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := compile.Compile(b.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc()}
+			res, err := r.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Output == "" {
+				t.Fatal("no output")
+			}
+			t.Logf("%s: %d dynamic ops, output %q", b.Name, res.Ops,
+				strings.ReplaceAll(res.Output, "\n", " "))
+		})
+	}
+}
+
+// Benchmark-specific semantic checks.
+func outputLines(t *testing.T, name string) []string {
+	t.Helper()
+	b := bench.ByName(name)
+	prog, err := compile.Compile(b.Source)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc()}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	return strings.Split(strings.TrimRight(res.Output, "\n"), "\n")
+}
+
+func TestQueenFinds92Solutions(t *testing.T) {
+	lines := outputLines(t, "queen")
+	if lines[0] != "92" {
+		t.Fatalf("queen solutions = %s, want 92", lines[0])
+	}
+}
+
+func TestQuickSorts(t *testing.T) {
+	lines := outputLines(t, "quick")
+	if lines[0] != "1" {
+		t.Fatalf("quick: array not sorted (ok flag %s)", lines[0])
+	}
+}
+
+func TestTreeSorts(t *testing.T) {
+	lines := outputLines(t, "tree")
+	if lines[0] != "1" || lines[2] != "1" {
+		t.Fatalf("tree: inorder walk not sorted: %v", lines)
+	}
+}
+
+func TestPermCountsCalls(t *testing.T) {
+	lines := outputLines(t, "perm")
+	// permute(n) is called 5 * (1 + sum over the recursion) times; the
+	// Stanford workload with n=7 and 5 trials yields 43300 calls... computed
+	// here independently:
+	calls := 0
+	var rec func(n int)
+	rec = func(n int) {
+		calls++
+		if n != 1 {
+			rec(n - 1)
+			for k := n - 1; k >= 1; k-- {
+				rec(n - 1)
+			}
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		rec(7)
+	}
+	want := calls
+	if lines[0] != itoa(want) {
+		t.Fatalf("perm pctr = %s, want %d", lines[0], want)
+	}
+}
+
+func TestFFTRoundTrips(t *testing.T) {
+	lines := outputLines(t, "fft")
+	if lines[2] != "1" {
+		t.Fatalf("fft: inverse transform did not recover the signal: %v", lines)
+	}
+}
+
+func TestSolvdeConverges(t *testing.T) {
+	lines := outputLines(t, "solvde")
+	if lines[0] == "40" {
+		t.Fatalf("solvde: did not converge within 40 sweeps: %v", lines)
+	}
+}
+
+func TestBoolminVerifies(t *testing.T) {
+	lines := outputLines(t, "boolmin")
+	if lines[3] != "1" {
+		t.Fatalf("boolmin: minimized cover does not match truth table: %v", lines)
+	}
+	// Minimization must not grow the cover.
+	if atoi(t, lines[1]) > atoi(t, lines[0]) {
+		t.Fatalf("boolmin: cover grew from %s to %s cubes", lines[0], lines[1])
+	}
+}
+
+// TestAllPipelinesAgreeOnEveryBenchmark is the headline correctness check:
+// the four disambiguators must preserve program semantics on the whole
+// suite, for both memory latencies.
+func TestAllPipelinesAgreeOnEveryBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	models := []machine.Model{machine.New(5, 2), machine.New(5, 6)}
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, memLat := range []int{2, 6} {
+				var ref string
+				for _, kind := range disamb.Kinds {
+					p, err := disamb.Prepare(b.Source, kind, memLat, spd.DefaultParams())
+					if err != nil {
+						t.Fatalf("%s m%d: %v", kind, memLat, err)
+					}
+					res, err := disamb.Measure(p, models)
+					if err != nil {
+						t.Fatalf("%s m%d: %v", kind, memLat, err)
+					}
+					if ref == "" {
+						ref = res.Output
+					} else if res.Output != ref {
+						t.Fatalf("%s m%d output diverged", kind, memLat)
+					}
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return n
+}

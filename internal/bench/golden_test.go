@@ -1,0 +1,52 @@
+package bench_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specdis/internal/bench"
+	"specdis/internal/compile"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden benchmark outputs")
+
+// TestGoldenOutputs pins every benchmark's program output. Any change —
+// compiler, interpreter, or benchmark source — that alters results must be
+// deliberate (rerun with -update after review).
+func TestGoldenOutputs(t *testing.T) {
+	for _, b := range bench.Everything() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := compile.Compile(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc()}
+			res, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", b.Name+".out")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(res.Output), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if string(want) != res.Output {
+				t.Fatalf("output changed:\n got: %q\nwant: %q", res.Output, string(want))
+			}
+		})
+	}
+}

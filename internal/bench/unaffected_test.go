@@ -1,0 +1,85 @@
+package bench_test
+
+import (
+	"testing"
+
+	"specdis/internal/bench"
+	"specdis/internal/disamb"
+	"specdis/internal/machine"
+	"specdis/internal/spd"
+)
+
+func TestEverythingIncludesUnaffected(t *testing.T) {
+	if len(bench.Everything()) != len(bench.All())+3 {
+		t.Fatalf("Everything has %d, All has %d", len(bench.Everything()), len(bench.All()))
+	}
+	count := 0
+	for _, b := range bench.Everything() {
+		if b.Unaffected {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Fatalf("%d unaffected programs, want 3 (paper §6.3)", count)
+	}
+}
+
+// TestUnaffectedProgramsRunCorrectly validates the three extra programs'
+// semantics.
+func TestUnaffectedProgramsRunCorrectly(t *testing.T) {
+	cases := map[string][]string{
+		"bubble": {"1"},          // sorted flag
+		"intmm":  nil,            // digest only
+		"towers": {"4095", "12"}, // 2^12-1 moves, 12 discs on peg 2
+	}
+	for name, want := range cases {
+		lines := outputLines(t, name)
+		for i, w := range want {
+			if lines[i] != w {
+				t.Errorf("%s line %d = %s, want %s", name, i, lines[i], w)
+			}
+		}
+	}
+}
+
+// TestUnaffectedClaim reproduces the paper's statement that three Stanford
+// programs "were not affected by SpD at all": the SPEC pipeline must apply
+// no transformation and the cycle counts must match STATIC exactly.
+func TestUnaffectedClaim(t *testing.T) {
+	models := []machine.Model{machine.New(5, 2), machine.New(5, 6)}
+	for _, b := range bench.Everything() {
+		if !b.Unaffected {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, memLat := range []int{2, 6} {
+				sp, err := disamb.Prepare(b.Source, disamb.Spec, memLat, spd.DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n := len(sp.SpD.Apps); n != 0 {
+					t.Errorf("memLat %d: SpD applied %d times to an unaffected program", memLat, n)
+				}
+				st, err := disamb.Prepare(b.Source, disamb.Static, memLat, spd.DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				rSp, err := disamb.Measure(sp, models)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rSt, err := disamb.Measure(st, models)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range models {
+					if rSp.Times[i] != rSt.Times[i] {
+						t.Errorf("memLat %d model %d: SPEC %d != STATIC %d cycles",
+							memLat, i, rSp.Times[i], rSt.Times[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package compile_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestLanguageDocExampleCompilesAndRuns keeps docs/LANGUAGE.md's example
+// honest: it must compile and run.
+func TestLanguageDocExampleCompilesAndRuns(t *testing.T) {
+	data, err := os.ReadFile("../../docs/LANGUAGE.md")
+	if err != nil {
+		t.Skipf("docs not present: %v", err)
+	}
+	text := string(data)
+	start := strings.LastIndex(text, "```c")
+	if start < 0 {
+		t.Fatal("no example block in LANGUAGE.md")
+	}
+	rest := text[start+4:]
+	end := strings.Index(rest, "```")
+	if end < 0 {
+		t.Fatal("unterminated example block")
+	}
+	src := rest[:end]
+	out := run(t, src)
+	if !strings.Contains(out, "\n") {
+		t.Fatalf("example produced no output: %q", out)
+	}
+}

@@ -1,0 +1,453 @@
+package compile
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+	"specdis/internal/lang"
+)
+
+// termKind classifies how a lowered block ends.
+type termKind uint8
+
+const (
+	termNone termKind = iota // still open
+	termCond                 // conditional branch
+	termJump                 // unconditional branch
+	termRet                  // function return
+	termCall                 // call, then fall through to Succ
+)
+
+// lblock is a basic block in the pre-tree CFG. Ops are ir.Op values whose
+// ID/Seq/Block fields are assigned later, when the block is emitted into a
+// decision tree.
+type lblock struct {
+	id        int
+	ops       []*ir.Op
+	kind      termKind
+	cond      ir.Reg // termCond
+	succTrue  int
+	succFalse int
+	succ      int // termJump target; termCall continuation
+	callee    string
+	callArgs  []ir.Reg
+	callDest  ir.Reg // NoReg for void calls
+	retVal    ir.Reg // NoReg for void returns
+}
+
+// varInfo is a scalar local/parameter binding.
+type varInfo struct {
+	reg ir.Reg
+	typ lang.Type
+}
+
+// lowerer lowers one function to lblocks.
+type lowerer struct {
+	prog *lang.CheckedProgram
+	irp  *ir.Program
+	fn   *ir.Function
+	decl *lang.FuncDecl
+
+	blocks []*lblock
+	cur    *lblock
+
+	scopes   []map[string]varInfo
+	varRegs  map[ir.Reg]bool
+	localVal map[ir.Reg]ir.Reg // var reg -> speculative temp, per block
+
+	sym     *symEnv
+	varID   ir.LoopVar
+	loops   []ir.LoopInfo // enclosing canonical loops, outermost first
+	brkTgt  []int
+	contTgt []int
+
+	constCache map[ir.Value]ir.Reg
+}
+
+func (lo *lowerer) newBlock() *lblock {
+	b := &lblock{id: len(lo.blocks), callDest: ir.NoReg, retVal: ir.NoReg}
+	lo.blocks = append(lo.blocks, b)
+	return b
+}
+
+func (lo *lowerer) setCur(b *lblock) {
+	lo.cur = b
+	lo.constCache = map[ir.Value]ir.Reg{}
+	lo.localVal = map[ir.Reg]ir.Reg{}
+}
+
+func (lo *lowerer) emit(kind ir.OpKind, args []ir.Reg, dest ir.Reg) *ir.Op {
+	op := &ir.Op{Kind: kind, Args: args, Dest: dest, Guard: ir.NoReg}
+	lo.cur.ops = append(lo.cur.ops, op)
+	return op
+}
+
+func (lo *lowerer) constReg(v ir.Value) ir.Reg {
+	if r, ok := lo.constCache[v]; ok {
+		return r
+	}
+	r := lo.fn.NewReg()
+	op := lo.emit(ir.OpConst, nil, r)
+	op.Imm = v
+	lo.constCache[v] = r
+	return r
+}
+
+func (lo *lowerer) intConst(i int64) ir.Reg {
+	return lo.constReg(ir.Value{I: i, F: float64(i)})
+}
+
+func (lo *lowerer) floatConst(f float64) ir.Reg {
+	return lo.constReg(ir.Value{I: int64(f), F: f})
+}
+
+func (lo *lowerer) pushScope() { lo.scopes = append(lo.scopes, map[string]varInfo{}) }
+func (lo *lowerer) popScope()  { lo.scopes = lo.scopes[:len(lo.scopes)-1] }
+
+func (lo *lowerer) declareVar(name string, typ lang.Type) ir.Reg {
+	r := lo.fn.NewReg()
+	lo.scopes[len(lo.scopes)-1][name] = varInfo{reg: r, typ: typ}
+	if lo.varRegs == nil {
+		lo.varRegs = map[ir.Reg]bool{}
+	}
+	lo.varRegs[r] = true
+	return r
+}
+
+// assignTo stores val into the variable register dest: a guarded merge move
+// commits the value under the path condition, while same-block consumers are
+// forwarded the speculative temporary directly (recorded in localVal), so
+// pure downstream computation does not serialize behind guard evaluation.
+func (lo *lowerer) assignTo(dest, val ir.Reg) {
+	lo.emit(ir.OpMove, []ir.Reg{val}, dest).VarWrite = true
+	if !lo.varRegs[val] {
+		// Temporaries are single-assignment, so the forwarded value can
+		// never go stale within the block; variable registers can.
+		lo.localVal[dest] = val
+	} else {
+		delete(lo.localVal, dest)
+	}
+}
+
+// readVar returns the register to read variable reg from: the speculative
+// temporary assigned earlier in this block when available.
+func (lo *lowerer) readVar(reg ir.Reg) ir.Reg {
+	if t, ok := lo.localVal[reg]; ok {
+		return t
+	}
+	return reg
+}
+
+// resolve finds a scalar/array-parameter binding, or returns ok=false when
+// the name refers to a global.
+func (lo *lowerer) resolve(name string) (varInfo, bool) {
+	for i := len(lo.scopes) - 1; i >= 0; i-- {
+		if v, ok := lo.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return varInfo{}, false
+}
+
+// cvt converts between int and float registers where needed.
+func (lo *lowerer) cvt(r ir.Reg, from, to lang.Type) ir.Reg {
+	if from == to {
+		return r
+	}
+	d := lo.fn.NewReg()
+	if from == lang.TypeInt && to == lang.TypeFloat {
+		lo.emit(ir.OpCvtIF, []ir.Reg{r}, d)
+	} else {
+		lo.emit(ir.OpCvtFI, []ir.Reg{r}, d)
+	}
+	return d
+}
+
+// memRef builds the symbolic description of an array access.
+func (lo *lowerer) memRef(name string, idx lang.Expr) *ir.MemRef {
+	ref := &ir.MemRef{}
+	if _, isLocal := lo.resolve(name); isLocal {
+		ref.BaseKind = ir.BaseParam
+		ref.BaseSym = name
+	} else {
+		ref.BaseKind = ir.BaseGlobal
+		ref.BaseSym = name
+	}
+	if idx == nil {
+		ref.Sub = ir.ConstAffine(0)
+	} else {
+		ref.Sub = lo.sym.symEval(idx) // nil when not affine
+	}
+	ref.Loops = append([]ir.LoopInfo(nil), lo.loops...)
+	return ref
+}
+
+// address computes the address register for an array access and the element
+// type, also returning the symbolic MemRef.
+func (lo *lowerer) address(name string, idx lang.Expr) (ir.Reg, lang.Type, *ir.MemRef, error) {
+	ref := lo.memRef(name, idx)
+	var base ir.Reg
+	var elem lang.Type
+	if v, ok := lo.resolve(name); ok {
+		if !v.typ.IsArray() {
+			return 0, 0, nil, fmt.Errorf("%s: not an array", name)
+		}
+		base = v.reg
+		elem = v.typ.Elem()
+	} else {
+		g := lo.prog.Globals[name]
+		if g == nil {
+			return 0, 0, nil, fmt.Errorf("%s: undefined", name)
+		}
+		base = lo.intConst(lo.globalBase(name))
+		elem = g.Elem
+	}
+	if idx == nil {
+		return base, elem, ref, nil
+	}
+	idxReg, idxT, err := lo.lowerExpr(idx)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if idxT != lang.TypeInt {
+		return 0, 0, nil, fmt.Errorf("%s: non-int index", name)
+	}
+	addr := lo.fn.NewReg()
+	lo.emit(ir.OpAdd, []ir.Reg{base, idxReg}, addr)
+	return addr, elem, ref, nil
+}
+
+func (lo *lowerer) globalBase(name string) int64 {
+	g := lo.irp.Global(name)
+	if g == nil {
+		panic("global not laid out: " + name)
+	}
+	return g.Base
+}
+
+// lowerExpr lowers an expression, returning the result register and type.
+func (lo *lowerer) lowerExpr(e lang.Expr) (ir.Reg, lang.Type, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return lo.intConst(x.V), lang.TypeInt, nil
+
+	case *lang.FloatLit:
+		return lo.floatConst(x.V), lang.TypeFloat, nil
+
+	case *lang.VarRef:
+		if v, ok := lo.resolve(x.Name); ok {
+			if v.typ.IsArray() {
+				return v.reg, v.typ, nil
+			}
+			return lo.readVar(v.reg), v.typ, nil
+		}
+		g := lo.prog.Globals[x.Name]
+		if g == nil {
+			return 0, 0, fmt.Errorf("%s: undefined", x.Name)
+		}
+		if g.IsScalar {
+			// Scalar global: load through memory.
+			addr := lo.intConst(lo.globalBase(x.Name))
+			d := lo.fn.NewReg()
+			op := lo.emit(ir.OpLoad, []ir.Reg{addr}, d)
+			op.Ref = lo.memRef(x.Name, nil)
+			return d, g.Elem, nil
+		}
+		// Array global used as a value (argument passing): its base address.
+		t := lang.TypeIntArray
+		if g.Elem == lang.TypeFloat {
+			t = lang.TypeFloatArray
+		}
+		return lo.intConst(lo.globalBase(x.Name)), t, nil
+
+	case *lang.IndexExpr:
+		addr, elem, ref, err := lo.address(x.Name, x.Index)
+		if err != nil {
+			return 0, 0, err
+		}
+		d := lo.fn.NewReg()
+		op := lo.emit(ir.OpLoad, []ir.Reg{addr}, d)
+		op.Ref = ref
+		return d, elem, nil
+
+	case *lang.UnaryExpr:
+		r, t, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return 0, 0, err
+		}
+		d := lo.fn.NewReg()
+		switch x.Op {
+		case '-':
+			if t == lang.TypeFloat {
+				lo.emit(ir.OpFNeg, []ir.Reg{r}, d)
+			} else {
+				lo.emit(ir.OpNeg, []ir.Reg{r}, d)
+			}
+			return d, t, nil
+		case '!':
+			lo.emit(ir.OpCmpEQ, []ir.Reg{r, lo.intConst(0)}, d)
+			return d, lang.TypeInt, nil
+		case '~':
+			lo.emit(ir.OpNot, []ir.Reg{r}, d)
+			return d, lang.TypeInt, nil
+		}
+		return 0, 0, fmt.Errorf("bad unary op %c", x.Op)
+
+	case *lang.BinaryExpr:
+		return lo.lowerBinary(x)
+
+	case *lang.CallExpr:
+		return lo.lowerCall(x)
+	}
+	return 0, 0, fmt.Errorf("unhandled expression %T", e)
+}
+
+var intBinKind = map[lang.TokKind]ir.OpKind{
+	lang.TokPlus: ir.OpAdd, lang.TokMinus: ir.OpSub, lang.TokStar: ir.OpMul,
+	lang.TokSlash: ir.OpDiv, lang.TokPercent: ir.OpRem,
+	lang.TokAmp: ir.OpAnd, lang.TokPipe: ir.OpOr, lang.TokCaret: ir.OpXor,
+	lang.TokShl: ir.OpShl, lang.TokShr: ir.OpShr,
+	lang.TokEq: ir.OpCmpEQ, lang.TokNe: ir.OpCmpNE, lang.TokLt: ir.OpCmpLT,
+	lang.TokLe: ir.OpCmpLE, lang.TokGt: ir.OpCmpGT, lang.TokGe: ir.OpCmpGE,
+}
+
+var floatBinKind = map[lang.TokKind]ir.OpKind{
+	lang.TokPlus: ir.OpFAdd, lang.TokMinus: ir.OpFSub, lang.TokStar: ir.OpFMul,
+	lang.TokSlash: ir.OpFDiv,
+	lang.TokEq:    ir.OpFCmpEQ, lang.TokNe: ir.OpFCmpNE, lang.TokLt: ir.OpFCmpLT,
+	lang.TokLe: ir.OpFCmpLE, lang.TokGt: ir.OpFCmpGT, lang.TokGe: ir.OpFCmpGE,
+}
+
+func (lo *lowerer) lowerBinary(x *lang.BinaryExpr) (ir.Reg, lang.Type, error) {
+	switch x.Op {
+	case lang.TokAndAnd, lang.TokOrOr:
+		// Strict logical operators over booleans.
+		l, err := lo.lowerCond(x.L)
+		if err != nil {
+			return 0, 0, err
+		}
+		r, err := lo.lowerCond(x.R)
+		if err != nil {
+			return 0, 0, err
+		}
+		d := lo.fn.NewReg()
+		if x.Op == lang.TokAndAnd {
+			lo.emit(ir.OpAnd, []ir.Reg{l, r}, d)
+		} else {
+			lo.emit(ir.OpOr, []ir.Reg{l, r}, d)
+		}
+		return d, lang.TypeInt, nil
+	}
+
+	l, lt, err := lo.lowerExpr(x.L)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, rt, err := lo.lowerExpr(x.R)
+	if err != nil {
+		return 0, 0, err
+	}
+	opT := lt
+	if lt == lang.TypeFloat || rt == lang.TypeFloat {
+		opT = lang.TypeFloat
+		l = lo.cvt(l, lt, lang.TypeFloat)
+		r = lo.cvt(r, rt, lang.TypeFloat)
+	}
+	d := lo.fn.NewReg()
+	var kind ir.OpKind
+	var ok bool
+	if opT == lang.TypeFloat {
+		kind, ok = floatBinKind[x.Op]
+	} else {
+		kind, ok = intBinKind[x.Op]
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("operator %s unsupported for %s", x.Op, opT)
+	}
+	lo.emit(kind, []ir.Reg{l, r}, d)
+	return d, x.ExprType(), nil
+}
+
+// lowerCond lowers a condition to a 0/1 register.
+func (lo *lowerer) lowerCond(e lang.Expr) (ir.Reg, error) {
+	r, t, err := lo.lowerExpr(e)
+	if err != nil {
+		return 0, err
+	}
+	if t != lang.TypeInt {
+		return 0, fmt.Errorf("condition is %s, not int", t)
+	}
+	if isBoolExpr(e) {
+		return r, nil
+	}
+	d := lo.fn.NewReg()
+	lo.emit(ir.OpCmpNE, []ir.Reg{r, lo.intConst(0)}, d)
+	return d, nil
+}
+
+// isBoolExpr reports whether the expression already yields 0/1.
+func isBoolExpr(e lang.Expr) bool {
+	switch x := e.(type) {
+	case *lang.BinaryExpr:
+		switch x.Op {
+		case lang.TokEq, lang.TokNe, lang.TokLt, lang.TokLe, lang.TokGt,
+			lang.TokGe, lang.TokAndAnd, lang.TokOrOr:
+			return true
+		}
+	case *lang.UnaryExpr:
+		return x.Op == '!'
+	}
+	return false
+}
+
+var intrinsicKind = map[string]ir.OpKind{
+	"sqrt": ir.OpSqrt, "fabs": ir.OpFAbs, "sin": ir.OpSin, "cos": ir.OpCos,
+	"exp": ir.OpExp, "log": ir.OpLog,
+}
+
+func (lo *lowerer) lowerCall(x *lang.CallExpr) (ir.Reg, lang.Type, error) {
+	if _, isIntr := lang.Intrinsics[x.Name]; isIntr {
+		r, t, err := lo.lowerExpr(x.Args[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		switch x.Name {
+		case "int":
+			return lo.cvt(r, t, lang.TypeInt), lang.TypeInt, nil
+		case "float":
+			return lo.cvt(r, t, lang.TypeFloat), lang.TypeFloat, nil
+		}
+		r = lo.cvt(r, t, lang.TypeFloat)
+		d := lo.fn.NewReg()
+		lo.emit(intrinsicKind[x.Name], []ir.Reg{r}, d)
+		return d, lang.TypeFloat, nil
+	}
+
+	callee := lo.prog.Funcs[x.Name]
+	args := make([]ir.Reg, len(x.Args))
+	for i, a := range x.Args {
+		r, t, err := lo.lowerExpr(a)
+		if err != nil {
+			return 0, 0, err
+		}
+		pt := callee.Params[i].Type
+		if !pt.IsArray() {
+			r = lo.cvt(r, t, pt)
+		}
+		args[i] = r
+	}
+	var dest ir.Reg = ir.NoReg
+	if callee.Ret != lang.TypeVoid {
+		dest = lo.fn.NewReg()
+	}
+	// The call terminates the current block; execution resumes in a fresh
+	// continuation block (a new decision tree).
+	cont := lo.newBlock()
+	lo.cur.kind = termCall
+	lo.cur.callee = x.Name
+	lo.cur.callArgs = args
+	lo.cur.callDest = dest
+	lo.cur.succ = cont.id
+	lo.setCur(cont)
+	return dest, callee.Ret, nil
+}

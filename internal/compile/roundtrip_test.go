@@ -1,0 +1,48 @@
+package compile_test
+
+import (
+	"testing"
+
+	"specdis/internal/bench"
+	"specdis/internal/compile"
+	"specdis/internal/lang"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+)
+
+// TestPrinterRoundTripOnSuite: every benchmark, printed back to source and
+// recompiled, must behave identically.
+func TestPrinterRoundTripOnSuite(t *testing.T) {
+	for _, b := range bench.Everything() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			ast, err := lang.Parse(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			printed := lang.Print(ast)
+			p1, err := compile.Compile(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := compile.Compile(printed)
+			if err != nil {
+				t.Fatalf("printed source fails to compile: %v", err)
+			}
+			lat := machine.Infinite(2).LatencyFunc()
+			r1 := &sim.Runner{Prog: p1, SemLat: lat}
+			r2 := &sim.Runner{Prog: p2, SemLat: lat}
+			o1, err := r1.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			o2, err := r2.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o1.Output != o2.Output {
+				t.Fatalf("round trip changed behaviour:\n got %q\nwant %q", o2.Output, o1.Output)
+			}
+		})
+	}
+}

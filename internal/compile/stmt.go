@@ -1,0 +1,513 @@
+package compile
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+	"specdis/internal/lang"
+)
+
+func (lo *lowerer) lowerStmt(s lang.Stmt) error {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		lo.pushScope()
+		for _, inner := range st.Stmts {
+			if err := lo.lowerStmt(inner); err != nil {
+				return err
+			}
+		}
+		lo.popScope()
+		return nil
+
+	case *lang.VarDeclStmt:
+		var val ir.Reg
+		if st.Init != nil {
+			r, t, err := lo.lowerExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			val = lo.cvt(r, t, st.Type)
+		} else {
+			if st.Type == lang.TypeFloat {
+				val = lo.floatConst(0)
+			} else {
+				val = lo.intConst(0)
+			}
+		}
+		reg := lo.declareVar(st.Name, st.Type)
+		lo.assignTo(reg, val)
+		if st.Type == lang.TypeInt {
+			if st.Init != nil {
+				lo.sym.set(st.Name, lo.sym.symEval(st.Init))
+			} else {
+				lo.sym.set(st.Name, ir.ConstAffine(0))
+			}
+		}
+		return nil
+
+	case *lang.AssignStmt:
+		return lo.lowerAssign(st)
+
+	case *lang.IfStmt:
+		return lo.lowerIf(st)
+
+	case *lang.WhileStmt:
+		return lo.lowerLoop(nil, st.Cond, nil, st.Body)
+
+	case *lang.ForStmt:
+		lo.pushScope()
+		defer lo.popScope()
+		if st.Init != nil {
+			if err := lo.lowerStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		return lo.lowerLoop(st, st.Cond, st.Post, st.Body)
+
+	case *lang.ReturnStmt:
+		ret := ir.Reg(ir.NoReg)
+		if st.Value != nil {
+			r, t, err := lo.lowerExpr(st.Value)
+			if err != nil {
+				return err
+			}
+			want := lang.TypeInt
+			if lo.decl.Ret == lang.TypeFloat {
+				want = lang.TypeFloat
+			}
+			ret = lo.cvt(r, t, want)
+		}
+		lo.cur.kind = termRet
+		lo.cur.retVal = ret
+		// Dead continuation for any statements after the return.
+		lo.setCur(lo.newBlock())
+		return nil
+
+	case *lang.PrintStmt:
+		r, t, err := lo.lowerExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		op := lo.emit(ir.OpPrint, []ir.Reg{r}, ir.NoReg)
+		op.PrintFloat = t == lang.TypeFloat
+		return nil
+
+	case *lang.ExprStmt:
+		_, _, err := lo.lowerExpr(st.X)
+		return err
+
+	case *lang.BreakStmt:
+		if len(lo.brkTgt) == 0 {
+			return fmt.Errorf("break outside loop")
+		}
+		lo.cur.kind = termJump
+		lo.cur.succ = lo.brkTgt[len(lo.brkTgt)-1]
+		lo.setCur(lo.newBlock())
+		return nil
+
+	case *lang.ContinueStmt:
+		if len(lo.contTgt) == 0 {
+			return fmt.Errorf("continue outside loop")
+		}
+		lo.cur.kind = termJump
+		lo.cur.succ = lo.contTgt[len(lo.contTgt)-1]
+		lo.setCur(lo.newBlock())
+		return nil
+	}
+	return fmt.Errorf("unhandled statement %T", s)
+}
+
+func (lo *lowerer) lowerAssign(st *lang.AssignStmt) error {
+	lv := st.Target
+	if lv.Index == nil {
+		if v, ok := lo.resolve(lv.Name); ok {
+			// Scalar local/parameter in a register.
+			val, vt, err := lo.assignValue(st, v.typ, func() (ir.Reg, lang.Type, error) {
+				return lo.readVar(v.reg), v.typ, nil
+			})
+			if err != nil {
+				return err
+			}
+			lo.assignTo(v.reg, lo.cvt(val, vt, v.typ))
+			lo.trackScalar(st, lv.Name, v.typ)
+			return nil
+		}
+		// Scalar global: read-modify-write through memory.
+		g := lo.prog.Globals[lv.Name]
+		if g == nil {
+			return fmt.Errorf("%s: undefined", lv.Name)
+		}
+		addr := lo.intConst(lo.globalBase(lv.Name))
+		val, vt, err := lo.assignValue(st, g.Elem, func() (ir.Reg, lang.Type, error) {
+			d := lo.fn.NewReg()
+			op := lo.emit(ir.OpLoad, []ir.Reg{addr}, d)
+			op.Ref = lo.memRef(lv.Name, nil)
+			return d, g.Elem, nil
+		})
+		if err != nil {
+			return err
+		}
+		op := lo.emit(ir.OpStore, []ir.Reg{addr, lo.cvt(val, vt, g.Elem)}, ir.NoReg)
+		op.Ref = lo.memRef(lv.Name, nil)
+		return nil
+	}
+
+	// Array element.
+	addr, elem, ref, err := lo.address(lv.Name, lv.Index)
+	if err != nil {
+		return err
+	}
+	val, vt, err := lo.assignValue(st, elem, func() (ir.Reg, lang.Type, error) {
+		d := lo.fn.NewReg()
+		op := lo.emit(ir.OpLoad, []ir.Reg{addr}, d)
+		op.Ref = ref
+		return d, elem, nil
+	})
+	if err != nil {
+		return err
+	}
+	op := lo.emit(ir.OpStore, []ir.Reg{addr, lo.cvt(val, vt, elem)}, ir.NoReg)
+	op.Ref = ref
+	return nil
+}
+
+// assignValue computes the assigned value: for '=' just the RHS, for
+// compound ops current-value OP rhs, using readCur to fetch the current
+// value.
+func (lo *lowerer) assignValue(st *lang.AssignStmt, targetT lang.Type, readCur func() (ir.Reg, lang.Type, error)) (ir.Reg, lang.Type, error) {
+	rhs, rt, err := lo.lowerExpr(st.Value)
+	if err != nil {
+		return 0, 0, err
+	}
+	if st.Op == '=' {
+		return rhs, rt, nil
+	}
+	cur, ct, err := readCur()
+	if err != nil {
+		return 0, 0, err
+	}
+	opT := ct
+	if rt == lang.TypeFloat || ct == lang.TypeFloat {
+		opT = lang.TypeFloat
+	}
+	cur = lo.cvt(cur, ct, opT)
+	rhs = lo.cvt(rhs, rt, opT)
+	var kind ir.OpKind
+	if opT == lang.TypeFloat {
+		kind = map[byte]ir.OpKind{'+': ir.OpFAdd, '-': ir.OpFSub, '*': ir.OpFMul, '/': ir.OpFDiv}[st.Op]
+	} else {
+		kind = map[byte]ir.OpKind{'+': ir.OpAdd, '-': ir.OpSub, '*': ir.OpMul, '/': ir.OpDiv}[st.Op]
+	}
+	d := lo.fn.NewReg()
+	lo.emit(kind, []ir.Reg{cur, rhs}, d)
+	_ = targetT
+	return d, opT, nil
+}
+
+// trackScalar updates the symbolic environment after a scalar assignment.
+func (lo *lowerer) trackScalar(st *lang.AssignStmt, name string, typ lang.Type) {
+	if typ != lang.TypeInt {
+		return
+	}
+	if st.Op == '=' {
+		lo.sym.set(name, lo.sym.symEval(st.Value))
+		return
+	}
+	cur := lo.sym.get(name)
+	rhs := lo.sym.symEval(st.Value)
+	if rhs == nil {
+		lo.sym.set(name, nil)
+		return
+	}
+	switch st.Op {
+	case '+':
+		lo.sym.set(name, cur.Add(rhs))
+	case '-':
+		lo.sym.set(name, cur.Sub(rhs))
+	case '*':
+		if rhs.IsConst() {
+			lo.sym.set(name, cur.Scale(rhs.Const))
+		} else {
+			lo.sym.set(name, nil)
+		}
+	default:
+		lo.sym.set(name, nil)
+	}
+}
+
+func (lo *lowerer) lowerIf(st *lang.IfStmt) error {
+	cond, err := lo.lowerCond(st.Cond)
+	if err != nil {
+		return err
+	}
+	bThen := lo.newBlock()
+	bElse := lo.newBlock()
+	bJoin := lo.newBlock()
+	lo.cur.kind = termCond
+	lo.cur.cond = cond
+	lo.cur.succTrue = bThen.id
+	lo.cur.succFalse = bElse.id
+
+	before := lo.sym.snapshot()
+
+	lo.setCur(bThen)
+	if err := lo.lowerStmt(st.Then); err != nil {
+		return err
+	}
+	lo.cur.kind = termJump
+	lo.cur.succ = bJoin.id
+	afterThen := lo.sym.snapshot()
+
+	lo.sym.vals = before
+	lo.setCur(bElse)
+	if st.Else != nil {
+		if err := lo.lowerStmt(st.Else); err != nil {
+			return err
+		}
+	}
+	lo.cur.kind = termJump
+	lo.cur.succ = bJoin.id
+	afterElse := lo.sym.snapshot()
+
+	lo.sym.mergeFrom(afterThen, afterElse)
+	lo.setCur(bJoin)
+	return nil
+}
+
+// lowerLoop lowers both while loops (forStmt == nil) and for loops. The
+// for-init has already been lowered into the current block.
+func (lo *lowerer) lowerLoop(forStmt *lang.ForStmt, cond lang.Expr, post lang.Stmt, body lang.Stmt) error {
+	bHead := lo.newBlock()
+	bBody := lo.newBlock()
+	bPost := lo.newBlock()
+	bExit := lo.newBlock()
+
+	lo.cur.kind = termJump
+	lo.cur.succ = bHead.id
+
+	// Which scalars change across iterations?
+	bodyAssigned := map[string]bool{}
+	assignedVars(body, bodyAssigned)
+	assigned := map[string]bool{}
+	for n := range bodyAssigned {
+		assigned[n] = true
+	}
+	if post != nil {
+		assignedVars(post, assigned)
+	}
+	hasBrk := hasBreak(body)
+
+	// Canonical induction variable? (The post statement's own update does
+	// not disqualify the variable — only assignments inside the body do.)
+	var ivName string
+	if forStmt != nil {
+		if name, info, ok := lo.canonicalFor(forStmt, bodyAssigned); ok {
+			ivName = name
+			delete(assigned, name)
+			lo.loops = append(lo.loops, info)
+			defer func() { lo.loops = lo.loops[:len(lo.loops)-1] }()
+			lo.sym.set(ivName, ir.VarAffine(info.Var))
+		}
+	}
+	lo.sym.invalidate(assigned)
+
+	lo.setCur(bHead)
+	var condReg ir.Reg
+	var err error
+	if cond != nil {
+		condReg, err = lo.lowerCond(cond)
+		if err != nil {
+			return err
+		}
+	} else {
+		condReg = lo.intConst(1)
+	}
+	// lowerCond may have split bHead via embedded calls; terminate whatever
+	// block we are in now.
+	head := lo.cur
+	head.kind = termCond
+	head.cond = condReg
+	head.succTrue = bBody.id
+	head.succFalse = bExit.id
+
+	afterCond := lo.sym.snapshot()
+
+	lo.brkTgt = append(lo.brkTgt, bExit.id)
+	lo.contTgt = append(lo.contTgt, bPost.id)
+	lo.setCur(bBody)
+	if err := lo.lowerStmt(body); err != nil {
+		return err
+	}
+	lo.cur.kind = termJump
+	lo.cur.succ = bPost.id
+	lo.brkTgt = lo.brkTgt[:len(lo.brkTgt)-1]
+	lo.contTgt = lo.contTgt[:len(lo.contTgt)-1]
+
+	lo.setCur(bPost)
+	if post != nil {
+		if err := lo.lowerStmt(post); err != nil {
+			return err
+		}
+	}
+	lo.cur.kind = termJump
+	lo.cur.succ = bHead.id
+
+	// The exit path sees the header-time values (the loop body did not run
+	// between the condition and the exit). If the body can break out,
+	// variables it assigns are unknown at the exit.
+	lo.sym.vals = afterCond
+	if hasBrk {
+		lo.sym.invalidate(assigned)
+	}
+	lo.setCur(bExit)
+	return nil
+}
+
+func hasBreak(s lang.Stmt) bool {
+	switch st := s.(type) {
+	case *lang.BreakStmt:
+		return true
+	case *lang.BlockStmt:
+		for _, inner := range st.Stmts {
+			if hasBreak(inner) {
+				return true
+			}
+		}
+	case *lang.IfStmt:
+		if hasBreak(st.Then) {
+			return true
+		}
+		if st.Else != nil {
+			return hasBreak(st.Else)
+		}
+	}
+	// break inside a nested loop binds to that loop.
+	return false
+}
+
+// canonicalFor recognizes `for (i = lo; i </<=/>/>= hi; i = i ± c)` with an
+// int induction variable not assigned in the body, and returns its LoopInfo.
+// Bounds are widened by one step so that exit-path references (which see the
+// first out-of-range value) remain covered.
+func (lo *lowerer) canonicalFor(st *lang.ForStmt, bodyAssigned map[string]bool) (string, ir.LoopInfo, bool) {
+	var name string
+	var loExpr lang.Expr
+	switch init := st.Init.(type) {
+	case *lang.VarDeclStmt:
+		if init.Type != lang.TypeInt || init.Init == nil {
+			return "", ir.LoopInfo{}, false
+		}
+		name, loExpr = init.Name, init.Init
+	case *lang.AssignStmt:
+		if init.Op != '=' || init.Target.Index != nil {
+			return "", ir.LoopInfo{}, false
+		}
+		if v, ok := lo.resolve(init.Target.Name); !ok || v.typ != lang.TypeInt {
+			return "", ir.LoopInfo{}, false
+		}
+		name, loExpr = init.Target.Name, init.Value
+	default:
+		return "", ir.LoopInfo{}, false
+	}
+	if bodyAssigned[name] {
+		return "", ir.LoopInfo{}, false
+	}
+
+	cmp, ok := st.Cond.(*lang.BinaryExpr)
+	if !ok {
+		return "", ir.LoopInfo{}, false
+	}
+	cv, ok := cmp.L.(*lang.VarRef)
+	if !ok || cv.Name != name {
+		return "", ir.LoopInfo{}, false
+	}
+
+	step, ok := postStep(st.Post, name)
+	if !ok || step == 0 {
+		return "", ir.LoopInfo{}, false
+	}
+	up := step > 0
+	switch cmp.Op {
+	case lang.TokLt, lang.TokLe:
+		if !up {
+			return "", ir.LoopInfo{}, false
+		}
+	case lang.TokGt, lang.TokGe:
+		if up {
+			return "", ir.LoopInfo{}, false
+		}
+	default:
+		return "", ir.LoopInfo{}, false
+	}
+
+	info := ir.LoopInfo{Var: lo.sym.fresh(), Step: step}
+	loA := lo.sym.symEval(loExpr)
+	hiA := lo.sym.symEval(cmp.R)
+	if loA != nil && loA.IsConst() && hiA != nil && hiA.IsConst() {
+		info.BoundsKnown = true
+		info.Lo = loA.Const
+		hi := hiA.Const
+		switch cmp.Op {
+		case lang.TokLe:
+			hi++
+		case lang.TokGe:
+			hi--
+		}
+		// hi is now the exclusive bound in the iteration direction. Widen by
+		// one step for the exit value.
+		if up {
+			info.Hi = hi + step - 1 // inclusive upper bound incl. exit value
+		} else {
+			info.Lo, info.Hi = hi+step+1, info.Lo // downward: [hi+step+1, lo]
+		}
+	}
+	return name, info, true
+}
+
+// postStep extracts the constant step from the loop post statement.
+func postStep(post lang.Stmt, name string) (int64, bool) {
+	as, ok := post.(*lang.AssignStmt)
+	if !ok || as.Target.Index != nil || as.Target.Name != name {
+		return 0, false
+	}
+	lit := func(e lang.Expr) (int64, bool) {
+		if il, ok := e.(*lang.IntLit); ok {
+			return il.V, true
+		}
+		if ue, ok := e.(*lang.UnaryExpr); ok && ue.Op == '-' {
+			if il, ok := ue.X.(*lang.IntLit); ok {
+				return -il.V, true
+			}
+		}
+		return 0, false
+	}
+	switch as.Op {
+	case '+':
+		c, ok := lit(as.Value)
+		return c, ok
+	case '-':
+		c, ok := lit(as.Value)
+		return -c, ok
+	case '=':
+		// i = i + c  or  i = i - c
+		be, ok := as.Value.(*lang.BinaryExpr)
+		if !ok {
+			return 0, false
+		}
+		vr, ok := be.L.(*lang.VarRef)
+		if !ok || vr.Name != name {
+			return 0, false
+		}
+		c, ok := lit(be.R)
+		if !ok {
+			return 0, false
+		}
+		switch be.Op {
+		case lang.TokPlus:
+			return c, true
+		case lang.TokMinus:
+			return -c, true
+		}
+	}
+	return 0, false
+}

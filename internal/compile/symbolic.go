@@ -1,0 +1,168 @@
+package compile
+
+import (
+	"specdis/internal/ir"
+	"specdis/internal/lang"
+)
+
+// symEnv tracks flow-sensitive symbolic (affine) values of scalar integer
+// variables during lowering, for the benefit of static disambiguation.
+// A variable maps to an affine expression over abstract variables: loop
+// induction variables (which carry bounds) and opaque symbols (loop-invariant
+// unknowns). A missing entry means the value is not affine.
+type symEnv struct {
+	vals   map[string]*ir.Affine
+	nextID *ir.LoopVar
+}
+
+func newSymEnv(counter *ir.LoopVar) *symEnv {
+	return &symEnv{vals: map[string]*ir.Affine{}, nextID: counter}
+}
+
+// fresh allocates a new abstract variable ID.
+func (e *symEnv) fresh() ir.LoopVar {
+	id := *e.nextID
+	*e.nextID++
+	return id
+}
+
+// get returns the affine value of name, creating a fresh opaque symbol the
+// first time an unknown-but-stable variable is read.
+func (e *symEnv) get(name string) *ir.Affine {
+	if a, ok := e.vals[name]; ok {
+		return a
+	}
+	a := ir.VarAffine(e.fresh())
+	e.vals[name] = a
+	return a
+}
+
+// set records an assignment. a == nil marks the value as non-affine; the
+// variable then reads as a fresh opaque symbol.
+func (e *symEnv) set(name string, a *ir.Affine) {
+	if a == nil {
+		e.vals[name] = ir.VarAffine(e.fresh())
+		return
+	}
+	e.vals[name] = a
+}
+
+// invalidate gives each named variable a fresh opaque value (used when a
+// variable is modified along some path we did not track).
+func (e *symEnv) invalidate(names map[string]bool) {
+	for n := range names {
+		e.vals[n] = ir.VarAffine(e.fresh())
+	}
+}
+
+// snapshot copies the environment.
+func (e *symEnv) snapshot() map[string]*ir.Affine {
+	c := make(map[string]*ir.Affine, len(e.vals))
+	for k, v := range e.vals {
+		c[k] = v
+	}
+	return c
+}
+
+// mergeFrom keeps only bindings identical in both environments; differing
+// bindings become fresh opaque symbols (a conservative join).
+func (e *symEnv) mergeFrom(a, b map[string]*ir.Affine) {
+	e.vals = map[string]*ir.Affine{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok && va.Equal(vb) {
+			e.vals[k] = va
+		} else {
+			e.vals[k] = ir.VarAffine(e.fresh())
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			e.vals[k] = ir.VarAffine(e.fresh())
+		}
+	}
+}
+
+// symEval evaluates an integer expression to an affine form, or nil if the
+// expression is not affine (array loads, calls, float-typed parts, …).
+func (e *symEnv) symEval(x lang.Expr) *ir.Affine {
+	switch ex := x.(type) {
+	case *lang.IntLit:
+		return ir.ConstAffine(ex.V)
+	case *lang.VarRef:
+		if ex.ExprType() != lang.TypeInt {
+			return nil
+		}
+		return e.get(ex.Name)
+	case *lang.UnaryExpr:
+		if ex.Op != '-' {
+			return nil
+		}
+		if a := e.symEval(ex.X); a != nil {
+			return a.Scale(-1)
+		}
+		return nil
+	case *lang.BinaryExpr:
+		l := e.symEval(ex.L)
+		r := e.symEval(ex.R)
+		switch ex.Op {
+		case lang.TokPlus:
+			if l != nil && r != nil {
+				return l.Add(r)
+			}
+		case lang.TokMinus:
+			if l != nil && r != nil {
+				return l.Sub(r)
+			}
+		case lang.TokStar:
+			if l != nil && l.IsConst() && r != nil {
+				return r.Scale(l.Const)
+			}
+			if r != nil && r.IsConst() && l != nil {
+				return l.Scale(r.Const)
+			}
+		case lang.TokSlash:
+			if l != nil && l.IsConst() && r != nil && r.IsConst() && r.Const != 0 {
+				return ir.ConstAffine(l.Const / r.Const)
+			}
+		case lang.TokShl:
+			if l != nil && r != nil && r.IsConst() && r.Const >= 0 && r.Const < 62 {
+				return l.Scale(1 << uint(r.Const))
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// assignedVars collects the names of scalar variables assigned anywhere in a
+// statement (including nested loops/blocks), used to invalidate symbolic
+// state around loops and joins.
+func assignedVars(s lang.Stmt, out map[string]bool) {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		for _, inner := range st.Stmts {
+			assignedVars(inner, out)
+		}
+	case *lang.VarDeclStmt:
+		out[st.Name] = true
+	case *lang.AssignStmt:
+		if st.Target.Index == nil {
+			out[st.Target.Name] = true
+		}
+	case *lang.IfStmt:
+		assignedVars(st.Then, out)
+		if st.Else != nil {
+			assignedVars(st.Else, out)
+		}
+	case *lang.WhileStmt:
+		assignedVars(st.Body, out)
+	case *lang.ForStmt:
+		if st.Init != nil {
+			assignedVars(st.Init, out)
+		}
+		if st.Post != nil {
+			assignedVars(st.Post, out)
+		}
+		assignedVars(st.Body, out)
+	}
+}

@@ -1,0 +1,249 @@
+package compile
+
+import (
+	"testing"
+
+	"specdis/internal/ir"
+	"specdis/internal/lang"
+)
+
+// refsOf compiles src and collects the MemRefs of every load/store in fn.
+func refsOf(t *testing.T, src, fn string) []*ir.MemRef {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []*ir.MemRef
+	for _, tr := range prog.Funcs[fn].Trees {
+		for _, op := range tr.Ops {
+			if op.Ref != nil {
+				refs = append(refs, op.Ref)
+			}
+		}
+	}
+	return refs
+}
+
+func TestSymbolicAffineSubscripts(t *testing.T) {
+	refs := refsOf(t, `
+int a[64];
+void main() {
+	for (int i = 1; i < 10; i = i + 1) {
+		a[3 * i + 2] = a[i - 1] + a[2 * i];
+	}
+}`, "main")
+	// Expect subscripts 3i+2, i-1, 2i over the same loop var.
+	var coefs []int64
+	var consts []int64
+	for _, r := range refs {
+		if r.Sub == nil {
+			t.Fatalf("non-affine ref %v", r)
+		}
+		if len(r.Sub.Terms) != 1 {
+			t.Fatalf("expected single-var subscript, got %v", r.Sub)
+		}
+		coefs = append(coefs, r.Sub.Terms[0].Coef)
+		consts = append(consts, r.Sub.Const)
+	}
+	want := map[int64]int64{3: 2, 1: -1, 2: 0}
+	for i, c := range coefs {
+		if want[c] != consts[i] {
+			t.Errorf("ref %d: coef %d const %d unexpected", i, c, consts[i])
+		}
+	}
+	// All three share one induction variable.
+	v := refs[0].Sub.Terms[0].Var
+	for _, r := range refs {
+		if r.Sub.Terms[0].Var != v {
+			t.Error("induction variable not shared")
+		}
+	}
+}
+
+func TestSymbolicInvariantSymbols(t *testing.T) {
+	// n is loop-invariant: a[i+n] and a[i+n+1] must share the opaque symbol
+	// so their difference is the constant 1.
+	refs := refsOf(t, `
+int a[64];
+void f(int n) {
+	for (int i = 0; i < 8; i = i + 1) {
+		a[i + n] = a[i + n + 1];
+	}
+}
+void main() { f(3); }`, "f")
+	if len(refs) != 2 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	d := refs[0].Sub.Sub(refs[1].Sub)
+	if !d.IsConst() || (d.Const != 1 && d.Const != -1) {
+		t.Fatalf("difference %v, want ±1 (invariant symbol must cancel)", d)
+	}
+}
+
+func TestSymbolicInvalidationAcrossIterations(t *testing.T) {
+	// t changes every iteration via a load: its symbol must NOT cancel
+	// against a use of t from... the same iteration it does cancel; across
+	// an if-merge with differing assignments it must not.
+	refs := refsOf(t, `
+int a[64];
+int b[64];
+void main() {
+	for (int i = 0; i < 8; i = i + 1) {
+		int t = b[i];
+		a[t] = a[t] + 1;      // same iteration: same symbol, difference 0
+	}
+}`, "main")
+	var subs []*ir.Affine
+	for _, r := range refs {
+		if r.BaseSym == "a" {
+			subs = append(subs, r.Sub)
+		}
+	}
+	if len(subs) != 2 {
+		t.Fatalf("got %d a-refs", len(subs))
+	}
+	if subs[0] == nil || subs[1] == nil {
+		t.Fatal("loaded-value subscript should still be a (opaque) symbol")
+	}
+	d := subs[0].Sub(subs[1])
+	if !d.IsConst() || d.Const != 0 {
+		t.Fatalf("a[t] vs a[t]: difference %v, want 0", d)
+	}
+}
+
+func TestSymbolicMergeAtJoin(t *testing.T) {
+	// x differs across the branches: after the join its symbol must be
+	// fresh, so a[x] is not claimed equal to either branch's subscript.
+	refs := refsOf(t, `
+int a[64];
+void f(int c) {
+	int x = 1;
+	if (c > 0) { x = 2; } else { x = 3; }
+	a[x] = 9;
+	a[2] = 1;
+}
+void main() { f(1); }`, "f")
+	var ax, a2 *ir.Affine
+	for _, r := range refs {
+		if r.Sub != nil && r.Sub.IsConst() && r.Sub.Const == 2 {
+			a2 = r.Sub
+		} else {
+			ax = r.Sub
+		}
+	}
+	if ax == nil || a2 == nil {
+		t.Fatalf("refs not found: %v", refs)
+	}
+	if ax.IsConst() {
+		t.Fatalf("joined x should be opaque, got %v", ax)
+	}
+}
+
+func TestSymbolicCompoundTracking(t *testing.T) {
+	// s += 2 keeps affine tracking; s *= c (non-const) drops it.
+	env := newSymEnv(new(ir.LoopVar))
+	env.set("s", ir.ConstAffine(4))
+
+	lo := &lowerer{sym: env}
+	lo.trackScalar(&lang.AssignStmt{Op: '+', Target: &lang.LValue{Name: "s"},
+		Value: &lang.IntLit{V: 2}}, "s", lang.TypeInt)
+	if got := env.get("s"); !got.IsConst() || got.Const != 6 {
+		t.Fatalf("s += 2 tracked as %v", got)
+	}
+	lo.trackScalar(&lang.AssignStmt{Op: '-', Target: &lang.LValue{Name: "s"},
+		Value: &lang.IntLit{V: 1}}, "s", lang.TypeInt)
+	if got := env.get("s"); got.Const != 5 {
+		t.Fatalf("s -= 1 tracked as %v", got)
+	}
+	lo.trackScalar(&lang.AssignStmt{Op: '*', Target: &lang.LValue{Name: "s"},
+		Value: &lang.IntLit{V: 3}}, "s", lang.TypeInt)
+	if got := env.get("s"); !got.IsConst() || got.Const != 15 {
+		t.Fatalf("s *= 3 tracked as %v", got)
+	}
+	// Multiplying by a non-constant loses the value.
+	env.set("k", nil) // opaque
+	lo.trackScalar(&lang.AssignStmt{Op: '*', Target: &lang.LValue{Name: "s"},
+		Value: &lang.VarRef{Name: "k"}}, "s", lang.TypeInt)
+	if got := env.get("s"); got.IsConst() {
+		t.Fatalf("s *= k should be opaque, got %v", got)
+	}
+	// Float variables are never tracked.
+	lo.trackScalar(&lang.AssignStmt{Op: '+', Target: &lang.LValue{Name: "f"},
+		Value: &lang.IntLit{V: 1}}, "f", lang.TypeFloat)
+}
+
+func TestSymEvalForms(t *testing.T) {
+	env := newSymEnv(new(ir.LoopVar))
+	env.set("i", ir.VarAffine(7))
+	mk := func(e lang.Expr) *ir.Affine { return env.symEval(e) }
+	i := &lang.VarRef{Name: "i"}
+	i.T = lang.TypeInt
+	lit := func(v int64) lang.Expr { return &lang.IntLit{V: v} }
+
+	if a := mk(&lang.BinaryExpr{Op: lang.TokShl, L: i, R: lit(3)}); a == nil || a.Coef(7) != 8 {
+		t.Errorf("i << 3 => %v", a)
+	}
+	if a := mk(&lang.BinaryExpr{Op: lang.TokSlash, L: lit(9), R: lit(2)}); a == nil || a.Const != 4 {
+		t.Errorf("9/2 => %v", a)
+	}
+	if a := mk(&lang.BinaryExpr{Op: lang.TokSlash, L: i, R: lit(2)}); a != nil {
+		t.Errorf("i/2 should be opaque, got %v", a)
+	}
+	if a := mk(&lang.UnaryExpr{Op: '-', X: i}); a == nil || a.Coef(7) != -1 {
+		t.Errorf("-i => %v", a)
+	}
+	if a := mk(&lang.UnaryExpr{Op: '~', X: i}); a != nil {
+		t.Errorf("~i should be opaque, got %v", a)
+	}
+	fl := &lang.FloatLit{V: 1.5}
+	if a := mk(fl); a != nil {
+		t.Errorf("float literal should be opaque, got %v", a)
+	}
+}
+
+func TestPostStepForms(t *testing.T) {
+	lv := &lang.LValue{Name: "i"}
+	iRef := &lang.VarRef{Name: "i"}
+	cases := []struct {
+		post lang.Stmt
+		want int64
+		ok   bool
+	}{
+		{&lang.AssignStmt{Op: '+', Target: lv, Value: &lang.IntLit{V: 2}}, 2, true},
+		{&lang.AssignStmt{Op: '-', Target: lv, Value: &lang.IntLit{V: 3}}, -3, true},
+		{&lang.AssignStmt{Op: '=', Target: lv, Value: &lang.BinaryExpr{
+			Op: lang.TokPlus, L: iRef, R: &lang.IntLit{V: 1}}}, 1, true},
+		{&lang.AssignStmt{Op: '=', Target: lv, Value: &lang.BinaryExpr{
+			Op: lang.TokMinus, L: iRef, R: &lang.IntLit{V: 4}}}, -4, true},
+		{&lang.AssignStmt{Op: '=', Target: lv, Value: &lang.BinaryExpr{
+			Op: lang.TokPlus, L: iRef, R: &lang.UnaryExpr{Op: '-', X: &lang.IntLit{V: 2}}}}, -2, true},
+		{&lang.AssignStmt{Op: '=', Target: lv, Value: &lang.BinaryExpr{
+			Op: lang.TokStar, L: iRef, R: &lang.IntLit{V: 2}}}, 0, false}, // i = i*2
+		{&lang.AssignStmt{Op: '=', Target: &lang.LValue{Name: "j"},
+			Value: &lang.IntLit{V: 1}}, 0, false}, // wrong variable
+		{&lang.PrintStmt{Value: &lang.IntLit{V: 0}}, 0, false}, // not an assignment
+	}
+	for k, c := range cases {
+		got, ok := postStep(c.post, "i")
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("case %d: got (%d,%v), want (%d,%v)", k, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBoundsWidening(t *testing.T) {
+	// Downward loop: for (i = 9; i > 2; i -= 2): values 9,7,5,3; exit 1.
+	refs := refsOf(t, `
+int a[64];
+void main() {
+	for (int i = 9; i > 2; i = i - 2) { a[i] = 1; }
+}`, "main")
+	if len(refs) != 1 || len(refs[0].Loops) != 1 {
+		t.Fatalf("refs %v", refs)
+	}
+	l := refs[0].Loops[0]
+	if !l.BoundsKnown || l.Lo != 1 || l.Hi != 9 || l.Step != -2 {
+		t.Fatalf("downward loop bounds %+v, want [1,9] step -2", l)
+	}
+}

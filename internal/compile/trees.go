@@ -1,0 +1,230 @@
+package compile
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+)
+
+// guardState is a path condition during if-conversion: commit iff the
+// register is nonzero (or zero when neg). reg == NoReg means "always".
+type guardState struct {
+	reg ir.Reg
+	neg bool
+}
+
+var alwaysGuard = guardState{reg: ir.NoReg}
+
+// treeBuilder converts the lblock CFG of one function into decision trees.
+type treeBuilder struct {
+	fn       *ir.Function
+	blocks   []*lblock
+	reach    []bool
+	preds    []int
+	backTgt  []bool
+	isRoot   []bool
+	treeOf   []int // lblock id -> tree index
+	notCache map[ir.Reg]ir.Reg
+	cur      *ir.Tree
+}
+
+// buildTrees partitions the CFG into decision trees and if-converts each.
+func buildTrees(fn *ir.Function, blocks []*lblock) error {
+	tb := &treeBuilder{fn: fn, blocks: blocks}
+	tb.analyze()
+
+	// Create one tree per root, in block order, so the entry tree is 0.
+	tb.treeOf = make([]int, len(blocks))
+	for i := range tb.treeOf {
+		tb.treeOf[i] = -1
+	}
+	var roots []int
+	for id, b := range blocks {
+		if tb.reach[id] && tb.isRoot[id] {
+			t := &ir.Tree{ID: len(fn.Trees), Fn: fn, Name: fmt.Sprintf("%s.b%d", fn.Name, b.id)}
+			t.NewBlock(-1, ir.NoReg, false) // root block 0
+			fn.Trees = append(fn.Trees, t)
+			tb.treeOf[id] = t.ID
+			roots = append(roots, id)
+		}
+	}
+	fn.Entry = tb.treeOf[0]
+
+	// Assign non-root reachable blocks to the tree of their unique pred by
+	// flood fill from the roots.
+	assignTree := func(root int) {
+		stack := []int{root}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range tb.succs(id) {
+				if !tb.reach[s] || tb.isRoot[s] || tb.treeOf[s] >= 0 {
+					continue
+				}
+				tb.treeOf[s] = tb.treeOf[id]
+				stack = append(stack, s)
+			}
+		}
+	}
+	for _, r := range roots {
+		assignTree(r)
+	}
+
+	// If-convert each tree.
+	for _, r := range roots {
+		tb.cur = fn.Trees[tb.treeOf[r]]
+		tb.notCache = map[ir.Reg]ir.Reg{}
+		if err := tb.emitBlock(r, 0, alwaysGuard); err != nil {
+			return err
+		}
+		tb.cur.Renumber()
+	}
+	return nil
+}
+
+func (tb *treeBuilder) succs(id int) []int {
+	b := tb.blocks[id]
+	switch b.kind {
+	case termCond:
+		return []int{b.succTrue, b.succFalse}
+	case termJump, termCall:
+		return []int{b.succ}
+	}
+	return nil
+}
+
+// analyze computes reachability, predecessor counts, and back-edge targets.
+func (tb *treeBuilder) analyze() {
+	n := len(tb.blocks)
+	tb.reach = make([]bool, n)
+	tb.preds = make([]int, n)
+	tb.backTgt = make([]bool, n)
+	tb.isRoot = make([]bool, n)
+
+	onStack := make([]bool, n)
+	var dfs func(int)
+	dfs = func(id int) {
+		tb.reach[id] = true
+		onStack[id] = true
+		for _, s := range tb.succs(id) {
+			tb.preds[s]++
+			if onStack[s] {
+				tb.backTgt[s] = true
+				continue
+			}
+			if !tb.reach[s] {
+				dfs(s)
+			}
+		}
+		onStack[id] = false
+	}
+	dfs(0)
+
+	for id, b := range tb.blocks {
+		if !tb.reach[id] {
+			continue
+		}
+		if id == 0 || tb.preds[id] > 1 || tb.backTgt[id] {
+			tb.isRoot[id] = true
+		}
+		if b.kind == termCall && tb.reach[b.succ] {
+			tb.isRoot[b.succ] = true // call continuations start new trees
+		}
+	}
+}
+
+// matNot materializes the negation of a boolean register.
+func (tb *treeBuilder) matNot(r ir.Reg) ir.Reg {
+	if n, ok := tb.notCache[r]; ok {
+		return n
+	}
+	d := tb.fn.NewReg()
+	op := tb.cur.NewOp(ir.OpBNot, []ir.Reg{r}, d)
+	op.Block = 0 // pure guard computation; root placement is conservative
+	tb.notCache[r] = d
+	return d
+}
+
+// combine derives the child guards of a conditional split under a parent
+// guard, emitting boolean-logic ops as needed.
+func (tb *treeBuilder) combine(parent guardState, cond ir.Reg, irBlk int) (tGuard, fGuard guardState) {
+	if parent.reg == ir.NoReg {
+		return guardState{reg: cond}, guardState{reg: cond, neg: true}
+	}
+	p := parent.reg
+	if parent.neg {
+		p = tb.matNot(parent.reg)
+	}
+	tr := tb.fn.NewReg()
+	fr := tb.fn.NewReg()
+	to := tb.cur.NewOp(ir.OpBAnd, []ir.Reg{p, cond}, tr)
+	to.Block = irBlk
+	fo := tb.cur.NewOp(ir.OpBAndNot, []ir.Reg{p, cond}, fr)
+	fo.Block = irBlk
+	return guardState{reg: tr}, guardState{reg: fr}
+}
+
+// emitBlock appends lblock id (and, recursively, its in-tree successors)
+// into the current tree under the given guard and ir block.
+func (tb *treeBuilder) emitBlock(id int, irBlk int, g guardState) error {
+	b := tb.blocks[id]
+	for _, op := range b.ops {
+		// Side-effect-free ops into fresh temporaries execute speculatively
+		// (unguarded); stores, prints, and variable-merge writes commit only
+		// under the path condition.
+		if op.Kind.HasSideEffect() || op.VarWrite {
+			op.Guard = g.reg
+			op.GuardNeg = g.neg
+		}
+		op.Block = irBlk
+		tb.cur.Append(op)
+	}
+	switch b.kind {
+	case termJump:
+		s := b.succ
+		if tb.treeOf[s] == tb.cur.ID && !tb.isRoot[s] {
+			return tb.emitBlock(s, irBlk, g)
+		}
+		ex := &ir.Op{Kind: ir.OpExit, Guard: g.reg, GuardNeg: g.neg, Block: irBlk,
+			Dest: ir.NoReg, Exit: ir.ExitGoto, Target: tb.treeOf[s]}
+		tb.cur.Append(ex)
+		return nil
+
+	case termCond:
+		tGuard, fGuard := tb.combine(g, b.cond, irBlk)
+		tBlk := tb.cur.NewBlock(irBlk, tGuard.reg, tGuard.neg)
+		fBlk := tb.cur.NewBlock(irBlk, fGuard.reg, fGuard.neg)
+		if err := tb.emitEdge(b.succTrue, tBlk, tGuard); err != nil {
+			return err
+		}
+		return tb.emitEdge(b.succFalse, fBlk, fGuard)
+
+	case termRet:
+		ex := &ir.Op{Kind: ir.OpExit, Guard: g.reg, GuardNeg: g.neg, Block: irBlk,
+			Dest: ir.NoReg, Exit: ir.ExitRet}
+		if b.retVal != ir.NoReg {
+			ex.Args = []ir.Reg{b.retVal}
+		}
+		tb.cur.Append(ex)
+		return nil
+
+	case termCall:
+		ex := &ir.Op{Kind: ir.OpExit, Guard: g.reg, GuardNeg: g.neg, Block: irBlk,
+			Dest: b.callDest, Exit: ir.ExitCall, Callee: b.callee,
+			CallArg: b.callArgs, Target: tb.treeOf[b.succ]}
+		tb.cur.Append(ex)
+		return nil
+	}
+	return fmt.Errorf("func %s: block %d not terminated", tb.fn.Name, id)
+}
+
+// emitEdge follows one side of a conditional split.
+func (tb *treeBuilder) emitEdge(succ int, irBlk int, g guardState) error {
+	if tb.treeOf[succ] == tb.cur.ID && !tb.isRoot[succ] {
+		return tb.emitBlock(succ, irBlk, g)
+	}
+	ex := &ir.Op{Kind: ir.OpExit, Guard: g.reg, GuardNeg: g.neg, Block: irBlk,
+		Dest: ir.NoReg, Exit: ir.ExitGoto, Target: tb.treeOf[succ]}
+	tb.cur.Append(ex)
+	return nil
+}

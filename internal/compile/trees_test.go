@@ -1,0 +1,259 @@
+package compile_test
+
+import (
+	"testing"
+
+	"specdis/internal/ir"
+)
+
+func treesOf(t *testing.T, src, fn string) []*ir.Tree {
+	t.Helper()
+	p := mustCompile(t, src)
+	return p.Funcs[fn].Trees
+}
+
+func TestStraightLineIsOneTree(t *testing.T) {
+	trees := treesOf(t, `void main() { int x = 1; int y = x + 2; print(y); }`, "main")
+	if len(trees) != 1 {
+		t.Fatalf("straight-line main has %d trees", len(trees))
+	}
+	if got := len(trees[0].Exits()); got != 1 {
+		t.Fatalf("%d exits", got)
+	}
+}
+
+func TestIfElseStaysInOneTreeUntilJoin(t *testing.T) {
+	trees := treesOf(t, `
+void main() {
+	int x = 1;
+	if (x > 0) { x = 2; } else { x = 3; }
+	print(x);
+}`, "main")
+	// Tree 1: cond + both branches (exits to join). Tree 2: join.
+	if len(trees) != 2 {
+		t.Fatalf("if/else produced %d trees, want 2", len(trees))
+	}
+	if len(trees[0].Blocks) < 3 {
+		t.Fatalf("if-converted tree has %d blocks, want >=3", len(trees[0].Blocks))
+	}
+	// Both exits of the first tree go to the join tree.
+	for _, ex := range trees[0].Exits() {
+		if ex.Exit != ir.ExitGoto || ex.Target != 1 {
+			t.Errorf("exit %v does not target the join", ex)
+		}
+	}
+}
+
+func TestCallsSplitTrees(t *testing.T) {
+	trees := treesOf(t, `
+int id(int x) { return x; }
+void main() {
+	int a = id(1);
+	int b = id(2);
+	print(a + b);
+}`, "main")
+	// main: entry tree ending in call, continuation ending in call, final.
+	if len(trees) != 3 {
+		t.Fatalf("two calls produced %d trees, want 3", len(trees))
+	}
+	calls := 0
+	for _, tr := range trees {
+		for _, ex := range tr.Exits() {
+			if ex.Exit == ir.ExitCall {
+				calls++
+				if ex.Callee != "id" {
+					t.Errorf("callee %q", ex.Callee)
+				}
+			}
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("%d call exits", calls)
+	}
+}
+
+func TestNestedLoopsShareNoTrees(t *testing.T) {
+	trees := treesOf(t, `
+int a[64];
+void main() {
+	for (int i = 0; i < 8; i = i + 1) {
+		for (int j = 0; j < 8; j = j + 1) {
+			a[i * 8 + j] = i + j;
+		}
+	}
+	print(a[63]);
+}`, "main")
+	// The inner loop is fully contained in its header tree (self loop); the
+	// outer loop spans several trees, with its back edge arriving from the
+	// post tree, so main needs at least four trees in total.
+	self := 0
+	for _, tr := range trees {
+		for _, ex := range tr.Exits() {
+			if ex.Exit == ir.ExitGoto && ex.Target == tr.ID {
+				self++
+			}
+		}
+	}
+	if self != 1 {
+		t.Fatalf("found %d self-looping trees, want 1 (the inner loop)", self)
+	}
+	if len(trees) < 3 {
+		t.Fatalf("nested loops produced only %d trees", len(trees))
+	}
+	// Some non-header tree must close the outer loop: an exit to an earlier
+	// tree that is not a self loop.
+	back := false
+	for _, tr := range trees {
+		for _, ex := range tr.Exits() {
+			if ex.Exit == ir.ExitGoto && ex.Target < tr.ID {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatal("no backward tree edge for the outer loop")
+	}
+}
+
+func TestDeadCodeAfterReturnIsDropped(t *testing.T) {
+	p := mustCompile(t, `
+int f() {
+	return 1;
+	print(999);
+}
+void main() { print(f()); }`)
+	for _, tr := range p.Funcs["f"].Trees {
+		for _, op := range tr.Ops {
+			if op.Kind == ir.OpPrint {
+				t.Fatal("unreachable print survived")
+			}
+		}
+	}
+	// And semantics confirm.
+	if out := run(t, `
+int f() {
+	return 1;
+	print(999);
+}
+void main() { print(f()); }`); out != "1\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestEarlyReturnsFromBranches(t *testing.T) {
+	out := run(t, `
+int classify(int x) {
+	if (x < 0) { return -1; }
+	if (x == 0) { return 0; }
+	return 1;
+}
+void main() {
+	print(classify(-5));
+	print(classify(0));
+	print(classify(9));
+}`)
+	if out != "-1\n0\n1\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestBreakCreatesJoinTree(t *testing.T) {
+	out := run(t, `
+int a[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+void main() {
+	int found = -1;
+	for (int i = 0; i < 8; i = i + 1) {
+		if (a[i] == 5) { found = i; break; }
+	}
+	print(found);
+}`)
+	if out != "4\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestGuardsPartitionPerTree(t *testing.T) {
+	// For every compiled tree of a branchy function, exactly one exit's
+	// guard must be satisfiable... verified dynamically by the interpreter;
+	// here check the static shape: every exit either unguarded or guarded,
+	// and sibling blocks carry the same guard register with opposite
+	// polarity or complementary band/bandnot pairs.
+	p := mustCompile(t, `
+void main() {
+	int s = 0;
+	for (int i = 0; i < 4; i = i + 1) {
+		if (i % 2 == 0) {
+			if (i > 1) { s = s + 10; } else { s = s + 1; }
+		} else {
+			s = s - 1;
+		}
+	}
+	print(s);
+}`)
+	for _, tr := range p.Funcs["main"].Trees {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.ValidateBlocks(); err != nil {
+			t.Fatal(err)
+		}
+		// Sibling blocks under one parent must have disjoint guards.
+		byParent := map[int][]ir.Block{}
+		for _, b := range tr.Blocks[1:] {
+			byParent[b.Parent] = append(byParent[b.Parent], b)
+		}
+		for parent, kids := range byParent {
+			if len(kids) != 2 {
+				continue
+			}
+			sameReg := kids[0].Guard == kids[1].Guard && kids[0].Neg != kids[1].Neg
+			if kids[0].Guard == ir.NoReg || (!sameReg && kids[0].Guard == kids[1].Guard) {
+				t.Errorf("parent %d: sibling guards not disjoint: %+v", parent, kids)
+			}
+		}
+	}
+}
+
+func TestConstCachePerBlock(t *testing.T) {
+	// The same constant used twice in one block must be materialized once.
+	p := mustCompile(t, `void main() { print(5 + 5); }`)
+	consts := 0
+	for _, tr := range p.Funcs["main"].Trees {
+		for _, op := range tr.Ops {
+			if op.Kind == ir.OpConst && op.Imm.I == 5 {
+				consts++
+			}
+		}
+	}
+	if consts != 1 {
+		t.Fatalf("constant 5 materialized %d times", consts)
+	}
+}
+
+func TestLocalValueForwardingSkipsGuardWait(t *testing.T) {
+	// After `t = a[i]`, a same-block consumer must read the load's
+	// destination temp directly, not the guarded variable register.
+	p := mustCompile(t, `
+int a[8];
+int b[8];
+void main() {
+	for (int i = 0; i < 8; i = i + 1) {
+		int t = a[i];
+		b[i] = t * 2;
+	}
+	print(b[3]);
+}`)
+	for _, tr := range p.Funcs["main"].Trees {
+		var loadDest ir.Reg = ir.NoReg
+		for _, op := range tr.Ops {
+			if op.Kind == ir.OpLoad {
+				loadDest = op.Dest
+			}
+			if op.Kind == ir.OpMul && loadDest != ir.NoReg {
+				if op.Args[0] != loadDest && op.Args[1] != loadDest {
+					t.Errorf("multiply reads %v, not the load temp r%d: %s", op.Args, loadDest, op)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package disamb assembles the four disambiguator pipelines compared in the
+// paper's evaluation (Table 6-4): NAIVE (no disambiguation), STATIC
+// (GCD/Banerjee), SPEC (static followed by speculative disambiguation), and
+// PERFECT (profile-derived removal of every superfluous arc — an optimistic
+// upper bound on static disambiguation).
+package disamb
+
+import (
+	"fmt"
+
+	"specdis/internal/alias"
+	"specdis/internal/compile"
+	"specdis/internal/graft"
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sched"
+	"specdis/internal/sim"
+	"specdis/internal/spd"
+)
+
+// Kind selects a disambiguator pipeline.
+type Kind uint8
+
+// The four disambiguators of Table 6-4.
+const (
+	Naive Kind = iota
+	Static
+	Spec
+	Perfect
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Naive:
+		return "NAIVE"
+	case Static:
+		return "STATIC"
+	case Spec:
+		return "SPEC"
+	case Perfect:
+		return "PERFECT"
+	}
+	return fmt.Sprintf("disamb(%d)", int(k))
+}
+
+// Kinds lists all pipelines in presentation order.
+var Kinds = []Kind{Naive, Static, Spec, Perfect}
+
+// Prepared is a program processed by one disambiguator, ready to schedule
+// and measure.
+type Prepared struct {
+	Kind    Kind
+	MemLat  int
+	Prog    *ir.Program
+	Profile *sim.Profile // profiling run results (Spec and Perfect only)
+	Output  string       // output of the profiling run, for validation
+	SpD     *spd.Result  // Spec only
+	Static  alias.Stats  // Static and Spec only
+	// BaseOps is the operation count before SpD (code-size baseline,
+	// including any grafting).
+	BaseOps int
+	// Grafts counts applied tree grafts (0 unless Options.Graft is set).
+	Grafts int
+}
+
+// Options configure a pipeline beyond the paper's defaults.
+type Options struct {
+	Kind   Kind
+	MemLat int
+	SpD    spd.Params
+	// Graft, when non-nil, enlarges decision trees by tail duplication
+	// before disambiguation (the paper's §7 "grafting" extension), for
+	// GraftRounds rounds (default 1).
+	Graft       *graft.Params
+	GraftRounds int
+}
+
+// Prepare compiles src and applies the selected disambiguator. memLat is the
+// memory latency the SpD heuristic optimizes for (it also parameterizes the
+// profiling run's semantic order; committed results are identical either
+// way).
+func Prepare(src string, kind Kind, memLat int, params spd.Params) (*Prepared, error) {
+	return PrepareOpts(src, Options{Kind: kind, MemLat: memLat, SpD: params})
+}
+
+// PrepareOpts is Prepare with extension options.
+func PrepareOpts(src string, o Options) (*Prepared, error) {
+	kind, memLat := o.Kind, o.MemLat
+	prog, err := compile.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount()}
+	lat := machine.Infinite(memLat).LatencyFunc()
+
+	profileRun := func() error {
+		p.Profile = sim.NewProfile()
+		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile}
+		res, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("%s profiling run: %w", kind, err)
+		}
+		p.Output = res.Output
+		return nil
+	}
+
+	if o.Graft != nil {
+		rounds := o.GraftRounds
+		if rounds <= 0 {
+			rounds = 1
+		}
+		for i := 0; i < rounds; i++ {
+			if err := profileRun(); err != nil {
+				return nil, err
+			}
+			res := graft.Program(prog, p.Profile, *o.Graft)
+			p.Grafts += res.Grafts
+			if res.Grafts == 0 {
+				break
+			}
+			if err := prog.Validate(); err != nil {
+				return nil, fmt.Errorf("grafting broke the program: %w", err)
+			}
+		}
+		// Grafting grows the pre-SpD baseline.
+		p.BaseOps = prog.OpCount()
+	}
+
+	switch kind {
+	case Naive:
+		// Keep every conservative arc.
+
+	case Static:
+		p.Static = alias.ResolveProgram(prog)
+
+	case Perfect:
+		if err := profileRun(); err != nil {
+			return nil, err
+		}
+		removeSuperfluous(prog)
+
+	case Spec:
+		if err := profileRun(); err != nil {
+			return nil, err
+		}
+		p.Static = alias.ResolveProgram(prog)
+		p.SpD = spd.Transform(prog, p.Profile, lat, o.SpD)
+		if err := prog.Validate(); err != nil {
+			return nil, fmt.Errorf("SPEC transform broke the program: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// removeSuperfluous deletes every arc whose endpoints never accessed a
+// common address during profiling (including never-executed pairs): the
+// paper's PERFECT construction, an optimistic bound on any real static
+// disambiguator.
+func removeSuperfluous(prog *ir.Program) {
+	for _, name := range prog.Order {
+		for _, t := range prog.Funcs[name].Trees {
+			kept := t.Arcs[:0]
+			for _, a := range t.Arcs {
+				if a.AliasCount > 0 {
+					kept = append(kept, a)
+				}
+			}
+			t.Arcs = kept
+		}
+	}
+}
+
+// Plans builds pricing plans for each machine model over the prepared
+// program's trees.
+func Plans(p *Prepared, models []machine.Model) []*sim.Plan {
+	plans := make([]*sim.Plan, len(models))
+	for i, m := range models {
+		plan := sim.NewPlan(m.Name)
+		for _, name := range p.Prog.Order {
+			for _, t := range p.Prog.Funcs[name].Trees {
+				plan.SetTree(t, sched.Tree(t, m).Comp)
+			}
+		}
+		plans[i] = plan
+	}
+	return plans
+}
+
+// Measure executes the prepared program once, pricing it under every model.
+// The returned Times slice parallels models.
+func Measure(p *Prepared, models []machine.Model) (*sim.Result, error) {
+	r := &sim.Runner{
+		Prog:   p.Prog,
+		SemLat: machine.Infinite(p.MemLat).LatencyFunc(),
+		Plans:  Plans(p, models),
+	}
+	res, err := r.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s timed run: %w", p.Kind, err)
+	}
+	if p.Output != "" && res.Output != p.Output {
+		return nil, fmt.Errorf("%s output diverged from profiling run", p.Kind)
+	}
+	return res, nil
+}

@@ -1,0 +1,239 @@
+package disamb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"specdis/internal/disamb"
+	"specdis/internal/machine"
+	"specdis/internal/spd"
+)
+
+// equivPrograms are adversarial MiniC programs exercising every transform
+// shape with both alias outcomes. All four pipelines must produce identical
+// output on each, for both memory latencies and several machine widths.
+var equivPrograms = []struct {
+	name string
+	src  string
+}{
+	{"raw_alias_mix", `
+int a[64];
+int touch(int i, int j, int k) {
+	a[i] = k * 3 + 1;
+	int v = a[j];       // RAW-ambiguous with the store above
+	int w = v * v + k;
+	a[j + 1] = w;       // dependent store, must be guarded in copies
+	return w - v;
+}
+void main() {
+	int s = 0;
+	for (int i = 0; i < 32; i = i + 1) {
+		s = s + touch(i % 8, (i * 3) % 8, i);
+	}
+	print(s);
+	for (int i = 0; i < 8; i = i + 1) { print(a[i]); }
+}`},
+
+	{"war_alias_mix", `
+int b[32];
+int waro(int i, int j, int x) {
+	int v = b[j];    // read
+	b[i] = x;        // WAR-ambiguous overwrite
+	return v + b[i];
+}
+void main() {
+	int s = 0;
+	for (int k = 0; k < 24; k = k + 1) {
+		s = s + waro(k % 5, k % 7, k);
+	}
+	print(s);
+}`},
+
+	{"waw_alias_mix", `
+int c[16];
+void waw(int i, int j, int x) {
+	c[i] = x;        // may be overwritten below
+	c[j] = x + 100;  // WAW-ambiguous
+}
+void main() {
+	for (int k = 0; k < 16; k = k + 1) {
+		waw(k % 4, (k * 2) % 4, k);
+	}
+	int s = 0;
+	for (int k = 0; k < 16; k = k + 1) { s = s + c[k]; }
+	print(s);
+}`},
+
+	{"pointer_params", `
+float u[24];
+float v[24];
+float axpy(float x[], float y[], int n, float a) {
+	float s = 0.0;
+	for (int i = 0; i < n; i = i + 1) {
+		y[i] = y[i] + a * x[i];  // x and y may be the same array
+		s = s + y[i];
+	}
+	return s;
+}
+void main() {
+	for (int i = 0; i < 24; i = i + 1) {
+		u[i] = float(i) * 0.25;
+		v[i] = float(24 - i);
+	}
+	print(axpy(u, v, 24, 0.5));   // distinct arrays
+	print(axpy(u, u, 24, 0.5));   // aliased arrays
+}`},
+
+	{"index_array", `
+int idx[16];
+int data[16];
+void main() {
+	for (int i = 0; i < 16; i = i + 1) {
+		idx[i] = (i * 7) % 16;
+		data[i] = i;
+	}
+	int s = 0;
+	for (int i = 0; i < 16; i = i + 1) {
+		data[idx[i]] = data[idx[i]] + i;  // address loaded from memory
+		s = s + data[i];
+	}
+	print(s);
+}`},
+
+	{"loop_carried_accum", `
+float m[40];
+void main() {
+	for (int i = 0; i < 40; i = i + 1) { m[i] = float(i) * 0.5; }
+	float acc = 0.0;
+	for (int i = 0; i < 39; i = i + 1) {
+		m[i + 1] = m[i + 1] + m[i] * 0.25;  // genuine cross-iteration flow
+		acc = acc + m[i];
+	}
+	print(acc);
+	print(m[39]);
+}`},
+
+	{"branchy_guarded_stores", `
+int h[32];
+void main() {
+	for (int i = 0; i < 32; i = i + 1) { h[i] = 0; }
+	for (int i = 0; i < 64; i = i + 1) {
+		int k = (i * 13) % 32;
+		if (k % 3 == 0) {
+			h[k] = h[k] + i;
+		} else {
+			if (k % 3 == 1) { h[k / 2] = h[k] - i; }
+		}
+	}
+	int s = 0;
+	for (int i = 0; i < 32; i = i + 1) { s = s + h[i] * (i + 1); }
+	print(s);
+}`},
+
+	{"recursion_with_memory", `
+int st[64];
+int walk(int n, int d) {
+	if (n <= 1) { return d; }
+	st[d] = n;
+	int r = walk(n - 1, d + 1) + st[d];  // store/load across a call boundary
+	st[d] = r % 1000;
+	return r % 997;
+}
+void main() {
+	print(walk(20, 0));
+	int s = 0;
+	for (int i = 0; i < 20; i = i + 1) { s = s + st[i]; }
+	print(s);
+}`},
+}
+
+var equivModels = []machine.Model{
+	machine.Infinite(2),
+	machine.New(1, 2),
+	machine.New(2, 2),
+	machine.New(5, 2),
+	machine.New(8, 6),
+	machine.New(3, 6),
+}
+
+func TestPipelinesProduceIdenticalOutput(t *testing.T) {
+	for _, tc := range equivPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, memLat := range []int{2, 6} {
+				var ref string
+				for _, kind := range disamb.Kinds {
+					p, err := disamb.Prepare(tc.src, kind, memLat, spd.DefaultParams())
+					if err != nil {
+						t.Fatalf("%s m%d prepare: %v", kind, memLat, err)
+					}
+					res, err := disamb.Measure(p, equivModels)
+					if err != nil {
+						t.Fatalf("%s m%d measure: %v", kind, memLat, err)
+					}
+					if ref == "" {
+						ref = res.Output
+					} else if res.Output != ref {
+						t.Fatalf("%s m%d output diverged:\n got %q\nwant %q", kind, memLat, res.Output, ref)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpdNeverSlowerOnInfiniteMachine checks the paper's §4.3 claim: with
+// unlimited resources SpD never lengthens the program.
+func TestSpdNeverSlowerOnInfiniteMachine(t *testing.T) {
+	for _, tc := range equivPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, memLat := range []int{2, 6} {
+				inf := []machine.Model{machine.Infinite(memLat)}
+				st, err := disamb.Prepare(tc.src, disamb.Static, memLat, spd.DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				stRes, err := disamb.Measure(st, inf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sp, err := disamb.Prepare(tc.src, disamb.Spec, memLat, spd.DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				spRes, err := disamb.Measure(sp, inf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// §5.3: the address comparison may itself land on the
+				// critical path, so allow a small overhead margin.
+				if float64(spRes.Times[0]) > float64(stRes.Times[0])*1.02 {
+					t.Errorf("memLat %d: SPEC (%d cycles) slower than STATIC (%d) on infinite machine",
+						memLat, spRes.Times[0], stRes.Times[0])
+				}
+			}
+		})
+	}
+}
+
+// TestSpdAppliesSomewhere keeps the suite honest: at least one program must
+// actually trigger the transform.
+func TestSpdAppliesSomewhere(t *testing.T) {
+	total := 0
+	for _, tc := range equivPrograms {
+		p, err := disamb.Prepare(tc.src, disamb.Spec, 6, spd.DefaultParams())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if p.SpD != nil {
+			total += len(p.SpD.Apps)
+			if len(p.SpD.Apps) > 0 {
+				t.Logf("%s: %d applications (RAW %d, WAR %d, WAW %d, +%d ops)",
+					tc.name, len(p.SpD.Apps), p.SpD.RAW, p.SpD.WAR, p.SpD.WAW, p.SpD.AddedOps)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("SpD never applied on any equivalence program")
+	}
+	fmt.Println("total SpD applications:", total)
+}

@@ -1,0 +1,158 @@
+package disamb_test
+
+import (
+	"testing"
+
+	"specdis/internal/alias"
+	"specdis/internal/compile"
+	"specdis/internal/disamb"
+	"specdis/internal/graft"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+	"specdis/internal/spd"
+)
+
+// floatProg wraps the integer generator's skeleton with floating-point
+// traffic: a float array updated through ambiguous parameter accesses.
+func floatProg(seed int64) string {
+	g := newProgGen(seed)
+	intPart := g.generate()
+	// Splice a float kernel in front of main's digest: reuse main's arrays
+	// for indices, compute through a float array.
+	return `
+float fv[16];
+void fkernel(float x[], int i, int j) {
+	x[i] = x[j] * 1.5 + 0.25;
+	x[(i + j) % 16] += x[i] - x[j];
+}
+` + intPart + `
+void extra() {
+	for (int k = 0; k < 16; k = k + 1) { fv[k] = float(k) * 0.5; }
+	for (int k = 0; k < 24; k = k + 1) {
+		fkernel(fv, (k * 7) % 16, (a0[k % 16] % 16 + 16) % 16);
+	}
+	float fs = 0.0;
+	for (int k = 0; k < 16; k = k + 1) { fs = fs + fv[k]; }
+	print(fs);
+}
+`
+}
+
+// TestFloatProgramsAgreeAcrossPipelines extends the differential fuzz to
+// floating-point dataflow (the NRC benchmarks' domain). The extra function
+// must be reachable, so the generated main is patched to call it.
+func TestFloatProgramsAgreeAcrossPipelines(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 5
+	}
+	models := []machine.Model{machine.Infinite(6), machine.New(3, 2)}
+	params := spd.DefaultParams()
+	params.MinGain = 0.01
+	for seed := int64(100); seed < int64(100+n); seed++ {
+		src := floatProg(seed)
+		// Call extra() at the start of main.
+		src = replaceOnce(src, "void main() {\n", "void main() {\n\textra();\n")
+		var ref string
+		for _, kind := range disamb.Kinds {
+			p, err := disamb.Prepare(src, kind, 6, params)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, kind, err, src)
+			}
+			res, err := disamb.Measure(p, models)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, kind, err)
+			}
+			if ref == "" {
+				ref = res.Output
+			} else if res.Output != ref {
+				t.Fatalf("seed %d: %s diverged\n%s", seed, kind, src)
+			}
+		}
+	}
+}
+
+func replaceOnce(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	panic("pattern not found: " + old)
+}
+
+// TestGraftedPipelinesAgree fuzzes the grafting extension: grafted SPEC must
+// agree with plain NAIVE on random programs.
+func TestGraftedPipelinesAgree(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 5
+	}
+	gp := graft.DefaultParams()
+	models := []machine.Model{machine.New(4, 2)}
+	params := spd.DefaultParams()
+	params.MinGain = 0.01
+	for seed := int64(1); seed <= int64(n); seed++ {
+		src := newProgGen(seed).generate()
+		base, err := disamb.Prepare(src, disamb.Naive, 2, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := disamb.Measure(base, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grafted, err := disamb.PrepareOpts(src, disamb.Options{
+			Kind: disamb.Spec, MemLat: 2, SpD: params,
+			Graft: &gp, GraftRounds: 3,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		rg, err := disamb.Measure(grafted, models)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if rb.Output != rg.Output {
+			t.Fatalf("seed %d: grafted SPEC diverged from NAIVE\n%s", seed, src)
+		}
+	}
+}
+
+// TestCombinedPipelineAgrees fuzzes §7 combined speculation against the
+// untransformed program.
+func TestCombinedPipelineAgrees(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 5
+	}
+	lat := machine.Infinite(2).LatencyFunc()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		src := newProgGen(seed).generate()
+		prog, err := compile.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := sim.NewProfile()
+		r0 := &sim.Runner{Prog: prog, SemLat: lat, Prof: prof}
+		before, err := r0.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		alias.ResolveProgram(prog)
+		params := spd.DefaultParams()
+		params.MaxAliasProb = 0.9 // stress even likely-aliasing groups
+		spd.TransformCombined(prog, prof, params)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r1 := &sim.Runner{Prog: prog, SemLat: lat}
+		after, err := r1.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if before.Output != after.Output {
+			t.Fatalf("seed %d: combined speculation diverged\n%s", seed, src)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package disamb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"specdis/internal/disamb"
+	"specdis/internal/machine"
+	"specdis/internal/spd"
+)
+
+// progGen generates random MiniC programs that hammer the memory system:
+// global arrays, array parameters, data-dependent subscripts, guarded
+// stores, loops, and helper calls. Every generated program is deterministic
+// and terminates, so all four disambiguator pipelines must produce identical
+// output under every machine model.
+type progGen struct {
+	r       *rand.Rand
+	sb      strings.Builder
+	vars    []string // int scalars readable in scope (includes loop vars)
+	mutable []string // int scalars that may be reassigned (loop vars excluded)
+	deep    int
+	nameSeq int // monotonic counter: generated names never collide
+}
+
+const (
+	genArrays  = 3  // a0, a1, a2
+	genArrSize = 16 // words each
+)
+
+func newProgGen(seed int64) *progGen {
+	return &progGen{r: rand.New(rand.NewSource(seed))}
+}
+
+func (g *progGen) pf(format string, args ...interface{}) {
+	fmt.Fprintf(&g.sb, format, args...)
+}
+
+func (g *progGen) arr() string { return fmt.Sprintf("a%d", g.r.Intn(genArrays)) }
+
+// idx yields an always-in-bounds index expression.
+func (g *progGen) idx() string {
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", g.r.Intn(genArrSize))
+	case 1:
+		return fmt.Sprintf("(%s %% %d + %d) %% %d", g.intExpr(1), genArrSize, genArrSize, genArrSize)
+	case 2:
+		return fmt.Sprintf("(%s[%d] %% %d + %d) %% %d", g.arr(), g.r.Intn(genArrSize), genArrSize, genArrSize, genArrSize)
+	default:
+		if len(g.vars) > 0 {
+			v := g.vars[g.r.Intn(len(g.vars))]
+			return fmt.Sprintf("(%s %% %d + %d) %% %d", v, genArrSize, genArrSize, genArrSize)
+		}
+		return fmt.Sprintf("%d", g.r.Intn(genArrSize))
+	}
+}
+
+// intExpr yields an integer expression of bounded depth.
+func (g *progGen) intExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(19)-9)
+		case 1:
+			if len(g.vars) > 0 {
+				return g.vars[g.r.Intn(len(g.vars))]
+			}
+			return "3"
+		default:
+			return fmt.Sprintf("%s[%s]", g.arr(), g.idx())
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	op := ops[g.r.Intn(len(ops))]
+	return fmt.Sprintf("(%s %s %s)", g.intExpr(depth-1), op, g.intExpr(depth-1))
+}
+
+func (g *progGen) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.intExpr(1), ops[g.r.Intn(len(ops))], g.intExpr(1))
+}
+
+func (g *progGen) stmt(indent string) {
+	if g.deep > 3 {
+		g.pf("%s%s[%s] = %s;\n", indent, g.arr(), g.idx(), g.intExpr(1))
+		return
+	}
+	switch g.r.Intn(8) {
+	case 0, 1: // array store
+		g.pf("%s%s[%s] = %s;\n", indent, g.arr(), g.idx(), g.intExpr(2))
+	case 2: // compound array update
+		g.pf("%s%s[%s] += %s;\n", indent, g.arr(), g.idx(), g.intExpr(1))
+	case 3: // scalar update (never a live loop variable: loops must end)
+		if len(g.mutable) > 0 {
+			v := g.mutable[g.r.Intn(len(g.mutable))]
+			g.pf("%s%s = %s;\n", indent, v, g.intExpr(2))
+		} else {
+			g.pf("%s%s[%s] = 1;\n", indent, g.arr(), g.idx())
+		}
+	case 4: // if
+		g.deep++
+		g.pf("%sif (%s) {\n", indent, g.cond())
+		g.stmt(indent + "\t")
+		if g.r.Intn(2) == 0 {
+			g.pf("%s} else {\n", indent)
+			g.stmt(indent + "\t")
+		}
+		g.pf("%s}\n", indent)
+		g.deep--
+	case 5: // bounded for loop
+		g.deep++
+		g.nameSeq++
+		v := fmt.Sprintf("i%d", g.nameSeq)
+		g.pf("%sfor (int %s = 0; %s < %d; %s = %s + 1) {\n",
+			indent, v, v, 2+g.r.Intn(6), v, v)
+		g.vars = append(g.vars, v)
+		g.stmt(indent + "\t")
+		g.vars = g.vars[:len(g.vars)-1]
+		g.pf("%s}\n", indent)
+		g.deep--
+	case 6: // helper call (store + load through parameters)
+		g.pf("%shelp(%s, %s, %s, %s);\n", indent, g.arr(), g.arr(), g.idx(), g.idx())
+	default: // fresh scalar
+		g.nameSeq++
+		v := fmt.Sprintf("t%d", g.nameSeq)
+		g.pf("%sint %s = %s;\n", indent, v, g.intExpr(2))
+		g.vars = append(g.vars, v)
+		g.mutable = append(g.mutable, v)
+		g.stmt(indent)
+		g.vars = g.vars[:len(g.vars)-1]
+		g.mutable = g.mutable[:len(g.mutable)-1]
+	}
+}
+
+func (g *progGen) generate() string {
+	for i := 0; i < genArrays; i++ {
+		g.pf("int a%d[%d];\n", i, genArrSize)
+	}
+	g.pf(`
+void help(int x[], int y[], int i, int j) {
+	x[i] = y[j] + 1;
+	y[(i + j) %% %d] += x[(j * 3 + 1) %% %d];
+}
+`, genArrSize, genArrSize)
+	g.pf("void main() {\n")
+	// Seed the arrays deterministically.
+	g.pf("\tfor (int k = 0; k < %d; k = k + 1) {\n", genArrSize)
+	for i := 0; i < genArrays; i++ {
+		g.pf("\t\ta%d[k] = k * %d + %d;\n", i, i+2, i)
+	}
+	g.pf("\t}\n")
+	n := 4 + g.r.Intn(10)
+	for i := 0; i < n; i++ {
+		g.stmt("\t")
+	}
+	// Print a digest of all memory.
+	g.pf("\tint sum = 0;\n")
+	g.pf("\tfor (int k = 0; k < %d; k = k + 1) {\n", genArrSize)
+	for i := 0; i < genArrays; i++ {
+		g.pf("\t\tsum = (sum * 31 + a%d[k]) %% 1000003;\n", i)
+	}
+	g.pf("\t}\n\tprint(sum);\n}\n")
+	return g.sb.String()
+}
+
+// TestRandomProgramsAgreeAcrossPipelines is the differential fuzzer: for
+// many random programs, NAIVE / STATIC / SPEC / PERFECT must print the same
+// digest under several machine configurations, with an eager SpD
+// configuration (MinGain 0) to maximize transformation coverage.
+func TestRandomProgramsAgreeAcrossPipelines(t *testing.T) {
+	seeds := make([]int64, 0, 80)
+	for s := int64(1); s <= 60; s++ {
+		seeds = append(seeds, s)
+	}
+	// The 1340..1360 band contains seed 1351, which exposed the
+	// disjoint-path remapping bug in the duplication transform.
+	for s := int64(1340); s <= 1360; s++ {
+		seeds = append(seeds, s)
+	}
+	if testing.Short() {
+		seeds = append(seeds[:10], 1351)
+	}
+	models := []machine.Model{machine.Infinite(2), machine.New(2, 6), machine.New(6, 2)}
+	params := spd.DefaultParams()
+	params.MinGain = 0.01 // transform aggressively to stress the machinery
+	for _, seed := range seeds {
+		src := newProgGen(seed).generate()
+		var ref string
+		var spdApps int
+		for _, kind := range disamb.Kinds {
+			p, err := disamb.Prepare(src, kind, 2, params)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, kind, err, src)
+			}
+			res, err := disamb.Measure(p, models)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, kind, err, src)
+			}
+			if p.SpD != nil {
+				spdApps += len(p.SpD.Apps)
+			}
+			if ref == "" {
+				ref = res.Output
+			} else if res.Output != ref {
+				t.Fatalf("seed %d: %s output %q, want %q\n%s", seed, kind, res.Output, ref, src)
+			}
+		}
+		_ = spdApps
+	}
+}
+
+// TestFuzzerActuallyTriggersSpD keeps the fuzzer honest: across the seeds,
+// the SPEC pipeline must transform a healthy number of arcs.
+func TestFuzzerActuallyTriggersSpD(t *testing.T) {
+	params := spd.DefaultParams()
+	params.MinGain = 0.01
+	total := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		src := newProgGen(seed).generate()
+		p, err := disamb.Prepare(src, disamb.Spec, 6, params)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		total += len(p.SpD.Apps)
+	}
+	if total < 10 {
+		t.Fatalf("fuzzer exercised SpD only %d times across 20 seeds", total)
+	}
+}

@@ -1,0 +1,268 @@
+// Package exper regenerates every table and figure of the paper's evaluation
+// (§6): Table 6-3 (SpD application frequency by dependence type), Figure 6-2
+// (speedup of STATIC / SPEC / PERFECT over NAIVE on a 5-FU machine),
+// Figure 6-3 (speedup of SPEC over STATIC as a function of machine width),
+// and Figure 6-4 (code-size increase due to SpD).
+//
+// A Runner caches prepared programs and measurements so the experiments can
+// share work: one timed simulation prices a program under the infinite
+// machine and all eight widths at once.
+package exper
+
+import (
+	"fmt"
+	"sync"
+
+	"specdis/internal/bench"
+	"specdis/internal/disamb"
+	"specdis/internal/machine"
+	"specdis/internal/spd"
+)
+
+// MaxWidth is the widest machine evaluated (the paper sweeps 1–8 FUs).
+const MaxWidth = 8
+
+// MemLats are the two memory latencies of Table 6-1.
+var MemLats = []int{2, 6}
+
+// Runner executes and caches experiment building blocks.
+type Runner struct {
+	Params     spd.Params
+	Benchmarks []*bench.Benchmark
+
+	mu       sync.Mutex
+	prepared map[prepKey]*disamb.Prepared
+	measured map[prepKey]*Measurement
+}
+
+type prepKey struct {
+	bench  string
+	kind   disamb.Kind
+	memLat int
+}
+
+// Measurement is one program's cycle counts: Inf for the infinite machine
+// and ByWidth[w-1] for w functional units.
+type Measurement struct {
+	Inf     int64
+	ByWidth [MaxWidth]int64
+}
+
+// New returns a Runner over the full suite with default SpD parameters.
+func New() *Runner {
+	return &Runner{
+		Params:     spd.DefaultParams(),
+		Benchmarks: bench.All(),
+		prepared:   map[prepKey]*disamb.Prepared{},
+		measured:   map[prepKey]*Measurement{},
+	}
+}
+
+// Prepared returns (building and caching) the program for one pipeline.
+func (r *Runner) Prepared(b *bench.Benchmark, kind disamb.Kind, memLat int) (*disamb.Prepared, error) {
+	key := prepKey{b.Name, kind, memLat}
+	r.mu.Lock()
+	p, ok := r.prepared[key]
+	r.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := disamb.Prepare(b.Source, kind, memLat, r.Params)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, memLat, err)
+	}
+	r.mu.Lock()
+	r.prepared[key] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+// Measure returns (running and caching) the cycle counts for one pipeline
+// under the infinite machine and every width at the given memory latency.
+func (r *Runner) Measure(b *bench.Benchmark, kind disamb.Kind, memLat int) (*Measurement, error) {
+	key := prepKey{b.Name, kind, memLat}
+	r.mu.Lock()
+	m, ok := r.measured[key]
+	r.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	p, err := r.Prepared(b, kind, memLat)
+	if err != nil {
+		return nil, err
+	}
+	models := make([]machine.Model, 0, MaxWidth+1)
+	models = append(models, machine.Infinite(memLat))
+	for w := 1; w <= MaxWidth; w++ {
+		models = append(models, machine.New(w, memLat))
+	}
+	res, err := disamb.Measure(p, models)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, memLat, err)
+	}
+	m = &Measurement{Inf: res.Times[0]}
+	copy(m.ByWidth[:], res.Times[1:])
+	r.mu.Lock()
+	r.measured[key] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// speedup returns base/x − 1 (the paper's bar heights).
+func speedup(base, x int64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return float64(base)/float64(x) - 1
+}
+
+// ---- Table 6-3 ----------------------------------------------------------
+
+// Table63Row is one benchmark's SpD application counts by dependence type
+// for the two memory-latency models.
+type Table63Row struct {
+	Program          string
+	RAW2, WAR2, WAW2 int
+	RAW6, WAR6, WAW6 int
+}
+
+// Table63 reproduces Table 6-3.
+func (r *Runner) Table63() ([]Table63Row, error) {
+	var rows []Table63Row
+	var total Table63Row
+	total.Program = "TOTAL"
+	for _, b := range r.Benchmarks {
+		row := Table63Row{Program: b.Name}
+		for _, memLat := range MemLats {
+			p, err := r.Prepared(b, disamb.Spec, memLat)
+			if err != nil {
+				return nil, err
+			}
+			if memLat == 2 {
+				row.RAW2, row.WAR2, row.WAW2 = p.SpD.RAW, p.SpD.WAR, p.SpD.WAW
+			} else {
+				row.RAW6, row.WAR6, row.WAW6 = p.SpD.RAW, p.SpD.WAR, p.SpD.WAW
+			}
+		}
+		total.RAW2 += row.RAW2
+		total.WAR2 += row.WAR2
+		total.WAW2 += row.WAW2
+		total.RAW6 += row.RAW6
+		total.WAR6 += row.WAR6
+		total.WAW6 += row.WAW6
+		rows = append(rows, row)
+	}
+	rows = append(rows, total)
+	return rows, nil
+}
+
+// ---- Figure 6-2 ----------------------------------------------------------
+
+// Fig62Row is one benchmark's speedups over NAIVE on the 5-FU machine.
+type Fig62Row struct {
+	Program string
+	MemLat  int
+	Static  float64
+	Spec    float64
+	Perfect float64
+}
+
+// Fig62Width is the machine width used by Figure 6-2.
+const Fig62Width = 5
+
+// Figure62 reproduces Figure 6-2 for both memory latencies.
+func (r *Runner) Figure62() ([]Fig62Row, error) {
+	var rows []Fig62Row
+	for _, memLat := range MemLats {
+		for _, b := range r.Benchmarks {
+			naive, err := r.Measure(b, disamb.Naive, memLat)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig62Row{Program: b.Name, MemLat: memLat}
+			base := naive.ByWidth[Fig62Width-1]
+			for _, kp := range []struct {
+				kind disamb.Kind
+				out  *float64
+			}{
+				{disamb.Static, &row.Static},
+				{disamb.Spec, &row.Spec},
+				{disamb.Perfect, &row.Perfect},
+			} {
+				m, err := r.Measure(b, kp.kind, memLat)
+				if err != nil {
+					return nil, err
+				}
+				*kp.out = speedup(base, m.ByWidth[Fig62Width-1])
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ---- Figure 6-3 ----------------------------------------------------------
+
+// Fig63Row is one NRC benchmark's SPEC-over-STATIC speedup per machine
+// width, at one memory latency.
+type Fig63Row struct {
+	Program string
+	MemLat  int
+	Speedup [MaxWidth]float64 // index w-1 = width w
+}
+
+// Figure63 reproduces Figure 6-3 (NRC benchmarks only, per the paper).
+func (r *Runner) Figure63() ([]Fig63Row, error) {
+	var rows []Fig63Row
+	for _, memLat := range MemLats {
+		for _, b := range bench.NRC() {
+			st, err := r.Measure(b, disamb.Static, memLat)
+			if err != nil {
+				return nil, err
+			}
+			sp, err := r.Measure(b, disamb.Spec, memLat)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig63Row{Program: b.Name, MemLat: memLat}
+			for w := 0; w < MaxWidth; w++ {
+				row.Speedup[w] = speedup(st.ByWidth[w], sp.ByWidth[w])
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// ---- Figure 6-4 ----------------------------------------------------------
+
+// Fig64Row is one benchmark's code-size increase due to SpD, measured in
+// operations (not VLIW instructions), for the 2-cycle memory model.
+type Fig64Row struct {
+	Program     string
+	BeforeOps   int
+	AfterOps    int
+	IncreasePct float64
+}
+
+// Figure64 reproduces Figure 6-4.
+func (r *Runner) Figure64() ([]Fig64Row, error) {
+	var rows []Fig64Row
+	for _, b := range r.Benchmarks {
+		p, err := r.Prepared(b, disamb.Spec, 2)
+		if err != nil {
+			return nil, err
+		}
+		after := p.Prog.OpCount()
+		row := Fig64Row{
+			Program:   b.Name,
+			BeforeOps: p.BaseOps,
+			AfterOps:  after,
+		}
+		if p.BaseOps > 0 {
+			row.IncreasePct = 100 * float64(after-p.BaseOps) / float64(p.BaseOps)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

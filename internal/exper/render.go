@@ -1,0 +1,89 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"specdis/internal/bench"
+	"specdis/internal/machine"
+)
+
+// RenderTable62 prints the benchmark listing (Table 6-2).
+func RenderTable62(w io.Writer, benches []*bench.Benchmark) {
+	fmt.Fprintf(w, "Table 6-2: Benchmark Descriptions\n")
+	fmt.Fprintf(w, "%-10s %-9s %6s  %s\n", "Benchmark", "Suite", "Lines", "Description")
+	for _, b := range benches {
+		fmt.Fprintf(w, "%-10s %-9s %6d  %s\n", b.Name, b.Suite, b.Lines(), b.Desc)
+	}
+}
+
+// RenderTable61 prints the latency table (Table 6-1).
+func RenderTable61(w io.Writer) {
+	fmt.Fprintf(w, "Table 6-1: Operation latencies (memory latency 2 or 6)\n")
+	fmt.Fprint(w, machine.Describe(2))
+}
+
+// RenderTable63 prints Table 6-3.
+func RenderTable63(w io.Writer, rows []Table63Row) {
+	fmt.Fprintf(w, "Table 6-3: Frequency of SpD application by dependence type\n")
+	fmt.Fprintf(w, "%-10s | %-17s | %-17s\n", "", "2 Cycle Memory", "6 Cycle Memory")
+	fmt.Fprintf(w, "%-10s | %5s %5s %5s | %5s %5s %5s\n",
+		"Program", "RAW", "WAR", "WAW", "RAW", "WAR", "WAW")
+	fmt.Fprintln(w, strings.Repeat("-", 50))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s | %5d %5d %5d | %5d %5d %5d\n",
+			r.Program, r.RAW2, r.WAR2, r.WAW2, r.RAW6, r.WAR6, r.WAW6)
+	}
+}
+
+// RenderFigure62 prints Figure 6-2 as a table of speedups over NAIVE.
+func RenderFigure62(w io.Writer, rows []Fig62Row) {
+	fmt.Fprintf(w, "Figure 6-2: Speedup over the NAIVE disambiguator, %d-FU machine\n", Fig62Width)
+	fmt.Fprintf(w, "(speedup = cycles(NAIVE)/cycles(X) - 1)\n")
+	for _, memLat := range MemLats {
+		fmt.Fprintf(w, "\n%d Cycle Memory Latency\n", memLat)
+		fmt.Fprintf(w, "%-10s %8s %8s %8s\n", "Program", "STATIC", "SPEC", "PERFECT")
+		for _, r := range rows {
+			if r.MemLat != memLat {
+				continue
+			}
+			fmt.Fprintf(w, "%-10s %7.1f%% %7.1f%% %7.1f%%\n",
+				r.Program, 100*r.Static, 100*r.Spec, 100*r.Perfect)
+		}
+	}
+}
+
+// RenderFigure63 prints Figure 6-3: SPEC over STATIC vs machine width.
+func RenderFigure63(w io.Writer, rows []Fig63Row) {
+	fmt.Fprintf(w, "Figure 6-3: Speedup of SPEC over STATIC (NRC benchmarks)\n")
+	for _, memLat := range MemLats {
+		fmt.Fprintf(w, "\n%d Cycle Memory Latency (speedup %% per machine width)\n", memLat)
+		fmt.Fprintf(w, "%-10s", "Program")
+		for wd := 1; wd <= MaxWidth; wd++ {
+			fmt.Fprintf(w, " %6dFU", wd)
+		}
+		fmt.Fprintln(w)
+		for _, r := range rows {
+			if r.MemLat != memLat {
+				continue
+			}
+			fmt.Fprintf(w, "%-10s", r.Program)
+			for _, s := range r.Speedup {
+				fmt.Fprintf(w, " %7.1f%%", 100*s)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RenderFigure64 prints Figure 6-4: code-size increase due to SpD.
+func RenderFigure64(w io.Writer, rows []Fig64Row) {
+	fmt.Fprintf(w, "Figure 6-4: Code size increase due to SpD (2-cycle memory)\n")
+	fmt.Fprintf(w, "(operations, not VLIW instructions)\n")
+	fmt.Fprintf(w, "%-10s %8s %8s %9s\n", "Program", "before", "after", "increase")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %8d %8.1f%%\n",
+			r.Program, r.BeforeOps, r.AfterOps, r.IncreasePct)
+	}
+}

@@ -1,0 +1,273 @@
+// Package graft implements decision-tree grafting, the code-replication
+// technique the paper's §7 names (after Labrousse & Slavenburg's LIFE work)
+// as the way to expose more speculative-disambiguation opportunities:
+// "the trees in integer programs are often too small to have pairs of
+// ambiguous memory references. Enlarging trees through code replication
+// techniques such as grafting should expose more opportunities."
+//
+// Grafting tail-duplicates a successor tree into a predecessor's exit: the
+// successor's operations are copied under the exit's path condition, the
+// exit is replaced by copies of the successor's exits, and memory-dependence
+// arcs are rebuilt conservatively between the host's and the graft's memory
+// operations (to be re-pruned by the static disambiguator). The successor
+// tree itself remains for its other predecessors.
+package graft
+
+import (
+	"specdis/internal/ir"
+)
+
+// Params bound the transformation.
+type Params struct {
+	// MaxGraftOps: successors larger than this are not grafted.
+	MaxGraftOps int
+	// MaxTreeOps: stop growing a host tree beyond this size.
+	MaxTreeOps int
+	// MinExecFraction: only graft exits taken at least this fraction of the
+	// host's executions (profile-guided, like the paper's trace-driven use).
+	MinExecFraction float64
+}
+
+// DefaultParams returns a conservative configuration.
+func DefaultParams() Params {
+	return Params{MaxGraftOps: 48, MaxTreeOps: 256, MinExecFraction: 0.4}
+}
+
+// Profile supplies exit probabilities (sim.Profile implements it).
+type Profile interface {
+	ExitProb(t *ir.Tree, e *ir.Op) float64
+	TreeExecCount(t *ir.Tree) int64
+}
+
+// Result reports what was grafted.
+type Result struct {
+	Grafts   int
+	AddedOps int
+}
+
+// Program grafts hot, small successors across every function of p.
+// Each tree receives at most one graft per call; run it repeatedly for
+// deeper growth.
+func Program(p *ir.Program, prof Profile, params Params) *Result {
+	res := &Result{}
+	for _, name := range p.Order {
+		fn := p.Funcs[name]
+		for _, t := range fn.Trees {
+			if prof.TreeExecCount(t) == 0 || t.Size() >= params.MaxTreeOps {
+				continue
+			}
+			graftBest(fn, t, prof, params, res)
+		}
+	}
+	return res
+}
+
+// graftBest grafts the hottest eligible exit of t, if any.
+func graftBest(fn *ir.Function, t *ir.Tree, prof Profile, params Params, res *Result) {
+	var best *ir.Op
+	bestProb := params.MinExecFraction
+	for _, ex := range t.Exits() {
+		if ex.Exit != ir.ExitGoto {
+			continue
+		}
+		target := fn.Trees[ex.Target]
+		if !eligible(t, target, params) {
+			continue
+		}
+		if p := prof.ExitProb(t, ex); p >= bestProb {
+			best, bestProb = ex, p
+		}
+	}
+	if best == nil {
+		return
+	}
+	added := Apply(t, best)
+	res.Grafts++
+	res.AddedOps += added
+}
+
+// eligible reports whether target may be grafted into host.
+func eligible(host, target *ir.Tree, params Params) bool {
+	if target == host || target.Size() > params.MaxGraftOps {
+		return false
+	}
+	if host.Size()+target.Size() > params.MaxTreeOps {
+		return false
+	}
+	for _, ex := range target.Exits() {
+		// Self-looping targets (loop headers) cannot be flattened into a
+		// predecessor: the back edge would have nowhere to go.
+		if ex.Exit == ir.ExitGoto && ex.Target == target.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply grafts the tree targeted by exit ex into t, replacing ex. It returns
+// the number of operations added. The caller is responsible for re-running
+// memory disambiguation over the grown tree (fresh arcs between host and
+// graft are conservative).
+func Apply(t *ir.Tree, ex *ir.Op) int {
+	fn := t.Fn
+	target := fn.Trees[ex.Target]
+
+	// The graft executes under ex's path condition.
+	hostGuard := guardState{reg: ex.Guard, neg: ex.GuardNeg}
+
+	// Map target blocks into t: target's root becomes a child of ex's block.
+	blockMap := make([]int, len(target.Blocks))
+	for i, b := range target.Blocks {
+		if b.Parent < 0 {
+			blockMap[i] = t.NewBlock(ex.Block, hostGuard.reg, hostGuard.neg)
+		} else {
+			blockMap[i] = t.NewBlock(blockMap[b.Parent], b.Guard, b.Neg)
+		}
+	}
+
+	// Copy the ops, composing guards for committing ops. Pure unguarded ops
+	// stay speculative. Guard-combine ops are emitted inline, just before
+	// their first consumer, so they always follow the copied definitions of
+	// the registers they read.
+	comb := &combiner{t: t, fn: fn}
+	opMap := make(map[*ir.Op]*ir.Op, len(target.Ops))
+	var copied []*ir.Op
+	for _, op := range target.Ops {
+		n := *op
+		n.ID = t.AllocID()
+		n.Args = append([]ir.Reg(nil), op.Args...)
+		n.CallArg = append([]ir.Reg(nil), op.CallArg...)
+		if op.Ref != nil {
+			ref := *op.Ref
+			n.Ref = &ref
+		}
+		n.Block = blockMap[op.Block]
+		if op.Kind.HasSideEffect() || op.VarWrite || op.Guard != ir.NoReg {
+			mark := len(comb.ops)
+			g := comb.and(hostGuard, guardState{reg: op.Guard, neg: op.GuardNeg})
+			copied = append(copied, comb.ops[mark:]...)
+			n.Guard = g.reg
+			n.GuardNeg = g.neg
+		}
+		opMap[op] = &n
+		copied = append(copied, &n)
+	}
+
+	// Splice the graft in, replacing ex in place.
+	pos := ex.Seq
+	out := make([]*ir.Op, 0, len(t.Ops)+len(copied)-1)
+	out = append(out, t.Ops[:pos]...)
+	out = append(out, copied...)
+	out = append(out, t.Ops[pos+1:]...)
+	t.Ops = out
+	t.Renumber()
+
+	// Rebuild arcs: keep host arcs (minus any referencing ex — exits carry
+	// none), remap the target's arcs onto the copies, and conservatively
+	// cross host × graft memory references.
+	for _, a := range target.Arcs {
+		t.Arcs = append(t.Arcs, &ir.MemArc{
+			From: opMap[a.From], To: opMap[a.To], Kind: a.Kind, Ambiguous: a.Ambiguous,
+		})
+	}
+	graftedMem := map[*ir.Op]bool{}
+	for _, op := range copied {
+		if op.Kind.IsMem() {
+			graftedMem[op] = true
+		}
+	}
+	for _, u := range t.Ops {
+		if !u.Kind.IsMem() || graftedMem[u] {
+			continue
+		}
+		for _, v := range copied {
+			if !v.Kind.IsMem() {
+				continue
+			}
+			// Host op u precedes graft op v iff u was before the exit.
+			from, to := u, v
+			if u.Seq > v.Seq {
+				from, to = v, u
+			}
+			var kind ir.DepKind
+			switch {
+			case from.Kind == ir.OpStore && to.Kind == ir.OpLoad:
+				kind = ir.DepRAW
+			case from.Kind == ir.OpLoad && to.Kind == ir.OpStore:
+				kind = ir.DepWAR
+			case from.Kind == ir.OpStore && to.Kind == ir.OpStore:
+				kind = ir.DepWAW
+			default:
+				continue
+			}
+			t.Arcs = append(t.Arcs, &ir.MemArc{From: from, To: to, Kind: kind, Ambiguous: true})
+		}
+	}
+	return len(copied) + len(comb.ops)
+}
+
+type guardState struct {
+	reg ir.Reg
+	neg bool
+}
+
+// combiner materializes guard conjunctions for the graft.
+type combiner struct {
+	t     *ir.Tree
+	fn    *ir.Function
+	ops   []*ir.Op
+	not   map[ir.Reg]ir.Reg
+	cache map[[4]int32]guardState
+}
+
+func (c *combiner) matNot(r ir.Reg) ir.Reg {
+	if c.not == nil {
+		c.not = map[ir.Reg]ir.Reg{}
+	}
+	if n, ok := c.not[r]; ok {
+		return n
+	}
+	d := c.fn.NewReg()
+	op := &ir.Op{ID: c.t.AllocID(), Kind: ir.OpBNot, Args: []ir.Reg{r}, Dest: d, Guard: ir.NoReg}
+	c.ops = append(c.ops, op)
+	c.not[r] = d
+	return d
+}
+
+// and returns h ∧ g as a guard state, emitting ops as needed.
+func (c *combiner) and(h, g guardState) guardState {
+	if h.reg == ir.NoReg {
+		return g
+	}
+	if g.reg == ir.NoReg {
+		return h
+	}
+	if c.cache == nil {
+		c.cache = map[[4]int32]guardState{}
+	}
+	key := [4]int32{int32(h.reg), b2i(h.neg), int32(g.reg), b2i(g.neg)}
+	if v, ok := c.cache[key]; ok {
+		return v
+	}
+	hr := h.reg
+	if h.neg {
+		hr = c.matNot(h.reg)
+	}
+	kind := ir.OpBAnd
+	if g.neg {
+		kind = ir.OpBAndNot
+	}
+	d := c.fn.NewReg()
+	op := &ir.Op{ID: c.t.AllocID(), Kind: kind, Args: []ir.Reg{hr, g.reg}, Dest: d, Guard: ir.NoReg}
+	c.ops = append(c.ops, op)
+	out := guardState{reg: d}
+	c.cache[key] = out
+	return out
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

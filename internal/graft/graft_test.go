@@ -1,0 +1,182 @@
+package graft_test
+
+import (
+	"testing"
+
+	"specdis/internal/bench"
+	"specdis/internal/compile"
+	"specdis/internal/disamb"
+	"specdis/internal/graft"
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+	"specdis/internal/spd"
+)
+
+// profiled compiles and profiles a program.
+func profiled(t *testing.T, src string) (*ir.Program, *sim.Profile, string) {
+	t.Helper()
+	prog, err := compile.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := sim.NewProfile()
+	r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc(), Prof: prof}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, prof, res.Output
+}
+
+const joinHeavy = `
+int a[16];
+void main() {
+	int s = 0;
+	for (int i = 0; i < 32; i = i + 1) {
+		if (i % 3 == 0) {
+			s = s + a[i % 16];
+		} else {
+			s = s - 1;
+		}
+		a[(i * 5) % 16] = s;    // join block: its own tree before grafting
+	}
+	print(s);
+}
+`
+
+func TestGraftPreservesSemantics(t *testing.T) {
+	prog, prof, before := profiled(t, joinHeavy)
+	res := graft.Program(prog, prof, graft.DefaultParams())
+	if res.Grafts == 0 {
+		t.Fatal("nothing grafted on a join-heavy program")
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("grafted program invalid: %v", err)
+	}
+	r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc()}
+	after, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Output != before {
+		t.Fatalf("grafting changed output: %q vs %q", after.Output, before)
+	}
+}
+
+func TestGraftGrowsTrees(t *testing.T) {
+	prog, prof, _ := profiled(t, joinHeavy)
+	var maxBefore int
+	for _, tr := range prog.Funcs["main"].Trees {
+		if tr.Size() > maxBefore {
+			maxBefore = tr.Size()
+		}
+	}
+	res := graft.Program(prog, prof, graft.DefaultParams())
+	var maxAfter int
+	for _, tr := range prog.Funcs["main"].Trees {
+		if tr.Size() > maxAfter {
+			maxAfter = tr.Size()
+		}
+	}
+	if maxAfter <= maxBefore {
+		t.Fatalf("trees did not grow: %d -> %d (grafts %d)", maxBefore, maxAfter, res.Grafts)
+	}
+	if res.AddedOps <= 0 {
+		t.Error("no ops added")
+	}
+}
+
+func TestGraftWholeSuiteStaysCorrect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	params := graft.DefaultParams()
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, prof, before := profiled(t, b.Source)
+			graft.Program(prog, prof, params)
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("invalid after grafting: %v", err)
+			}
+			r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc()}
+			after, err := r.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after.Output != before {
+				t.Fatal("grafting changed program output")
+			}
+		})
+	}
+}
+
+// TestGraftedSpDPipeline runs the full §7 experiment: grafting before SpD
+// must keep all pipelines in agreement and expose more (or equal) SpD
+// opportunities on the tree-starved integer benchmarks.
+func TestGraftedSpDPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	gp := graft.DefaultParams()
+	models := []machine.Model{machine.New(5, 2), machine.New(5, 6)}
+	totalPlain, totalGrafted := 0, 0
+	for _, name := range []string{"perm", "queen", "quick", "tree", "boolmin"} {
+		b := bench.ByName(name)
+		plain, err := disamb.Prepare(b.Source, disamb.Spec, 6, spd.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		grafted, err := disamb.PrepareOpts(b.Source, disamb.Options{
+			Kind: disamb.Spec, MemLat: 6, SpD: spd.DefaultParams(),
+			Graft: &gp, GraftRounds: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rp, err := disamb.Measure(plain, models)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := disamb.Measure(grafted, models)
+		if err != nil {
+			t.Fatalf("%s grafted: %v", name, err)
+		}
+		if rp.Output != rg.Output {
+			t.Fatalf("%s: grafted pipeline changed output", name)
+		}
+		totalPlain += len(plain.SpD.Apps)
+		totalGrafted += len(grafted.SpD.Apps)
+		t.Logf("%s: grafts=%d, SpD applications %d -> %d, cycles@5FU/m6 %d -> %d",
+			name, grafted.Grafts, len(plain.SpD.Apps), len(grafted.SpD.Apps),
+			rp.Times[1], rg.Times[1])
+	}
+	if totalGrafted < totalPlain {
+		t.Errorf("grafting reduced total SpD applications: %d -> %d", totalPlain, totalGrafted)
+	}
+}
+
+func TestGraftSkipsLoopHeaders(t *testing.T) {
+	// A self-looping tree must never be grafted into its predecessor.
+	src := `
+void main() {
+	int s = 0;
+	for (int i = 0; i < 5; i = i + 1) { s = s + i; }
+	print(s);
+}`
+	prog, prof, _ := profiled(t, src)
+	res := graft.Program(prog, prof, graft.DefaultParams())
+	// Whatever happens, the program must stay valid and correct.
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("invalid after grafting: %v (grafts %d)", err, res.Grafts)
+	}
+	r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc()}
+	out, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Output != "10\n" {
+		t.Fatalf("output %q", out.Output)
+	}
+}

@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genAffine builds a small random affine expression over variables 0..4.
+func genAffine(r *rand.Rand) *Affine {
+	a := &Affine{Const: r.Int63n(21) - 10}
+	for v := LoopVar(0); v < 5; v++ {
+		if r.Intn(2) == 0 {
+			a.Terms = append(a.Terms, AffineTerm{Var: v, Coef: r.Int63n(11) - 5})
+		}
+	}
+	return a.normalize()
+}
+
+func genEnv(r *rand.Rand) map[LoopVar]int64 {
+	env := map[LoopVar]int64{}
+	for v := LoopVar(0); v < 5; v++ {
+		env[v] = r.Int63n(41) - 20
+	}
+	return env
+}
+
+func TestAffineAddSubEvalProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genAffine(r), genAffine(r)
+		env := genEnv(r)
+		if a.Add(b).Eval(env) != a.Eval(env)+b.Eval(env) {
+			return false
+		}
+		if a.Sub(b).Eval(env) != a.Eval(env)-b.Eval(env) {
+			return false
+		}
+		k := r.Int63n(9) - 4
+		return a.Scale(k).Eval(env) == k*a.Eval(env)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffineSubSelfIsZero(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genAffine(r)
+		d := a.Sub(a)
+		return d.IsConst() && d.Const == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffineEqualIsStructural(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genAffine(r)
+		b := genAffine(r)
+		// a+b-b == a in canonical form.
+		if !a.Add(b).Sub(b).Equal(a) {
+			return false
+		}
+		// Equality implies agreement under every environment we try.
+		if a.Equal(b) {
+			env := genEnv(r)
+			return a.Eval(env) == b.Eval(env)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffineNormalization(t *testing.T) {
+	a := &Affine{Const: 1, Terms: []AffineTerm{
+		{Var: 3, Coef: 2}, {Var: 1, Coef: 5}, {Var: 3, Coef: -2}, {Var: 2, Coef: 0},
+	}}
+	a.normalize()
+	if len(a.Terms) != 1 || a.Terms[0].Var != 1 || a.Terms[0].Coef != 5 {
+		t.Fatalf("normalize gave %v", a)
+	}
+}
+
+func TestAffineCoefAndString(t *testing.T) {
+	a := VarAffine(2).Scale(3).Add(ConstAffine(4)).Sub(VarAffine(1))
+	if a.Coef(2) != 3 || a.Coef(1) != -1 || a.Coef(9) != 0 {
+		t.Fatalf("coefs wrong: %v", a)
+	}
+	if got := a.String(); got != "4 - 1*i1 + 3*i2" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMemRefBases(t *testing.T) {
+	g1 := &MemRef{BaseKind: BaseGlobal, BaseSym: "a", Sub: ConstAffine(0)}
+	g2 := &MemRef{BaseKind: BaseGlobal, BaseSym: "b", Sub: ConstAffine(0)}
+	p1 := &MemRef{BaseKind: BaseParam, BaseSym: "x", Sub: ConstAffine(0)}
+	p2 := &MemRef{BaseKind: BaseParam, BaseSym: "x", Sub: ConstAffine(1)}
+	u := &MemRef{BaseKind: BaseUnknown}
+
+	if !g1.DistinctBase(g2) || g1.DistinctBase(g1) {
+		t.Error("global distinctness wrong")
+	}
+	if !g1.SameBase(g1) || g1.SameBase(g2) {
+		t.Error("global sameness wrong")
+	}
+	if !p1.SameBase(p2) {
+		t.Error("same param not same base")
+	}
+	if p1.DistinctBase(g1) || g1.DistinctBase(p1) {
+		t.Error("param vs global must not be distinct")
+	}
+	if u.SameBase(u) {
+		t.Error("unknown base can never be provably same")
+	}
+	if (*MemRef)(nil).SameBase(g1) || g1.DistinctBase(nil) {
+		t.Error("nil handling wrong")
+	}
+}

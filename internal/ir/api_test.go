@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSmallHelpers(t *testing.T) {
+	if IntV(3).I != 3 || FloatV(2.5).F != 2.5 {
+		t.Error("value constructors broken")
+	}
+	if !OpExit.IsExit() || OpAdd.IsExit() {
+		t.Error("IsExit wrong")
+	}
+	st := &Op{Kind: OpStore, Args: []Reg{4, 9}}
+	if st.AddrReg() != 4 || st.DataReg() != 9 {
+		t.Error("store operand accessors wrong")
+	}
+	for _, k := range []OpKind{OpNop, OpExit, OpKind(200)} {
+		if k.String() == "" {
+			t.Errorf("empty name for %d", int(k))
+		}
+	}
+	for _, k := range []DepKind{DepRAW, DepWAR, DepWAW, DepKind(9)} {
+		if k.String() == "" {
+			t.Error("empty dep kind name")
+		}
+	}
+	for _, k := range []ExitKind{ExitGoto, ExitCall, ExitRet, ExitKind(9)} {
+		if k.String() == "" {
+			t.Error("empty exit kind name")
+		}
+	}
+	for _, k := range []BaseKind{BaseGlobal, BaseParam, BaseUnknown, BaseKind(9)} {
+		if k.String() == "" {
+			t.Error("empty base kind name")
+		}
+	}
+	if (&MemRef{BaseKind: BaseGlobal, BaseSym: "a", Sub: ConstAffine(2)}).String() == "" {
+		t.Error("memref string empty")
+	}
+	if (*MemRef)(nil).String() != "<opaque>" {
+		t.Error("nil memref string")
+	}
+}
+
+func TestTreeOpAccessors(t *testing.T) {
+	fn := &Function{Name: "acc"}
+	tr := &Tree{Fn: fn, Name: "acc.t0"}
+	tr.NewBlock(-1, NoReg, false)
+	fn.Trees = []*Tree{tr}
+	a := tr.NewOp(OpConst, nil, fn.NewReg())
+	ex := tr.NewOp(OpExit, nil, NoReg)
+	ex.Exit = ExitRet
+
+	if tr.OpByID(a.ID) != a || tr.OpByID(999) != nil {
+		t.Error("OpByID wrong")
+	}
+	if fn.Tree(0) != tr {
+		t.Error("Function.Tree wrong")
+	}
+	mid := tr.InsertOp(OpNop, nil, NoReg, 1)
+	if tr.Ops[1] != mid || tr.Ops[1].Seq != 1 || tr.Ops[2] != ex || ex.Seq != 2 {
+		t.Error("InsertOp splice wrong")
+	}
+	id1 := tr.AllocID()
+	id2 := tr.AllocID()
+	if id2 != id1+1 {
+		t.Error("AllocID not monotonic")
+	}
+}
+
+func TestStableRegs(t *testing.T) {
+	fn := &Function{Name: "st"}
+	if fn.Stable(3) {
+		t.Error("unmarked reg stable")
+	}
+	fn.MarkStable(3)
+	if !fn.Stable(3) || fn.Stable(4) {
+		t.Error("stable marking wrong")
+	}
+	// Clones see the marks but do not leak new ones back.
+	tr := &Tree{ID: 0, Fn: fn, Name: "st.t0"}
+	tr.NewBlock(-1, NoReg, false)
+	ex := tr.NewOp(OpExit, nil, NoReg)
+	ex.Exit = ExitRet
+	fn.Trees = []*Tree{tr}
+	c := tr.Clone()
+	if !c.Fn.Stable(3) {
+		t.Error("clone lost stable marks")
+	}
+	c.Fn.MarkStable(7)
+	if fn.Stable(7) {
+		t.Error("clone stable mark leaked into original")
+	}
+	if c.Fn.Trees[0] != c {
+		t.Error("clone function does not reference the clone")
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	fn := &Function{Name: "main"}
+	tr := &Tree{Fn: fn, Name: "main.t0"}
+	tr.NewBlock(-1, NoReg, false)
+	ex := tr.NewOp(OpExit, nil, NoReg)
+	ex.Exit = ExitRet
+	fn.Trees = []*Tree{tr}
+	p := &Program{
+		Funcs:   map[string]*Function{"main": fn, "aux": fn},
+		Order:   []string{"main", "aux"},
+		Main:    "main",
+		Globals: []*GlobalArray{{Name: "g", Base: 16, Size: 4}},
+		MemSize: 64,
+	}
+	if p.Global("g") == nil || p.Global("nope") != nil {
+		t.Error("Global lookup wrong")
+	}
+	names := p.SortedFuncNames()
+	if len(names) != 2 || names[0] != "aux" || names[1] != "main" {
+		t.Errorf("SortedFuncNames %v", names)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBlocksCatchesCorruption(t *testing.T) {
+	fn := &Function{Name: "vb"}
+	tr := &Tree{Fn: fn, Name: "vb.t0"}
+	tr.NewBlock(-1, NoReg, false)
+	op := tr.NewOp(OpNop, nil, NoReg)
+	ex := tr.NewOp(OpExit, nil, NoReg)
+	ex.Exit = ExitRet
+	if err := tr.ValidateBlocks(); err != nil {
+		t.Fatalf("valid blocks rejected: %v", err)
+	}
+	op.Block = 42
+	if err := tr.ValidateBlocks(); err == nil {
+		t.Error("op in missing block accepted")
+	}
+	op.Block = 0
+	tr.Blocks[0].Parent = 5
+	if err := tr.ValidateBlocks(); err == nil {
+		t.Error("non-root first block accepted")
+	}
+	tr.Blocks[0].Parent = -1
+	tr.Blocks = nil
+	if err := tr.ValidateBlocks(); err == nil {
+		t.Error("empty block list accepted")
+	}
+}
+
+func TestOpStringForms(t *testing.T) {
+	op := &Op{ID: 1, Kind: OpConst, Imm: Value{I: 7, F: 7}, Dest: 3, Guard: NoReg}
+	if !strings.Contains(op.String(), "#7") {
+		t.Errorf("const rendering: %s", op)
+	}
+	call := &Op{ID: 2, Kind: OpExit, Exit: ExitCall, Callee: "f", Target: 4, Dest: 5, Guard: NoReg}
+	s := call.String()
+	if !strings.Contains(s, "call f") || !strings.Contains(s, "T4") {
+		t.Errorf("call rendering: %s", s)
+	}
+	go2 := &Op{ID: 3, Kind: OpExit, Exit: ExitGoto, Target: 2, Guard: 9, Dest: NoReg}
+	if !strings.Contains(go2.String(), "goto T2") || !strings.Contains(go2.String(), "?r9") {
+		t.Errorf("goto rendering: %s", go2)
+	}
+}

@@ -1,0 +1,91 @@
+package ir
+
+import "fmt"
+
+// Block is one node of a tree's internal control shape. After if-conversion
+// the control structure survives only as guard assignments, but the block
+// tree is kept so analyses can reason about which ops execute together on a
+// path: ops in a block and all its ancestors commit together.
+//
+// The root block has Parent == -1 and no guard. Every other block carries the
+// branch condition (register + polarity) that selects it from its parent.
+type Block struct {
+	ID     int
+	Parent int
+	Guard  Reg // condition register selecting this block from its parent
+	Neg    bool
+}
+
+// NewBlock appends a block and returns its ID.
+func (t *Tree) NewBlock(parent int, guard Reg, neg bool) int {
+	id := len(t.Blocks)
+	t.Blocks = append(t.Blocks, Block{ID: id, Parent: parent, Guard: guard, Neg: neg})
+	return id
+}
+
+// BlockDepth returns the distance from the root block.
+func (t *Tree) BlockDepth(b int) int {
+	d := 0
+	for t.Blocks[b].Parent >= 0 {
+		b = t.Blocks[b].Parent
+		d++
+	}
+	return d
+}
+
+// BlockIsAncestor reports whether a is b or an ancestor of b.
+func (t *Tree) BlockIsAncestor(a, b int) bool {
+	for b >= 0 {
+		if a == b {
+			return true
+		}
+		b = t.Blocks[b].Parent
+	}
+	return false
+}
+
+// CommonAncestor returns the nearest common ancestor block of a and b.
+func (t *Tree) CommonAncestor(a, b int) int {
+	da, db := t.BlockDepth(a), t.BlockDepth(b)
+	for da > db {
+		a, da = t.Blocks[a].Parent, da-1
+	}
+	for db > da {
+		b, db = t.Blocks[b].Parent, db-1
+	}
+	for a != b {
+		a, b = t.Blocks[a].Parent, t.Blocks[b].Parent
+	}
+	return a
+}
+
+// OnPath reports whether an op in block opBlk commits when the exit in block
+// exitBlk is taken: true iff opBlk is an ancestor-or-self of exitBlk.
+// (Ops in descendants or siblings of exitBlk belong to other paths.)
+func (t *Tree) OnPath(opBlk, exitBlk int) bool {
+	return t.BlockIsAncestor(opBlk, exitBlk)
+}
+
+// ValidateBlocks checks block-structure invariants.
+func (t *Tree) ValidateBlocks() error {
+	if len(t.Blocks) == 0 {
+		return fmt.Errorf("tree T%d: no blocks", t.ID)
+	}
+	if t.Blocks[0].Parent != -1 {
+		return fmt.Errorf("tree T%d: block 0 is not a root", t.ID)
+	}
+	for i, b := range t.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("tree T%d: block %d has ID %d", t.ID, i, b.ID)
+		}
+		if i > 0 && (b.Parent < 0 || b.Parent >= i) {
+			return fmt.Errorf("tree T%d: block %d has bad parent %d", t.ID, i, b.Parent)
+		}
+	}
+	for _, op := range t.Ops {
+		if op.Block < 0 || op.Block >= len(t.Blocks) {
+			return fmt.Errorf("tree T%d: op %%%d in missing block %d", t.ID, op.ID, op.Block)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package ir
+
+// Clone deep-copies the tree: ops (including argument slices and memory
+// references), arcs (remapped to the cloned ops), and blocks. The clone gets
+// a private shallow copy of the parent Function (own register counter, own
+// stable-register set, and a Trees slice in which the clone replaces the
+// original), so transformations applied to the clone never disturb the
+// original tree or the function's bookkeeping. Intended for tentative
+// ("what if") transformation during heuristic search.
+func (t *Tree) Clone() *Tree {
+	fnCopy := *t.Fn
+	fnCopy.Trees = append([]*Tree(nil), t.Fn.Trees...)
+	fnCopy.stableRegs = make(map[Reg]bool, len(t.Fn.stableRegs))
+	for r := range t.Fn.stableRegs {
+		fnCopy.stableRegs[r] = true
+	}
+	c := &Tree{
+		ID:     t.ID,
+		Fn:     &fnCopy,
+		Name:   t.Name,
+		Blocks: append([]Block(nil), t.Blocks...),
+		nextID: t.nextID,
+	}
+	if t.ID >= 0 && t.ID < len(fnCopy.Trees) {
+		fnCopy.Trees[t.ID] = c
+	}
+	byOld := make(map[*Op]*Op, len(t.Ops))
+	c.Ops = make([]*Op, len(t.Ops))
+	for i, op := range t.Ops {
+		n := *op
+		n.Args = append([]Reg(nil), op.Args...)
+		n.CallArg = append([]Reg(nil), op.CallArg...)
+		if op.Ref != nil {
+			ref := *op.Ref
+			n.Ref = &ref
+		}
+		c.Ops[i] = &n
+		byOld[op] = &n
+	}
+	c.Arcs = make([]*MemArc, len(t.Arcs))
+	for i, a := range t.Arcs {
+		n := *a
+		n.From = byOld[a.From]
+		n.To = byOld[a.To]
+		c.Arcs[i] = &n
+	}
+	return c
+}

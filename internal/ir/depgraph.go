@@ -1,0 +1,256 @@
+package ir
+
+// LatencyFunc maps an operation to its latency in cycles. The machine
+// package provides implementations (Table 6-1 of the paper).
+type LatencyFunc func(*Op) int
+
+// DepEdge is a scheduling constraint issue(To) >= issue(From) + Delay.
+// Delays may be negative (a memory anti-dependence only requires the store's
+// memory write, at issue+latency, to land after the load's sample at issue).
+type DepEdge struct {
+	To    int // op index within the tree
+	Delay int
+}
+
+// DepGraph holds the complete dependence graph of one tree under a given
+// latency model: register flow, guard availability, register anti/output
+// dependences, memory-dependence arcs, and output-stream ordering.
+//
+// Edges always point from a lower Seq index to a higher one, so the graph is
+// a DAG and a scan in Seq order is a topological order.
+type DepGraph struct {
+	Tree *Tree
+	Lat  LatencyFunc
+
+	Succ [][]DepEdge // indexed by op Seq index
+	Pred [][]DepEdge // Pred[i] lists edges arriving at i; Edge.To = source index
+
+	lat []int // cached per-op latency
+}
+
+// Latency returns the cached latency of op index i.
+func (g *DepGraph) Latency(i int) int { return g.lat[i] }
+
+// guardsDisjoint reports whether two ops provably never commit together:
+// identical guard registers with opposite polarity, or guards produced by a
+// complementary OpBAnd / OpBAndNot pair over the same operands (the form
+// produced by guard combination during if-conversion and SpD).
+func guardsDisjoint(t *Tree, a, b *Op) bool {
+	if a.Guard == NoReg || b.Guard == NoReg {
+		return false
+	}
+	if a.Guard == b.Guard && a.GuardNeg != b.GuardNeg {
+		return true
+	}
+	if a.GuardNeg || b.GuardNeg {
+		return false
+	}
+	da := soleDef(t, a.Guard)
+	db := soleDef(t, b.Guard)
+	if da == nil || db == nil {
+		return false
+	}
+	complementary := (da.Kind == OpBAnd && db.Kind == OpBAndNot) ||
+		(da.Kind == OpBAndNot && db.Kind == OpBAnd)
+	return complementary && len(da.Args) == 2 && len(db.Args) == 2 &&
+		da.Args[0] == db.Args[0] && da.Args[1] == db.Args[1]
+}
+
+// soleDef returns the unique defining op of reg, or nil when there are zero
+// or several definitions.
+func soleDef(t *Tree, r Reg) *Op {
+	var def *Op
+	for _, op := range t.Ops {
+		if op.Dest == r {
+			if def != nil {
+				return nil
+			}
+			def = op
+		}
+	}
+	return def
+}
+
+// opReads returns the registers an op reads: arguments, call arguments, and
+// its guard.
+func opReads(o *Op, buf []Reg) []Reg {
+	buf = buf[:0]
+	buf = append(buf, o.Args...)
+	buf = append(buf, o.CallArg...)
+	if o.Guard != NoReg {
+		buf = append(buf, o.Guard)
+	}
+	return buf
+}
+
+// BuildDepGraph constructs the dependence graph for t under latency model
+// lat. The construction is conservative and purely local to the tree:
+//
+//   - flow: a use depends on every reaching definition of the register
+//     (guarded definitions do not kill earlier ones), with delay equal to
+//     the producer's latency;
+//   - register anti (WAR): a definition may issue no earlier than prior
+//     readers of the register (delay 0: reads sample at issue);
+//   - register output (WAW): later definitions must complete after earlier
+//     ones unless their guards are provably disjoint;
+//   - memory: each MemArc contributes an edge; RAW waits for the store's
+//     write-back (delay = store latency), WAR only requires the overwrite to
+//     land after the load's sample (delay = 1 − store latency), WAW orders
+//     the two writes (delay 1);
+//   - output stream: OpPrint ops are ordered among themselves.
+func BuildDepGraph(t *Tree, lat LatencyFunc) *DepGraph {
+	n := len(t.Ops)
+	g := &DepGraph{
+		Tree: t,
+		Lat:  lat,
+		Succ: make([][]DepEdge, n),
+		Pred: make([][]DepEdge, n),
+		lat:  make([]int, n),
+	}
+	for i, op := range t.Ops {
+		g.lat[i] = lat(op)
+	}
+
+	addEdge := func(from, to, delay int) {
+		g.Succ[from] = append(g.Succ[from], DepEdge{To: to, Delay: delay})
+		g.Pred[to] = append(g.Pred[to], DepEdge{To: from, Delay: delay})
+	}
+
+	// Ops in sibling subtrees of the control shape never commit together:
+	// a definition on one path is invisible to consumers on a disjoint path
+	// (their observed values are masked by their own guards), so no
+	// dependence is needed between them.
+	coexecute := func(a, b *Op) bool {
+		return t.OnPath(a.Block, b.Block) || t.OnPath(b.Block, a.Block)
+	}
+
+	var regBuf []Reg
+	lastPrint := -1
+	for i, op := range t.Ops {
+		// Flow dependences for every register read.
+		regBuf = opReads(op, regBuf)
+		for _, r := range regBuf {
+			for j := i - 1; j >= 0; j-- {
+				def := t.Ops[j]
+				if def.Dest != r || !coexecute(def, op) {
+					continue
+				}
+				addEdge(j, i, g.lat[j])
+				if !def.IsGuarded() {
+					break // unconditional def kills earlier ones
+				}
+			}
+		}
+
+		// Register anti and output dependences for the destination.
+		if op.Dest != NoReg {
+			r := op.Dest
+			for j := i - 1; j >= 0; j-- {
+				prev := t.Ops[j]
+				if !coexecute(prev, op) {
+					continue
+				}
+				// Anti: prior reader of r.
+				reads := opReads(prev, nil)
+				for _, pr := range reads {
+					if pr == r {
+						addEdge(j, i, 0)
+						break
+					}
+				}
+				if prev.Dest == r {
+					// Output: order the write-backs, unless the two writers
+					// can never commit together.
+					if !guardsDisjoint(t, prev, op) {
+						d := g.lat[j] - g.lat[i] + 1
+						if d < 0 {
+							d = 0
+						}
+						addEdge(j, i, d)
+					}
+					if !prev.IsGuarded() {
+						break
+					}
+				}
+			}
+		}
+
+		// Output-stream ordering.
+		if op.Kind == OpPrint {
+			if lastPrint >= 0 {
+				addEdge(lastPrint, i, 1)
+			}
+			lastPrint = i
+		}
+	}
+
+	// Memory-dependence arcs.
+	for _, a := range t.Arcs {
+		from, to := a.From.Seq, a.To.Seq
+		switch a.Kind {
+		case DepRAW:
+			addEdge(from, to, g.lat[from])
+		case DepWAR:
+			addEdge(from, to, 1-g.lat[to]) // delay relative to the store's write
+		case DepWAW:
+			addEdge(from, to, 1)
+		}
+	}
+	return g
+}
+
+// ASAP returns the earliest legal issue cycle of each op on an unconstrained
+// (infinite-resource) machine: the paper's infinite LIFE simulator model.
+func (g *DepGraph) ASAP() []int {
+	n := len(g.Tree.Ops)
+	asap := make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, e := range g.Pred[i] {
+			if v := asap[e.To] + e.Delay; v > asap[i] {
+				asap[i] = v
+			}
+		}
+	}
+	return asap
+}
+
+// PathTime computes, for a given issue schedule, the completion time of every
+// exit path: the maximum write-back cycle over the ops that commit when that
+// exit is taken, but no earlier than the exit's own resolution
+// (issue + branch latency). Exit e's committed ops are those in blocks that
+// are ancestors-or-self of e's block.
+//
+// Alias-guarded copies introduced by SpD share a block, so this is a
+// conservative (max over both copies) static estimate; the simulator measures
+// the true dynamic time.
+func (g *DepGraph) PathTime(issue []int) map[*Op]int {
+	return g.PathTimeFiltered(issue, false)
+}
+
+// PathTimeFiltered is PathTime with an optional scenario restriction: when
+// likelyOnly is set, ops that commit only under an alias outcome
+// (SpecSide > 0) are excluded — the estimate for the all-no-alias scenario
+// the SpD heuristic optimizes for.
+func (g *DepGraph) PathTimeFiltered(issue []int, likelyOnly bool) map[*Op]int {
+	t := g.Tree
+	out := make(map[*Op]int)
+	for _, ex := range t.Exits() {
+		best := issue[ex.Seq] + g.lat[ex.Seq]
+		for i, op := range t.Ops {
+			if op.Kind == OpExit {
+				continue
+			}
+			if likelyOnly && op.SpecSide > 0 {
+				continue
+			}
+			if !t.OnPath(op.Block, ex.Block) {
+				continue
+			}
+			if c := issue[i] + g.lat[i]; c > best {
+				best = c
+			}
+		}
+		out[ex] = best
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BaseKind classifies the symbolic base of a memory reference.
+type BaseKind uint8
+
+// Base kinds.
+const (
+	// BaseGlobal: the address is <global array> + subscript. Two distinct
+	// globals never overlap.
+	BaseGlobal BaseKind = iota
+	// BaseParam: the address is <array parameter of the enclosing function>
+	// + subscript. Two distinct parameters, or a parameter and a global, may
+	// overlap (the caller may pass anything): this is the paper's "arrays
+	// passed into procedures" ambiguity.
+	BaseParam
+	// BaseUnknown: the address computation was not understood (e.g. loaded
+	// from memory, as with index arrays or pointer chains).
+	BaseUnknown
+)
+
+func (k BaseKind) String() string {
+	switch k {
+	case BaseGlobal:
+		return "global"
+	case BaseParam:
+		return "param"
+	case BaseUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("basekind(%d)", int(k))
+}
+
+// LoopVar identifies an enclosing loop induction variable. Loop variables are
+// numbered per function by the front end.
+type LoopVar int32
+
+// LoopInfo describes one canonical counted loop enclosing a reference. When
+// BoundsKnown, the induction variable's possible values all lie in the
+// inclusive range [Lo, Hi]; the range is widened to include the first
+// out-of-range (exit) value, because exit-path references inside the loop's
+// decision tree observe it.
+type LoopInfo struct {
+	Var         LoopVar
+	Lo, Hi      int64
+	Step        int64
+	BoundsKnown bool
+}
+
+// Affine is a linear expression Const + Σ Coef·Var over loop induction
+// variables, in canonical form (terms sorted by Var, no zero coefficients).
+type Affine struct {
+	Const int64
+	Terms []AffineTerm
+}
+
+// AffineTerm is one Coef·Var summand.
+type AffineTerm struct {
+	Var  LoopVar
+	Coef int64
+}
+
+// ConstAffine returns the affine expression with only a constant term.
+func ConstAffine(c int64) *Affine { return &Affine{Const: c} }
+
+// VarAffine returns the affine expression 1·v.
+func VarAffine(v LoopVar) *Affine {
+	return &Affine{Terms: []AffineTerm{{Var: v, Coef: 1}}}
+}
+
+// normalize sorts terms and drops zero coefficients.
+func (a *Affine) normalize() *Affine {
+	sort.Slice(a.Terms, func(i, j int) bool { return a.Terms[i].Var < a.Terms[j].Var })
+	out := a.Terms[:0]
+	for _, t := range a.Terms {
+		if t.Coef == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Var == t.Var {
+			out[n-1].Coef += t.Coef
+			if out[n-1].Coef == 0 {
+				out = out[:n-1]
+			}
+			continue
+		}
+		out = append(out, t)
+	}
+	a.Terms = out
+	return a
+}
+
+// Add returns a + b.
+func (a *Affine) Add(b *Affine) *Affine {
+	r := &Affine{Const: a.Const + b.Const}
+	r.Terms = append(r.Terms, a.Terms...)
+	r.Terms = append(r.Terms, b.Terms...)
+	return r.normalize()
+}
+
+// Sub returns a - b.
+func (a *Affine) Sub(b *Affine) *Affine { return a.Add(b.Scale(-1)) }
+
+// Scale returns k·a.
+func (a *Affine) Scale(k int64) *Affine {
+	r := &Affine{Const: a.Const * k}
+	for _, t := range a.Terms {
+		r.Terms = append(r.Terms, AffineTerm{Var: t.Var, Coef: t.Coef * k})
+	}
+	return r.normalize()
+}
+
+// IsConst reports whether a has no variable terms.
+func (a *Affine) IsConst() bool { return len(a.Terms) == 0 }
+
+// Coef returns the coefficient of v (0 if absent).
+func (a *Affine) Coef(v LoopVar) int64 {
+	for _, t := range a.Terms {
+		if t.Var == v {
+			return t.Coef
+		}
+	}
+	return 0
+}
+
+// Eval evaluates the expression under an assignment of loop variables.
+func (a *Affine) Eval(env map[LoopVar]int64) int64 {
+	s := a.Const
+	for _, t := range a.Terms {
+		s += t.Coef * env[t.Var]
+	}
+	return s
+}
+
+// Equal reports structural equality of canonical forms.
+func (a *Affine) Equal(b *Affine) bool {
+	if a.Const != b.Const || len(a.Terms) != len(b.Terms) {
+		return false
+	}
+	for i := range a.Terms {
+		if a.Terms[i] != b.Terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders e.g. "4 + 2*i1 - 1*i2".
+func (a *Affine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", a.Const)
+	for _, t := range a.Terms {
+		if t.Coef >= 0 {
+			fmt.Fprintf(&b, " + %d*i%d", t.Coef, t.Var)
+		} else {
+			fmt.Fprintf(&b, " - %d*i%d", -t.Coef, t.Var)
+		}
+	}
+	return b.String()
+}
+
+// MemRef is the compiler's symbolic description of one load/store address:
+// Base identified by (BaseKind, BaseSym) plus an affine subscript in the
+// enclosing loop induction variables. Loops lists the enclosing canonical
+// loops (outermost first) available for Banerjee bounds.
+type MemRef struct {
+	BaseKind BaseKind
+	BaseSym  string // global name, or parameter name within the function
+	Sub      *Affine
+	Loops    []LoopInfo
+}
+
+// SameBase reports whether two references provably share a base.
+func (r *MemRef) SameBase(o *MemRef) bool {
+	if r == nil || o == nil {
+		return false
+	}
+	if r.BaseKind == BaseUnknown || o.BaseKind == BaseUnknown {
+		return false
+	}
+	return r.BaseKind == o.BaseKind && r.BaseSym == o.BaseSym
+}
+
+// DistinctBase reports whether two references provably never overlap because
+// they address different global arrays.
+func (r *MemRef) DistinctBase(o *MemRef) bool {
+	if r == nil || o == nil {
+		return false
+	}
+	return r.BaseKind == BaseGlobal && o.BaseKind == BaseGlobal && r.BaseSym != o.BaseSym
+}
+
+func (r *MemRef) String() string {
+	if r == nil {
+		return "<opaque>"
+	}
+	sub := "?"
+	if r.Sub != nil {
+		sub = r.Sub.String()
+	}
+	return fmt.Sprintf("%s:%s[%s]", r.BaseKind, r.BaseSym, sub)
+}

@@ -1,0 +1,296 @@
+// Package ir defines the decision-tree intermediate representation used by
+// the speculative-disambiguation compiler: guarded operations over virtual
+// registers, decision trees with guarded exits, and memory-dependence arcs.
+//
+// The representation follows the LIFE model described in the paper: the basic
+// schedulable unit is the decision tree (single entry, multiple guarded
+// exits, no back edges). Control dependence inside a tree has already been
+// converted to data dependence: every operation carries an optional guard
+// register, and an operation's result is written back (to a register, or to
+// memory for stores) only if its guard evaluates true.
+package ir
+
+import "fmt"
+
+// Reg names a virtual register. Registers are function-scoped; each function
+// invocation gets a fresh register file.
+type Reg int32
+
+// NoReg marks an absent register operand (no destination, no guard).
+const NoReg Reg = -1
+
+// OpKind enumerates the operation repertoire of the target machine.
+type OpKind uint8
+
+// Operation kinds. Integer compares produce 0 or 1 in an integer register;
+// guard operands read such boolean values.
+const (
+	OpNop OpKind = iota
+
+	OpConst // dest = Imm
+	OpMove  // dest = arg0
+
+	// Integer ALU.
+	OpAdd // dest = arg0 + arg1
+	OpSub
+	OpMul
+	OpDiv // speculative division by zero yields 0 (non-trapping machine)
+	OpRem
+	OpNeg
+	OpAnd
+	OpOr
+	OpXor
+	OpNot // bitwise complement
+	OpShl
+	OpShr
+
+	// Boolean/guard logic (operands are 0/1 values).
+	OpBNot    // dest = 1 - arg0
+	OpBAnd    // dest = arg0 & arg1
+	OpBAndNot // dest = arg0 & (1 - arg1)
+
+	// Integer compares.
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+
+	// Floating point.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv // speculative division by zero follows IEEE (±Inf/NaN)
+	OpFNeg
+	OpFCmpEQ
+	OpFCmpNE
+	OpFCmpLT
+	OpFCmpLE
+	OpFCmpGT
+	OpFCmpGE
+
+	// Conversions.
+	OpCvtIF // int -> float
+	OpCvtFI // float -> int (truncating)
+
+	// FPU intrinsics (treated as single FPU ops, per the machine model's
+	// "other FPU operations" class).
+	OpSqrt
+	OpFAbs
+	OpSin
+	OpCos
+	OpExp
+	OpLog
+
+	// Memory.
+	OpLoad  // dest = mem[arg0]
+	OpStore // mem[arg0] = arg1
+
+	// Output side effect: append the value in arg0 to the program's output
+	// stream (integer or float per PrintFloat). Used for validation.
+	OpPrint
+
+	// Exits. Exactly one exit's guard evaluates true on every execution of a
+	// tree; the exit determines the successor tree (or call/return).
+	OpExit
+
+	numOpKinds
+)
+
+var opNames = [numOpKinds]string{
+	OpNop: "nop", OpConst: "const", OpMove: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpNeg: "neg", OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not",
+	OpShl: "shl", OpShr: "shr",
+	OpBNot: "bnot", OpBAnd: "band", OpBAndNot: "bandnot",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt", OpCmpLE: "cmple",
+	OpCmpGT: "cmpgt", OpCmpGE: "cmpge",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFNeg:   "fneg",
+	OpFCmpEQ: "fcmpeq", OpFCmpNE: "fcmpne", OpFCmpLT: "fcmplt",
+	OpFCmpLE: "fcmple", OpFCmpGT: "fcmpgt", OpFCmpGE: "fcmpge",
+	OpCvtIF: "cvtif", OpCvtFI: "cvtfi",
+	OpSqrt: "sqrt", OpFAbs: "fabs", OpSin: "sin", OpCos: "cos",
+	OpExp: "exp", OpLog: "log",
+	OpLoad: "load", OpStore: "store", OpPrint: "print", OpExit: "exit",
+}
+
+// String returns the mnemonic for the kind.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) && opNames[k] != "" {
+		return opNames[k]
+	}
+	return fmt.Sprintf("opkind(%d)", int(k))
+}
+
+// IsMem reports whether the kind accesses memory.
+func (k OpKind) IsMem() bool { return k == OpLoad || k == OpStore }
+
+// IsExit reports whether the kind terminates a tree path.
+func (k OpKind) IsExit() bool { return k == OpExit }
+
+// HasSideEffect reports whether an operation of this kind may not be executed
+// speculatively under the paper's program model (§4.1): stores modify memory,
+// prints modify the output stream, and exits transfer control. All other
+// operations (including loads, which are assumed non-faulting) are free of
+// side effects and may execute speculatively; their write-back is still
+// suppressed when the guard is false.
+func (k OpKind) HasSideEffect() bool {
+	return k == OpStore || k == OpPrint || k == OpExit
+}
+
+// IsFloat reports whether the operation produces (or compares) floating-point
+// operands on the FPU.
+func (k OpKind) IsFloat() bool {
+	switch k {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFNeg,
+		OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE, OpFCmpGT, OpFCmpGE,
+		OpCvtIF, OpCvtFI, OpSqrt, OpFAbs, OpSin, OpCos, OpExp, OpLog:
+		return true
+	}
+	return false
+}
+
+// Value is a machine word: the interpreter carries both an integer and a
+// floating-point view so that loads and stores move whole words without
+// caring about type (exactly as untyped memory behaves).
+type Value struct {
+	I int64
+	F float64
+}
+
+// IntV returns a Value holding integer i.
+func IntV(i int64) Value { return Value{I: i} }
+
+// FloatV returns a Value holding float f.
+func FloatV(f float64) Value { return Value{F: f} }
+
+// ExitKind distinguishes what an OpExit does when taken.
+type ExitKind uint8
+
+// Exit kinds.
+const (
+	ExitGoto ExitKind = iota // transfer to tree Target in the same function
+	ExitCall                 // call Callee, then continue at tree Target
+	ExitRet                  // return from the function (arg0 = value if any)
+)
+
+func (k ExitKind) String() string {
+	switch k {
+	case ExitGoto:
+		return "goto"
+	case ExitCall:
+		return "call"
+	case ExitRet:
+		return "ret"
+	}
+	return fmt.Sprintf("exitkind(%d)", int(k))
+}
+
+// Op is one guarded operation inside a decision tree.
+//
+// Seq gives the original sequential program order; memory-dependence
+// construction and interpreter tie-breaking use it. IDs are unique within a
+// tree and survive transformation (new ops get fresh IDs).
+type Op struct {
+	ID   int
+	Kind OpKind
+	Args []Reg
+	Dest Reg   // NoReg if none
+	Imm  Value // OpConst payload
+
+	// Guard: the op's write-back (and side effect) occurs only when the
+	// guard register holds 1 (or 0 if GuardNeg). NoReg = always commits.
+	Guard    Reg
+	GuardNeg bool
+
+	Seq int
+
+	// Block places the op in the tree's control shape (see Block); ops in a
+	// block and its ancestors commit together on a path.
+	Block int
+
+	// Exit payload (Kind == OpExit).
+	Exit    ExitKind
+	Target  int    // successor tree ID (ExitGoto, ExitCall continuation)
+	Callee  string // ExitCall
+	CallArg []Reg  // ExitCall actual arguments
+	// For ExitCall the return value lands in Dest; for ExitRet the returned
+	// value is Args[0] (or absent for void).
+
+	// Ref carries the symbolic address description for loads and stores,
+	// used by static disambiguation. Nil when the address is opaque.
+	Ref *MemRef
+
+	// PrintFloat selects float formatting for OpPrint.
+	PrintFloat bool
+
+	// VarWrite marks a register write that implements a named-variable
+	// assignment. Such writes act as merge points between control paths, so
+	// if-conversion must guard them; all other pure ops write fresh
+	// temporaries and execute speculatively (unguarded), per the paper's
+	// §4.1 program model.
+	VarWrite bool
+
+	// SpecSide classifies the op's role after speculative disambiguation:
+	// +1 — commits only when some transformed pair actually aliases (the
+	// conservative copy); −1 — commits only on the speculative, no-alias
+	// outcome; 0 — commits regardless of alias outcomes. The guidance
+	// heuristic's "likely outcome" time estimate excludes +1 ops (aliases
+	// are assumed rare).
+	SpecSide int8
+}
+
+// MarkAliasSide updates SpecSide for an op that just received an alias-side
+// (aliasOutcome true) or no-alias-side guard. Once an op requires any alias
+// outcome it can never commit in the all-no-alias scenario, so +1 is sticky.
+func (o *Op) MarkAliasSide(aliasOutcome bool) {
+	if aliasOutcome {
+		o.SpecSide = 1
+		return
+	}
+	if o.SpecSide == 0 {
+		o.SpecSide = -1
+	}
+}
+
+// IsGuarded reports whether the op commits conditionally.
+func (o *Op) IsGuarded() bool { return o.Guard != NoReg }
+
+// AddrReg returns the address operand of a load or store.
+func (o *Op) AddrReg() Reg { return o.Args[0] }
+
+// DataReg returns the stored-value operand of a store.
+func (o *Op) DataReg() Reg { return o.Args[1] }
+
+// String renders the op in a compact assembly-like form.
+func (o *Op) String() string {
+	s := fmt.Sprintf("%%%d:%s", o.ID, o.Kind)
+	if o.Kind == OpConst {
+		s += fmt.Sprintf(" #%d/%g", o.Imm.I, o.Imm.F)
+	}
+	for _, a := range o.Args {
+		s += fmt.Sprintf(" r%d", a)
+	}
+	if o.Kind == OpExit {
+		s += " " + o.Exit.String()
+		switch o.Exit {
+		case ExitGoto:
+			s += fmt.Sprintf(" T%d", o.Target)
+		case ExitCall:
+			s += fmt.Sprintf(" %s -> T%d", o.Callee, o.Target)
+		}
+	}
+	if o.Dest != NoReg {
+		s += fmt.Sprintf(" -> r%d", o.Dest)
+	}
+	if o.Guard != NoReg {
+		neg := ""
+		if o.GuardNeg {
+			neg = "!"
+		}
+		s += fmt.Sprintf(" ?%sr%d", neg, o.Guard)
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildStraightTree makes: load a; load b; store c; store d; exit — with the
+// given kinds, as a fixture for arc construction tests.
+func buildStraightTree(kinds []OpKind) (*Function, *Tree) {
+	fn := &Function{Name: "fix"}
+	t := &Tree{ID: 0, Fn: fn, Name: "fix.t0"}
+	t.NewBlock(-1, NoReg, false)
+	fn.Trees = []*Tree{t}
+	addr := fn.NewReg()
+	val := fn.NewReg()
+	for _, k := range kinds {
+		switch k {
+		case OpLoad:
+			t.NewOp(OpLoad, []Reg{addr}, fn.NewReg())
+		case OpStore:
+			t.NewOp(OpStore, []Reg{addr, val}, NoReg)
+		default:
+			t.NewOp(k, []Reg{val, val}, fn.NewReg())
+		}
+	}
+	ex := t.NewOp(OpExit, nil, NoReg)
+	ex.Exit = ExitRet
+	return fn, t
+}
+
+func TestBuildMemArcsKindsAndCounts(t *testing.T) {
+	_, tr := buildStraightTree([]OpKind{OpLoad, OpStore, OpLoad, OpStore})
+	tr.BuildMemArcs()
+	// Pairs: (L0,S1)=WAR (L0,S3)=WAR (S1,L2)=RAW (S1,S3)=WAW (L2,S3)=WAR.
+	// L0/L2 load-load pair is skipped.
+	if len(tr.Arcs) != 5 {
+		t.Fatalf("got %d arcs: %v", len(tr.Arcs), tr.Arcs)
+	}
+	counts := map[DepKind]int{}
+	for _, a := range tr.Arcs {
+		counts[a.Kind]++
+		if !a.Ambiguous {
+			t.Errorf("conservative arc %v not ambiguous", a)
+		}
+		if a.From.Seq >= a.To.Seq {
+			t.Errorf("arc %v not in order", a)
+		}
+	}
+	if counts[DepRAW] != 1 || counts[DepWAR] != 3 || counts[DepWAW] != 1 {
+		t.Errorf("kind counts %v", counts)
+	}
+}
+
+func TestTreeValidate(t *testing.T) {
+	_, tr := buildStraightTree([]OpKind{OpLoad})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+
+	// No exit.
+	bad := &Tree{ID: 1, Name: "bad"}
+	bad.NewBlock(-1, NoReg, false)
+	bad.NewOp(OpNop, nil, NoReg)
+	if err := bad.Validate(); err == nil {
+		t.Error("tree without exit accepted")
+	}
+
+	// Broken Seq.
+	_, tr2 := buildStraightTree([]OpKind{OpLoad})
+	tr2.Ops[0].Seq = 42
+	if err := tr2.Validate(); err == nil {
+		t.Error("broken Seq accepted")
+	}
+
+	// Arc out of order.
+	_, tr3 := buildStraightTree([]OpKind{OpStore, OpLoad})
+	tr3.BuildMemArcs()
+	tr3.Arcs[0].From, tr3.Arcs[0].To = tr3.Arcs[0].To, tr3.Arcs[0].From
+	if err := tr3.Validate(); err == nil {
+		t.Error("reversed arc accepted")
+	}
+}
+
+func TestArcHelpers(t *testing.T) {
+	_, tr := buildStraightTree([]OpKind{OpStore, OpLoad, OpStore})
+	tr.BuildMemArcs()
+	n := len(tr.Arcs)
+	amb := tr.AmbiguousArcs()
+	if len(amb) != n {
+		t.Fatalf("ambiguous %d of %d", len(amb), n)
+	}
+	tr.Arcs[0].Ambiguous = false
+	if len(tr.AmbiguousArcs()) != n-1 {
+		t.Error("definite arc still listed as ambiguous")
+	}
+	first := tr.Arcs[0]
+	tr.RemoveArc(first)
+	if len(tr.Arcs) != n-1 {
+		t.Error("RemoveArc did not remove")
+	}
+	tr.RemoveArc(first) // removing twice is a no-op
+	if len(tr.Arcs) != n-1 {
+		t.Error("double remove changed arcs")
+	}
+}
+
+func TestAliasProb(t *testing.T) {
+	a := &MemArc{}
+	if p := a.AliasProb(0.1); p != 0.1 {
+		t.Errorf("unprofiled arc prob %v", p)
+	}
+	a.ExecCount = 100
+	a.AliasCount = 25
+	if p := a.AliasProb(0.1); p != 0.25 {
+		t.Errorf("profiled arc prob %v", p)
+	}
+}
+
+func TestBlocksAncestry(t *testing.T) {
+	tr := &Tree{Name: "b"}
+	root := tr.NewBlock(-1, NoReg, false) // 0
+	a := tr.NewBlock(root, 1, false)      // 1
+	b := tr.NewBlock(root, 1, true)       // 2
+	aa := tr.NewBlock(a, 2, false)        // 3
+
+	if !tr.BlockIsAncestor(root, aa) || !tr.BlockIsAncestor(a, aa) {
+		t.Error("ancestry broken")
+	}
+	if tr.BlockIsAncestor(b, aa) || tr.BlockIsAncestor(aa, a) {
+		t.Error("false ancestry")
+	}
+	if tr.CommonAncestor(aa, b) != root {
+		t.Error("NCA(aa,b) != root")
+	}
+	if tr.CommonAncestor(aa, a) != a {
+		t.Error("NCA(aa,a) != a")
+	}
+	if tr.BlockDepth(aa) != 2 || tr.BlockDepth(root) != 0 {
+		t.Error("depths wrong")
+	}
+	if !tr.OnPath(a, aa) || tr.OnPath(aa, a) || tr.OnPath(b, aa) {
+		t.Error("OnPath wrong")
+	}
+}
+
+func TestTreeStringAndOpString(t *testing.T) {
+	_, tr := buildStraightTree([]OpKind{OpStore, OpLoad})
+	tr.BuildMemArcs()
+	s := tr.String()
+	for _, want := range []string{"store", "load", "RAW(amb)", "exit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dump lacks %q:\n%s", want, s)
+		}
+	}
+	op := tr.Ops[0]
+	op.Guard = 5
+	op.GuardNeg = true
+	if !strings.Contains(op.String(), "?!r5") {
+		t.Errorf("guard rendering: %s", op)
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	fn, _ := buildStraightTree([]OpKind{OpLoad})
+	p := &Program{Funcs: map[string]*Function{"fix": fn}, Order: []string{"fix"}, Main: "fix", MemSize: 64}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	p.Main = "nope"
+	if err := p.Validate(); err == nil {
+		t.Error("missing main accepted")
+	}
+	p.Main = "fix"
+	// Exit targeting a missing tree.
+	ex := fn.Trees[0].Exits()[0]
+	ex.Exit = ExitGoto
+	ex.Target = 99
+	if err := p.Validate(); err == nil {
+		t.Error("dangling goto accepted")
+	}
+	ex.Exit = ExitCall
+	ex.Target = 0
+	ex.Callee = "ghost"
+	if err := p.Validate(); err == nil {
+		t.Error("dangling call accepted")
+	}
+}
+
+func TestOpCountAndSize(t *testing.T) {
+	fn, tr := buildStraightTree([]OpKind{OpLoad, OpStore})
+	p := &Program{Funcs: map[string]*Function{"fix": fn}, Order: []string{"fix"}, Main: "fix"}
+	if tr.Size() != 3 || p.OpCount() != 3 {
+		t.Errorf("size %d, opcount %d", tr.Size(), p.OpCount())
+	}
+}
+
+func TestHasSideEffectClasses(t *testing.T) {
+	se := []OpKind{OpStore, OpPrint, OpExit}
+	for _, k := range se {
+		if !k.HasSideEffect() {
+			t.Errorf("%v should have side effects", k)
+		}
+	}
+	pure := []OpKind{OpLoad, OpAdd, OpFDiv, OpCmpEQ, OpConst, OpMove, OpSqrt, OpBAndNot}
+	for _, k := range pure {
+		if k.HasSideEffect() {
+			t.Errorf("%v should be speculable", k)
+		}
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpAdd.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !OpFAdd.IsFloat() || OpAdd.IsFloat() || !OpCvtFI.IsFloat() {
+		t.Error("IsFloat wrong")
+	}
+}

@@ -1,0 +1,250 @@
+package lang
+
+// Type is a MiniC type.
+type Type uint8
+
+// Types. Array types describe parameters (base addresses) and globals.
+const (
+	TypeVoid Type = iota
+	TypeInt
+	TypeFloat
+	TypeIntArray
+	TypeFloatArray
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeIntArray:
+		return "int[]"
+	case TypeFloatArray:
+		return "float[]"
+	}
+	return "type(?)"
+}
+
+// IsArray reports whether t is an array type.
+func (t Type) IsArray() bool { return t == TypeIntArray || t == TypeFloatArray }
+
+// Elem returns the element type of an array type.
+func (t Type) Elem() Type {
+	switch t {
+	case TypeIntArray:
+		return TypeInt
+	case TypeFloatArray:
+		return TypeFloat
+	}
+	return t
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global array (Size > 1 or explicit brackets) or a
+// global scalar (Size == 1, IsScalar true). Globals live in flat memory.
+type GlobalDecl struct {
+	Pos      Pos
+	Name     string
+	Elem     Type // TypeInt or TypeFloat
+	Size     int64
+	IsScalar bool
+	Init     []Expr // literal initializers, optional
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    Type
+	Params []*Param
+	Body   *BlockStmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDeclStmt declares a local scalar variable.
+type VarDeclStmt struct {
+	Pos  Pos
+	Name string
+	Type Type // TypeInt or TypeFloat
+	Init Expr // optional
+}
+
+// AssignStmt assigns to a scalar variable or an array element.
+// Op is '=' or a compound op ('+', '-', '*', '/').
+type AssignStmt struct {
+	Pos    Pos
+	Target *LValue
+	Op     byte
+	Value  Expr
+}
+
+// LValue is an assignable location.
+type LValue struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalars
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // optional
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is for(init; cond; post).
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // AssignStmt or VarDeclStmt or nil
+	Cond Expr // nil means true
+	Post Stmt // AssignStmt or nil
+	Body Stmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // optional
+}
+
+// PrintStmt emits a value to the program output.
+type PrintStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*PrintStmt) stmtNode()    {}
+func (*ExprStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node. Type is filled by the checker.
+type Expr interface {
+	exprNode()
+	ExprType() Type
+}
+
+type exprBase struct{ T Type }
+
+func (e *exprBase) ExprType() Type { return e.T }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Pos Pos
+	V   int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	exprBase
+	Pos Pos
+	V   float64
+}
+
+// VarRef reads a scalar variable or names an array (when passed as an
+// argument or indexed).
+type VarRef struct {
+	exprBase
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	exprBase
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// UnaryExpr applies -, !, or ~.
+type UnaryExpr struct {
+	exprBase
+	Pos Pos
+	Op  byte // '-', '!', '~'
+	X   Expr
+}
+
+// BinaryExpr applies a binary operator. Op uses TokKind for relationals and
+// logicals, and single bytes for arithmetic, packed into Kind.
+type BinaryExpr struct {
+	exprBase
+	Pos  Pos
+	Op   TokKind
+	L, R Expr
+}
+
+// CallExpr calls a user function or an intrinsic (sqrt, fabs, sin, cos, exp,
+// log, float, int).
+type CallExpr struct {
+	exprBase
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+
+// Intrinsics maps intrinsic names to the (argument, result) float-ness.
+var Intrinsics = map[string]struct{ Ret Type }{
+	"sqrt": {TypeFloat}, "fabs": {TypeFloat}, "sin": {TypeFloat},
+	"cos": {TypeFloat}, "exp": {TypeFloat}, "log": {TypeFloat},
+	"float": {TypeFloat}, "int": {TypeInt},
+}

@@ -1,0 +1,141 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := LexAll("int x = 42 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokKwInt, TokIdent, TokAssign, TokIntLit, TokSemi, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[3].Int != 42 {
+		t.Errorf("literal = %d, want 42", toks[3].Int)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "== != <= >= && || << >> += -= *= /= ++ -- = + - * / % & | ^ ~ ! < >"
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokEq, TokNe, TokLe, TokGe, TokAndAnd, TokOrOr, TokShl, TokShr,
+		TokPlusAssign, TokMinusAssign, TokStarAssign, TokSlashAssign,
+		TokPlusPlus, TokMinusMinus,
+		TokAssign, TokPlus, TokMinus, TokStar, TokSlash, TokPercent,
+		TokAmp, TokPipe, TokCaret, TokTilde, TokBang, TokLt, TokGt, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexFloats(t *testing.T) {
+	cases := map[string]float64{
+		"1.5":    1.5,
+		"0.25":   0.25,
+		"3.":     3.0,
+		"1e3":    1000,
+		"2.5e-1": 0.25,
+		"1E2":    100,
+	}
+	for src, want := range cases {
+		toks, err := LexAll(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != TokFloatLit {
+			t.Fatalf("%q lexed as %v", src, toks[0].Kind)
+		}
+		if toks[0].Flt != want {
+			t.Errorf("%q = %g, want %g", src, toks[0].Flt, want)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment with operators == != &&
+int /* block
+   spanning lines */ x;
+`
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokKwInt, TokIdent, TokSemi, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := LexAll("if iffy while whiles return returns for")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokKwIf, TokIdent, TokKwWhile, TokIdent, TokKwReturn, TokIdent, TokKwFor, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("int\n  x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "int $x;", "/* unterminated"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("%q: error lacks position: %v", src, err)
+		}
+	}
+}
+
+func TestLexHugeIntOverflow(t *testing.T) {
+	if _, err := LexAll("99999999999999999999999999"); err == nil {
+		t.Error("expected overflow error")
+	}
+}

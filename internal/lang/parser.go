@@ -1,0 +1,596 @@
+package lang
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *Parser) peekKind(ahead int) TokKind {
+	if p.pos+ahead >= len(p.toks) {
+		return TokEOF
+	}
+	return p.toks[p.pos+ahead].Kind
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %s, found %s", k, t.Kind)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		t := p.cur()
+		var base Type
+		switch t.Kind {
+		case TokKwInt:
+			base = TypeInt
+		case TokKwFloat:
+			base = TypeFloat
+		case TokKwVoid:
+			base = TypeVoid
+		default:
+			return nil, errf(t.Pos, "expected declaration, found %s", t.Kind)
+		}
+		p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch p.cur().Kind {
+		case TokLParen:
+			fn, err := p.parseFuncRest(t.Pos, base, name.Text)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		case TokLBracket, TokAssign, TokSemi:
+			if base == TypeVoid {
+				return nil, errf(t.Pos, "void global %q", name.Text)
+			}
+			g, err := p.parseGlobalRest(t.Pos, base, name.Text)
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		default:
+			return nil, errf(p.cur().Pos, "expected ( or [ after %q", name.Text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseGlobalRest(pos Pos, elem Type, name string) (*GlobalDecl, error) {
+	g := &GlobalDecl{Pos: pos, Name: name, Elem: elem, Size: 1, IsScalar: true}
+	if p.accept(TokLBracket) {
+		sz, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, err
+		}
+		if sz.Int <= 0 {
+			return nil, errf(sz.Pos, "array %q has non-positive size %d", name, sz.Int)
+		}
+		g.Size = sz.Int
+		g.IsScalar = false
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokAssign) {
+		if g.IsScalar {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []Expr{e}
+		} else {
+			if _, err := p.expect(TokLBrace); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, e)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+		}
+	}
+	_, err := p.expect(TokSemi)
+	return g, err
+}
+
+func (p *Parser) parseFuncRest(pos Pos, ret Type, name string) (*FuncDecl, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: pos, Name: name, Ret: ret}
+	if !p.accept(TokRParen) {
+		for {
+			pt := p.cur()
+			var base Type
+			switch pt.Kind {
+			case TokKwInt:
+				base = TypeInt
+			case TokKwFloat:
+				base = TypeFloat
+			default:
+				return nil, errf(pt.Pos, "expected parameter type, found %s", pt.Kind)
+			}
+			p.next()
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			typ := base
+			if p.accept(TokLBracket) {
+				if _, err := p.expect(TokRBracket); err != nil {
+					return nil, err
+				}
+				if base == TypeInt {
+					typ = TypeIntArray
+				} else {
+					typ = TypeFloatArray
+				}
+			}
+			fn.Params = append(fn.Params, &Param{Pos: pn.Pos, Name: pn.Text, Type: typ})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next()
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokKwInt, TokKwFloat:
+		return p.parseVarDecl()
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwReturn:
+		p.next()
+		r := &ReturnStmt{Pos: t.Pos}
+		if p.cur().Kind != TokSemi {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+		}
+		_, err := p.expect(TokSemi)
+		return r, err
+	case TokKwPrint:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokSemi)
+		return &PrintStmt{Pos: t.Pos, Value: e}, err
+	case TokKwBreak:
+		p.next()
+		_, err := p.expect(TokSemi)
+		return &BreakStmt{Pos: t.Pos}, err
+	case TokKwContinue:
+		p.next()
+		_, err := p.expect(TokSemi)
+		return &ContinueStmt{Pos: t.Pos}, err
+	case TokIdent:
+		// Assignment, increment, or expression statement (call).
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokSemi)
+		return s, err
+	}
+	return nil, errf(t.Pos, "expected statement, found %s", t.Kind)
+}
+
+// parseSimpleStmt parses an assignment / increment / call without the
+// trailing semicolon (shared by statements and for-headers).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return nil, errf(t.Pos, "expected identifier, found %s", t.Kind)
+	}
+	// Call statement: ident (
+	if p.peekKind(1) == TokLParen {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: t.Pos, X: e}, nil
+	}
+	p.next()
+	lv := &LValue{Pos: t.Pos, Name: t.Text}
+	if p.accept(TokLBracket) {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		lv.Index = idx
+	}
+	op := p.next()
+	switch op.Kind {
+	case TokAssign:
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: t.Pos, Target: lv, Op: '=', Value: v}, nil
+	case TokPlusAssign, TokMinusAssign, TokStarAssign, TokSlashAssign:
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var b byte
+		switch op.Kind {
+		case TokPlusAssign:
+			b = '+'
+		case TokMinusAssign:
+			b = '-'
+		case TokStarAssign:
+			b = '*'
+		default:
+			b = '/'
+		}
+		return &AssignStmt{Pos: t.Pos, Target: lv, Op: b, Value: v}, nil
+	case TokPlusPlus:
+		return &AssignStmt{Pos: t.Pos, Target: lv, Op: '+',
+			Value: &IntLit{Pos: op.Pos, V: 1}}, nil
+	case TokMinusMinus:
+		return &AssignStmt{Pos: t.Pos, Target: lv, Op: '-',
+			Value: &IntLit{Pos: op.Pos, V: 1}}, nil
+	}
+	return nil, errf(op.Pos, "expected assignment operator, found %s", op.Kind)
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	t := p.next()
+	typ := TypeInt
+	if t.Kind == TokKwFloat {
+		typ = TypeFloat
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDeclStmt{Pos: t.Pos, Name: name.Text, Type: typ}
+	if p.accept(TokAssign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	_, err = p.expect(TokSemi)
+	return d, err
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: t.Pos, Cond: cond, Then: then}
+	if p.accept(TokKwElse) {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: t.Pos}
+	if !p.accept(TokSemi) {
+		if p.cur().Kind == TokKwInt || p.cur().Kind == TokKwFloat {
+			d, err := p.parseVarDecl() // consumes the semicolon
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().Kind != TokRParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Expression parsing: precedence climbing.
+
+type precLevel struct {
+	kinds []TokKind
+}
+
+var precTable = []precLevel{
+	{[]TokKind{TokOrOr}},
+	{[]TokKind{TokAndAnd}},
+	{[]TokKind{TokPipe}},
+	{[]TokKind{TokCaret}},
+	{[]TokKind{TokAmp}},
+	{[]TokKind{TokEq, TokNe}},
+	{[]TokKind{TokLt, TokLe, TokGt, TokGe}},
+	{[]TokKind{TokShl, TokShr}},
+	{[]TokKind{TokPlus, TokMinus}},
+	{[]TokKind{TokStar, TokSlash, TokPercent}},
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *Parser) parseBin(level int) (Expr, error) {
+	if level >= len(precTable) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, k := range precTable[level].kinds {
+			if p.cur().Kind == k {
+				opTok := p.next()
+				right, err := p.parseBin(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &BinaryExpr{Pos: opTok.Pos, Op: k, L: left, R: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: '-', X: x}, nil
+	case TokBang:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: '!', X: x}, nil
+	case TokTilde:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: '~', X: x}, nil
+	case TokPlus:
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		return &IntLit{Pos: t.Pos, V: t.Int}, nil
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{Pos: t.Pos, V: t.Flt}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokRParen)
+		return e, err
+	case TokKwInt, TokKwFloat:
+		// Cast syntax: int(x), float(x) — keywords used as intrinsic names.
+		p.next()
+		name := "int"
+		if t.Kind == TokKwFloat {
+			name = "float"
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &CallExpr{Pos: t.Pos, Name: name, Args: []Expr{arg}}, nil
+	case TokIdent:
+		p.next()
+		switch p.cur().Kind {
+		case TokLParen:
+			p.next()
+			call := &CallExpr{Pos: t.Pos, Name: t.Text}
+			if !p.accept(TokRParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: t.Pos, Name: t.Text, Index: idx}, nil
+		}
+		return &VarRef{Pos: t.Pos, Name: t.Text}, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", t.Kind)
+}

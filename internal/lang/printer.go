@@ -1,0 +1,226 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a parsed program back to MiniC source. The output
+// re-parses to an equivalent program (guaranteed by the round-trip tests),
+// making it useful for normalizing generated programs and dumping fuzzer
+// findings.
+func Print(p *Program) string {
+	var pr printer
+	for _, g := range p.Globals {
+		pr.global(g)
+	}
+	for i, f := range p.Funcs {
+		if i > 0 || len(p.Globals) > 0 {
+			pr.nl()
+		}
+		pr.fn(f)
+	}
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) nl() { p.sb.WriteByte('\n') }
+
+func (p *printer) line(format string, args ...interface{}) {
+	p.sb.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.nl()
+}
+
+func typeName(t Type) string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeVoid:
+		return "void"
+	case TypeIntArray:
+		return "int"
+	case TypeFloatArray:
+		return "float"
+	}
+	return "?"
+}
+
+func (p *printer) global(g *GlobalDecl) {
+	decl := typeName(g.Elem) + " " + g.Name
+	if !g.IsScalar {
+		decl += fmt.Sprintf("[%d]", g.Size)
+	}
+	if len(g.Init) > 0 {
+		var vals []string
+		for _, e := range g.Init {
+			vals = append(vals, exprString(e))
+		}
+		if g.IsScalar {
+			decl += " = " + vals[0]
+		} else {
+			decl += " = {" + strings.Join(vals, ", ") + "}"
+		}
+	}
+	p.line("%s;", decl)
+}
+
+func (p *printer) fn(f *FuncDecl) {
+	var params []string
+	for _, pa := range f.Params {
+		s := typeName(pa.Type) + " " + pa.Name
+		if pa.Type.IsArray() {
+			s += "[]"
+		}
+		params = append(params, s)
+	}
+	p.line("%s %s(%s) {", typeName(f.Ret), f.Name, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range f.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, inner := range st.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *VarDeclStmt:
+		if st.Init != nil {
+			p.line("%s %s = %s;", typeName(st.Type), st.Name, exprString(st.Init))
+		} else {
+			p.line("%s %s;", typeName(st.Type), st.Name)
+		}
+	case *AssignStmt:
+		op := "="
+		if st.Op != '=' {
+			op = string(st.Op) + "="
+		}
+		p.line("%s %s %s;", lvalueString(st.Target), op, exprString(st.Value))
+	case *IfStmt:
+		p.line("if (%s) {", exprString(st.Cond))
+		p.indent++
+		p.stmtBody(st.Then)
+		p.indent--
+		if st.Else != nil {
+			p.line("} else {")
+			p.indent++
+			p.stmtBody(st.Else)
+			p.indent--
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", exprString(st.Cond))
+		p.indent++
+		p.stmtBody(st.Body)
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if st.Init != nil {
+			init = strings.TrimSuffix(strings.TrimSpace(renderInline(st.Init)), ";")
+		}
+		if st.Cond != nil {
+			cond = exprString(st.Cond)
+		}
+		if st.Post != nil {
+			post = strings.TrimSuffix(strings.TrimSpace(renderInline(st.Post)), ";")
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		p.stmtBody(st.Body)
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.line("return %s;", exprString(st.Value))
+		} else {
+			p.line("return;")
+		}
+	case *PrintStmt:
+		p.line("print(%s);", exprString(st.Value))
+	case *ExprStmt:
+		p.line("%s;", exprString(st.X))
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	}
+}
+
+// stmtBody prints a statement that is the body of a control construct:
+// blocks are flattened (the construct supplies the braces).
+func (p *printer) stmtBody(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		for _, inner := range b.Stmts {
+			p.stmt(inner)
+		}
+		return
+	}
+	p.stmt(s)
+}
+
+// renderInline prints a simple statement on one line (for for-headers).
+func renderInline(s Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return pr.sb.String()
+}
+
+func lvalueString(lv *LValue) string {
+	if lv.Index != nil {
+		return fmt.Sprintf("%s[%s]", lv.Name, exprString(lv.Index))
+	}
+	return lv.Name
+}
+
+var tokenText = map[TokKind]string{
+	TokOrOr: "||", TokAndAnd: "&&", TokPipe: "|", TokCaret: "^", TokAmp: "&",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokShl: "<<", TokShr: ">>", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%",
+}
+
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(x.V, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.V, 'g', -1, 64)
+		// Keep the literal a float literal on re-parse.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *VarRef:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Name, exprString(x.Index))
+	case *UnaryExpr:
+		return fmt.Sprintf("(%c%s)", x.Op, exprString(x.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.L), tokenText[x.Op], exprString(x.R))
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, exprString(a))
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}

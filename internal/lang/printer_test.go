@@ -1,0 +1,75 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintRoundTripsStructure(t *testing.T) {
+	src := `
+int a[4] = {1, 2, 3, -4};
+float f = 2.5;
+float w[4] = {0.5, 1.5, 2.5, 3.5};
+int g;
+
+int helper(int x, float y[], int z[]) {
+	if (x > 0 && x < 10) {
+		return x;
+	} else {
+		while (x < 0) {
+			x += 2;
+			if (x == -3) { break; }
+			continue;
+		}
+	}
+	for (int i = 0; i < 4; i = i + 1) {
+		z[i] = int(y[i] * 2.0) % 7;
+	}
+	return -x;
+}
+
+void main() {
+	g = helper(3, w, a);
+	print(g);
+	print(f);
+	print(!0);
+	print(~5);
+	print(sqrt(2.0));
+}
+`
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(p1)
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("printed source does not reparse: %v\n%s", err, out)
+	}
+	if _, err := Check(p2); err != nil {
+		t.Fatalf("printed source does not re-check: %v\n%s", err, out)
+	}
+	// Printing is a fixed point after one round.
+	out2 := Print(p2)
+	if out != out2 {
+		t.Fatalf("printer not idempotent:\n--- first\n%s\n--- second\n%s", out, out2)
+	}
+	// Shape preserved.
+	if len(p2.Globals) != len(p1.Globals) || len(p2.Funcs) != len(p1.Funcs) {
+		t.Fatal("declaration counts changed")
+	}
+}
+
+func TestPrintFloatLiteralsStayFloat(t *testing.T) {
+	p, err := Parse(`void main() { float x = 2.0; print(x); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(p)
+	if !strings.Contains(out, "2.0") {
+		t.Fatalf("float literal lost its point:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatal(err)
+	}
+}

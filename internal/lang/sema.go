@@ -1,0 +1,470 @@
+package lang
+
+import "fmt"
+
+// Scope tracks visible names during checking and lowering.
+type symbol struct {
+	Name    string
+	Type    Type
+	IsParam bool
+	IsLocal bool
+}
+
+// CheckedProgram is the result of semantic analysis: the AST with expression
+// types filled in plus symbol tables the lowerer consumes.
+type CheckedProgram struct {
+	AST     *Program
+	Globals map[string]*GlobalDecl
+	Funcs   map[string]*FuncDecl
+}
+
+type checker struct {
+	prog    *Program
+	globals map[string]*GlobalDecl
+	funcs   map[string]*FuncDecl
+	fn      *FuncDecl
+	scopes  []map[string]*symbol
+	loop    int
+}
+
+// Check performs semantic analysis over a parsed program.
+func Check(prog *Program) (*CheckedProgram, error) {
+	c := &checker{
+		prog:    prog,
+		globals: map[string]*GlobalDecl{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, errf(g.Pos, "duplicate global %q", g.Name)
+		}
+		if _, isIntr := Intrinsics[g.Name]; isIntr {
+			return nil, errf(g.Pos, "%q shadows an intrinsic", g.Name)
+		}
+		c.globals[g.Name] = g
+		if int64(len(g.Init)) > g.Size {
+			return nil, errf(g.Pos, "global %q has %d initializers for size %d", g.Name, len(g.Init), g.Size)
+		}
+		for _, e := range g.Init {
+			et, err := c.checkExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			if !constExpr(e) {
+				return nil, errf(g.Pos, "global %q initializer is not a literal", g.Name)
+			}
+			if et != g.Elem && !(g.Elem == TypeFloat && et == TypeInt) {
+				return nil, errf(g.Pos, "global %q initializer type %s", g.Name, et)
+			}
+		}
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return nil, errf(f.Pos, "duplicate function %q", f.Name)
+		}
+		if _, isIntr := Intrinsics[f.Name]; isIntr {
+			return nil, errf(f.Pos, "function %q shadows an intrinsic", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return nil, errf(Pos{1, 1}, "program has no main function")
+	}
+	if mf := c.funcs["main"]; len(mf.Params) != 0 {
+		return nil, errf(mf.Pos, "main must take no parameters")
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	return &CheckedProgram{AST: prog, Globals: c.globals, Funcs: c.funcs}, nil
+}
+
+func constExpr(e Expr) bool {
+	switch x := e.(type) {
+	case *IntLit, *FloatLit:
+		return true
+	case *UnaryExpr:
+		return x.Op == '-' && constExpr(x.X)
+	}
+	return false
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos Pos, name string, typ Type, isParam bool) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(pos, "duplicate declaration of %q", name)
+	}
+	top[name] = &symbol{Name: name, Type: typ, IsParam: isParam, IsLocal: !isParam}
+	return nil
+}
+
+func (c *checker) lookup(name string) *symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if g, ok := c.globals[name]; ok {
+		t := TypeIntArray
+		if g.Elem == TypeFloat {
+			t = TypeFloatArray
+		}
+		if g.IsScalar {
+			t = g.Elem // scalar globals read/write like scalars (via memory)
+		}
+		return &symbol{Name: name, Type: t}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.scopes = nil
+	c.pushScope()
+	for _, p := range f.Params {
+		if err := c.declare(p.Pos, p.Name, p.Type, true); err != nil {
+			return err
+		}
+	}
+	if err := c.checkStmt(f.Body); err != nil {
+		return err
+	}
+	c.popScope()
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		c.pushScope()
+		for _, inner := range st.Stmts {
+			if err := c.checkStmt(inner); err != nil {
+				return err
+			}
+		}
+		c.popScope()
+		return nil
+
+	case *VarDeclStmt:
+		if st.Init != nil {
+			it, err := c.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if err := assignable(st.Pos, st.Type, it); err != nil {
+				return err
+			}
+		}
+		return c.declare(st.Pos, st.Name, st.Type, false)
+
+	case *AssignStmt:
+		vt, err := c.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		tt, err := c.checkLValue(st.Target)
+		if err != nil {
+			return err
+		}
+		if st.Op != '=' && tt != TypeInt && tt != TypeFloat {
+			return errf(st.Pos, "compound assignment to %s", tt)
+		}
+		return assignable(st.Pos, tt, vt)
+
+	case *IfStmt:
+		ct, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != TypeInt {
+			return errf(st.Pos, "if condition must be int, found %s", ct)
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+
+	case *WhileStmt:
+		ct, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if ct != TypeInt {
+			return errf(st.Pos, "while condition must be int, found %s", ct)
+		}
+		c.loop++
+		err = c.checkStmt(st.Body)
+		c.loop--
+		return err
+
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			ct, err := c.checkExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+			if ct != TypeInt {
+				return errf(st.Pos, "for condition must be int, found %s", ct)
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		err := c.checkStmt(st.Body)
+		c.loop--
+		return err
+
+	case *ReturnStmt:
+		if st.Value == nil {
+			if c.fn.Ret != TypeVoid {
+				return errf(st.Pos, "missing return value in %q", c.fn.Name)
+			}
+			return nil
+		}
+		vt, err := c.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if c.fn.Ret == TypeVoid {
+			return errf(st.Pos, "returning a value from void %q", c.fn.Name)
+		}
+		return assignable(st.Pos, c.fn.Ret, vt)
+
+	case *PrintStmt:
+		t, err := c.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if t != TypeInt && t != TypeFloat {
+			return errf(st.Pos, "cannot print %s", t)
+		}
+		return nil
+
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X)
+		return err
+
+	case *BreakStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		return nil
+
+	case *ContinueStmt:
+		if c.loop == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled statement %T", s)
+}
+
+func assignable(pos Pos, dst, src Type) error {
+	if dst == src {
+		return nil
+	}
+	// Implicit int -> float widening only.
+	if dst == TypeFloat && src == TypeInt {
+		return nil
+	}
+	return errf(pos, "cannot assign %s to %s", src, dst)
+}
+
+func (c *checker) checkLValue(lv *LValue) (Type, error) {
+	sym := c.lookup(lv.Name)
+	if sym == nil {
+		return TypeVoid, errf(lv.Pos, "undefined name %q", lv.Name)
+	}
+	if lv.Index == nil {
+		if sym.Type.IsArray() {
+			return TypeVoid, errf(lv.Pos, "cannot assign to array %q", lv.Name)
+		}
+		return sym.Type, nil
+	}
+	it, err := c.checkExpr(lv.Index)
+	if err != nil {
+		return TypeVoid, err
+	}
+	if it != TypeInt {
+		return TypeVoid, errf(lv.Pos, "array index must be int, found %s", it)
+	}
+	if !sym.Type.IsArray() {
+		// Indexing a scalar global is allowed only if it is an array global.
+		if g, ok := c.globals[lv.Name]; ok && !g.IsScalar {
+			return g.Elem, nil
+		}
+		return TypeVoid, errf(lv.Pos, "%q is not an array", lv.Name)
+	}
+	return sym.Type.Elem(), nil
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.T = TypeInt
+		return TypeInt, nil
+
+	case *FloatLit:
+		x.T = TypeFloat
+		return TypeFloat, nil
+
+	case *VarRef:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			return TypeVoid, errf(x.Pos, "undefined name %q", x.Name)
+		}
+		x.T = sym.Type
+		return sym.Type, nil
+
+	case *IndexExpr:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			return TypeVoid, errf(x.Pos, "undefined name %q", x.Name)
+		}
+		it, err := c.checkExpr(x.Index)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if it != TypeInt {
+			return TypeVoid, errf(x.Pos, "array index must be int, found %s", it)
+		}
+		var elem Type
+		switch {
+		case sym.Type.IsArray():
+			elem = sym.Type.Elem()
+		default:
+			if g, ok := c.globals[x.Name]; ok {
+				elem = g.Elem
+			} else {
+				return TypeVoid, errf(x.Pos, "%q is not an array", x.Name)
+			}
+		}
+		x.T = elem
+		return elem, nil
+
+	case *UnaryExpr:
+		xt, err := c.checkExpr(x.X)
+		if err != nil {
+			return TypeVoid, err
+		}
+		switch x.Op {
+		case '-':
+			if xt != TypeInt && xt != TypeFloat {
+				return TypeVoid, errf(x.Pos, "cannot negate %s", xt)
+			}
+			x.T = xt
+		case '!', '~':
+			if xt != TypeInt {
+				return TypeVoid, errf(x.Pos, "operator %c needs int, found %s", x.Op, xt)
+			}
+			x.T = TypeInt
+		}
+		return x.T, nil
+
+	case *BinaryExpr:
+		lt, err := c.checkExpr(x.L)
+		if err != nil {
+			return TypeVoid, err
+		}
+		rt, err := c.checkExpr(x.R)
+		if err != nil {
+			return TypeVoid, err
+		}
+		switch x.Op {
+		case TokAndAnd, TokOrOr, TokAmp, TokPipe, TokCaret, TokShl, TokShr, TokPercent:
+			if lt != TypeInt || rt != TypeInt {
+				return TypeVoid, errf(x.Pos, "operator %s needs int operands", x.Op)
+			}
+			x.T = TypeInt
+		case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+			if lt.IsArray() || rt.IsArray() {
+				return TypeVoid, errf(x.Pos, "cannot compare arrays")
+			}
+			x.T = TypeInt // comparison result is 0/1
+		case TokPlus, TokMinus, TokStar, TokSlash:
+			if lt.IsArray() || rt.IsArray() {
+				return TypeVoid, errf(x.Pos, "arithmetic on array")
+			}
+			if lt == TypeFloat || rt == TypeFloat {
+				x.T = TypeFloat
+			} else {
+				x.T = TypeInt
+			}
+		default:
+			return TypeVoid, errf(x.Pos, "unhandled operator %s", x.Op)
+		}
+		return x.T, nil
+
+	case *CallExpr:
+		if intr, ok := Intrinsics[x.Name]; ok {
+			if len(x.Args) != 1 {
+				return TypeVoid, errf(x.Pos, "intrinsic %q takes one argument", x.Name)
+			}
+			at, err := c.checkExpr(x.Args[0])
+			if err != nil {
+				return TypeVoid, err
+			}
+			if at != TypeInt && at != TypeFloat {
+				return TypeVoid, errf(x.Pos, "intrinsic %q on %s", x.Name, at)
+			}
+			x.T = intr.Ret
+			return x.T, nil
+		}
+		fn, ok := c.funcs[x.Name]
+		if !ok {
+			return TypeVoid, errf(x.Pos, "undefined function %q", x.Name)
+		}
+		if len(x.Args) != len(fn.Params) {
+			return TypeVoid, errf(x.Pos, "%q needs %d arguments, got %d", x.Name, len(fn.Params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			at, err := c.checkExpr(a)
+			if err != nil {
+				return TypeVoid, err
+			}
+			pt := fn.Params[i].Type
+			switch {
+			case pt.IsArray():
+				// Array arguments: pass an array name (global or array param).
+				ref, isRef := a.(*VarRef)
+				if !isRef {
+					return TypeVoid, errf(x.Pos, "argument %d of %q must be an array name", i+1, x.Name)
+				}
+				argElem := at.Elem()
+				if !at.IsArray() {
+					// Global arrays read through lookup() as arrays already;
+					// anything else is not an array.
+					return TypeVoid, errf(ref.Pos, "argument %d of %q: %q is not an array", i+1, x.Name, ref.Name)
+				}
+				if argElem != pt.Elem() {
+					return TypeVoid, errf(ref.Pos, "argument %d of %q: element type %s, want %s", i+1, x.Name, argElem, pt.Elem())
+				}
+			default:
+				if err := assignable(x.Pos, pt, at); err != nil {
+					return TypeVoid, err
+				}
+			}
+		}
+		x.T = fn.Ret
+		return x.T, nil
+	}
+	return TypeVoid, fmt.Errorf("unhandled expression %T", e)
+}

@@ -1,0 +1,137 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkSrc(src string) error {
+	p, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	_, err = Check(p)
+	return err
+}
+
+func TestCheckAcceptsValidPrograms(t *testing.T) {
+	valid := []string{
+		`void main() {}`,
+		`int g; void main() { g = 1; print(g); }`,
+		`float a[4]; void main() { a[0] = 1; print(a[0]); }`, // int literal widens
+		`int f(int x) { return x; } void main() { print(f(3)); }`,
+		`float f(float x[]) { return x[0]; } float a[2]; void main() { print(f(a)); }`,
+		`void main() { float x = 3; }`, // widening init
+		`void main() { int x = 0; for (int i = 0; i < 3; i++) { x += i; } print(x); }`,
+		`void main() { if (1 && 0 || !0) { print(1); } }`,
+		`void main() { float f = sqrt(4.0) + sin(0.0) + cos(0.0) + fabs(-1.0) + exp(0.0) + log(1.0); print(f); }`,
+		`void main() { int x = int(3.7); float y = float(2); print(x); print(y); }`,
+		`int r() { return 1; } void main() { r(); }`, // discard result
+	}
+	for _, src := range valid {
+		if err := checkSrc(src); err != nil {
+			t.Errorf("valid program rejected: %v\n%s", err, src)
+		}
+	}
+}
+
+func TestCheckRejectsInvalidPrograms(t *testing.T) {
+	invalid := map[string]string{
+		`void notmain() {}`:                                         "no main",
+		`void main(int x) {}`:                                       "main must take no parameters",
+		`void main() { x = 1; }`:                                    "undefined",
+		`void main() { int x; int x; }`:                             "duplicate",
+		`int g; int g; void main() {}`:                              "duplicate global",
+		`int f() { return 1; } int f() { return 2; } void main(){}`: "duplicate function",
+		`void main() { int x = 1.5; }`:                              "cannot assign float to int",
+		`void main() { float f; if (f) {} }`:                        "condition must be int",
+		`void main() { while (1.0) {} }`:                            "condition must be int",
+		`void main() { break; }`:                                    "break outside loop",
+		`void main() { continue; }`:                                 "continue outside loop",
+		`int f() { return; } void main() {}`:                        "missing return value",
+		`void f() { return 1; } void main() {}`:                     "void return with value",
+		`int a[2]; void main() { a = 1; }`:                          "assign to array",
+		`void main() { int x; x[0] = 1; }`:                          "index non-array",
+		`int a[2]; void main() { a[1.5] = 1; }`:                     "float index",
+		`int f(int x) { return x; } void main() { f(); }`:           "arity",
+		`int f(int x[]) { return x[0]; } void main() { f(3); }`:     "array argument needed",
+		`void main() { int x = 1 % 2.0; }`:                          "% needs ints",
+		`void main() { int x = 1 & 2.0; }`:                          "& needs ints",
+		`void main() { sqrt(1.0, 2.0); }`:                           "intrinsic arity",
+		`int sqrt(int x) { return x; } void main() {}`:              "shadows intrinsic",
+		`int print; void main() {}`:                                 "keyword name",
+		`void main() { print(main); }`:                              "print non-value",
+		`int a[2] = {1, 2, 3}; void main() {}`:                      "too many initializers",
+		`int g = 1 + 2; void main() {}`:                             "non-literal global init",
+	}
+	for src, why := range invalid {
+		if err := checkSrc(src); err == nil {
+			t.Errorf("accepted invalid program (%s):\n%s", why, src)
+		}
+	}
+}
+
+func TestCheckAnnotatesTypes(t *testing.T) {
+	p, err := Parse(`
+float a[4];
+void main() {
+	int i = 1;
+	float x = a[i] * 2.0;
+	int c = i < 3;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	stmts := p.Funcs[0].Body.Stmts
+	mul := stmts[1].(*VarDeclStmt).Init.(*BinaryExpr)
+	if mul.ExprType() != TypeFloat {
+		t.Errorf("a[i]*2.0 typed %v", mul.ExprType())
+	}
+	if mul.L.(*IndexExpr).ExprType() != TypeFloat {
+		t.Errorf("a[i] typed %v", mul.L.ExprType())
+	}
+	cmp := stmts[2].(*VarDeclStmt).Init.(*BinaryExpr)
+	if cmp.ExprType() != TypeInt {
+		t.Errorf("comparison typed %v", cmp.ExprType())
+	}
+}
+
+func TestCheckScoping(t *testing.T) {
+	// Inner declarations shadow outer ones; loop-scope variables vanish.
+	if err := checkSrc(`
+void main() {
+	int x = 1;
+	{ int x = 2; print(x); }
+	print(x);
+	for (int i = 0; i < 2; i++) { print(i); }
+	print(x);
+}`); err != nil {
+		t.Errorf("shadowing rejected: %v", err)
+	}
+	err := checkSrc(`
+void main() {
+	for (int i = 0; i < 2; i++) { }
+	print(i);
+}`)
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("loop variable escaped its scope: %v", err)
+	}
+}
+
+func TestMixedArithmeticWidens(t *testing.T) {
+	p, err := Parse(`void main() { float f = 1 + 2.5; print(f); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	add := p.Funcs[0].Body.Stmts[0].(*VarDeclStmt).Init.(*BinaryExpr)
+	if add.ExprType() != TypeFloat {
+		t.Errorf("1 + 2.5 typed %v", add.ExprType())
+	}
+}

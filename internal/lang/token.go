@@ -1,0 +1,135 @@
+// Package lang implements the MiniC front end: a small C subset sufficient
+// to port the paper's benchmark programs. It provides a lexer, a
+// recursive-descent parser producing an AST, and a semantic checker.
+//
+// MiniC has two scalar types (int, float), global arrays and scalars (which
+// live in the program's flat memory), array parameters (passed as base
+// addresses, the paper's main source of ambiguous aliases), functions with
+// recursion, `if`/`while`/`for` control flow, and a `print` builtin used to
+// produce verifiable output. Logical && and || are strict (both operands
+// evaluate); the benchmarks are written accordingly.
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+
+	// Keywords.
+	TokKwInt
+	TokKwFloat
+	TokKwVoid
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwReturn
+	TokKwPrint
+	TokKwBreak
+	TokKwContinue
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokAssign
+	TokPlusAssign
+	TokMinusAssign
+	TokStarAssign
+	TokSlashAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokBang
+	TokAndAnd
+	TokOrOr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokShl
+	TokShr
+	TokPlusPlus
+	TokMinusMinus
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokIntLit: "int literal",
+	TokFloatLit: "float literal",
+	TokKwInt:    "int", TokKwFloat: "float", TokKwVoid: "void",
+	TokKwIf: "if", TokKwElse: "else", TokKwWhile: "while", TokKwFor: "for",
+	TokKwReturn: "return", TokKwPrint: "print", TokKwBreak: "break",
+	TokKwContinue: "continue",
+	TokLParen:     "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokAssign: "=", TokPlusAssign: "+=", TokMinusAssign: "-=",
+	TokStarAssign: "*=", TokSlashAssign: "/=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokAmp: "&", TokPipe: "|", TokCaret: "^",
+	TokTilde: "~", TokBang: "!", TokAndAnd: "&&", TokOrOr: "||",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">",
+	TokGe: ">=", TokShl: "<<", TokShr: ">>",
+	TokPlusPlus: "++", TokMinusMinus: "--",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int": TokKwInt, "float": TokKwFloat, "void": TokKwVoid,
+	"if": TokKwIf, "else": TokKwElse, "while": TokKwWhile, "for": TokKwFor,
+	"return": TokKwReturn, "print": TokKwPrint, "break": TokKwBreak,
+	"continue": TokKwContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string  // identifier spelling
+	Int  int64   // TokIntLit value
+	Flt  float64 // TokFloatLit value
+}
+
+// Error is a front-end diagnostic with a position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,80 @@
+// Package machine describes LIFE-style VLIW machine configurations: a number
+// of universal functional units sharing a global register file, guarded
+// execution, and the operation-latency table of the paper (Table 6-1).
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"specdis/internal/ir"
+)
+
+// Model is one machine configuration. NumFUs == 0 denotes the infinite
+// machine used by the paper's unconstrained simulator and by the SpD
+// guidance heuristic.
+type Model struct {
+	Name       string
+	NumFUs     int // 0 = infinite
+	MemLatency int // 2 or 6 in the paper
+}
+
+// New returns a constrained machine with n universal functional units.
+func New(n, memLat int) Model {
+	return Model{Name: fmt.Sprintf("life-%dfu-m%d", n, memLat), NumFUs: n, MemLatency: memLat}
+}
+
+// Infinite returns the unconstrained machine with the given memory latency.
+func Infinite(memLat int) Model {
+	return Model{Name: fmt.Sprintf("life-inf-m%d", memLat), NumFUs: 0, MemLatency: memLat}
+}
+
+// BranchLatency is the taken-exit resolution latency (Table 6-1).
+const BranchLatency = 2
+
+// Latency returns the latency of op under this model, per Table 6-1:
+//
+//	integer multiplies              3
+//	integer and FP divides          7
+//	FP compares                     1
+//	other ALU operations            1
+//	other FPU operations            3
+//	memory loads and stores         2 or 6
+//	branches                        2
+func (m Model) Latency(op *ir.Op) int {
+	switch op.Kind {
+	case ir.OpMul:
+		return 3
+	case ir.OpDiv, ir.OpRem, ir.OpFDiv:
+		return 7
+	case ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE:
+		return 1
+	case ir.OpLoad, ir.OpStore:
+		return m.MemLatency
+	case ir.OpExit:
+		return BranchLatency
+	}
+	if op.Kind.IsFloat() {
+		return 3
+	}
+	return 1
+}
+
+// LatencyFunc adapts the model to ir.LatencyFunc.
+func (m Model) LatencyFunc() ir.LatencyFunc {
+	return func(op *ir.Op) int { return m.Latency(op) }
+}
+
+// Describe renders the latency table (the paper's Table 6-1) for reports.
+func Describe(memLat int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Operation                     Latency (cyc)\n")
+	fmt.Fprintf(&b, "Integer multiplies            3\n")
+	fmt.Fprintf(&b, "Integer and FP divides        7\n")
+	fmt.Fprintf(&b, "FP compares                   1\n")
+	fmt.Fprintf(&b, "Other ALU operations          1\n")
+	fmt.Fprintf(&b, "Other FPU operations          3\n")
+	fmt.Fprintf(&b, "Memory loads and stores       %d\n", memLat)
+	fmt.Fprintf(&b, "Branches                      2\n")
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"specdis/internal/ir"
+)
+
+func opOf(k ir.OpKind) *ir.Op { return &ir.Op{Kind: k} }
+
+func TestTable61Latencies(t *testing.T) {
+	for _, memLat := range []int{2, 6} {
+		m := New(4, memLat)
+		cases := map[ir.OpKind]int{
+			ir.OpMul:    3,
+			ir.OpDiv:    7,
+			ir.OpRem:    7,
+			ir.OpFDiv:   7,
+			ir.OpFCmpLT: 1,
+			ir.OpFCmpEQ: 1,
+			ir.OpAdd:    1,
+			ir.OpCmpEQ:  1,
+			ir.OpConst:  1,
+			ir.OpMove:   1,
+			ir.OpBAnd:   1,
+			ir.OpFAdd:   3,
+			ir.OpFMul:   3,
+			ir.OpSqrt:   3,
+			ir.OpSin:    3,
+			ir.OpCvtIF:  3,
+			ir.OpLoad:   memLat,
+			ir.OpStore:  memLat,
+			ir.OpExit:   2,
+		}
+		for k, want := range cases {
+			if got := m.Latency(opOf(k)); got != want {
+				t.Errorf("memLat %d: latency(%v) = %d, want %d", memLat, k, got, want)
+			}
+		}
+	}
+}
+
+func TestModelNamesAndKinds(t *testing.T) {
+	if New(5, 2).Name != "life-5fu-m2" {
+		t.Errorf("name %q", New(5, 2).Name)
+	}
+	inf := Infinite(6)
+	if inf.NumFUs != 0 || inf.MemLatency != 6 {
+		t.Errorf("infinite model wrong: %+v", inf)
+	}
+	if BranchLatency != 2 {
+		t.Errorf("branch latency %d", BranchLatency)
+	}
+}
+
+func TestLatencyFuncAdapts(t *testing.T) {
+	m := New(1, 6)
+	f := m.LatencyFunc()
+	if f(opOf(ir.OpLoad)) != 6 {
+		t.Error("LatencyFunc does not match Latency")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe(6)
+	if !strings.Contains(s, "Memory loads and stores       6") {
+		t.Errorf("Describe(6):\n%s", s)
+	}
+	if !strings.Contains(s, "Integer and FP divides        7") {
+		t.Error("divide row missing")
+	}
+}

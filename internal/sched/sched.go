@@ -1,0 +1,178 @@
+// Package sched schedules decision trees for LIFE machine configurations:
+// an ASAP schedule for the infinite machine and a cycle-driven list scheduler
+// for constrained machines with N universal, fully pipelined functional
+// units (each op occupies one issue slot in its issue cycle).
+package sched
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+)
+
+// Schedule holds issue and completion cycles per op (indexed by Seq).
+type Schedule struct {
+	Issue []int64
+	Comp  []int64 // Issue + latency: write-back / resolution cycle
+}
+
+// Length returns the overall schedule length (max completion).
+func (s *Schedule) Length() int64 {
+	var max int64
+	for _, c := range s.Comp {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Tree schedules one tree for the given machine model. NumFUs == 0 yields
+// the ASAP (infinite machine) schedule.
+func Tree(t *ir.Tree, m machine.Model) *Schedule {
+	g := ir.BuildDepGraph(t, m.LatencyFunc())
+	return FromGraph(g, m.NumFUs)
+}
+
+// FromGraph schedules a prebuilt dependence graph on n functional units
+// (n == 0 for the infinite machine).
+func FromGraph(g *ir.DepGraph, n int) *Schedule {
+	if n <= 0 {
+		asap := g.ASAP()
+		s := &Schedule{Issue: make([]int64, len(asap)), Comp: make([]int64, len(asap))}
+		for i, c := range asap {
+			s.Issue[i] = int64(c)
+			s.Comp[i] = int64(c + g.Latency(i))
+		}
+		return s
+	}
+	return listSchedule(g, n)
+}
+
+// height computes the critical-path height of each op: the longest
+// delay-weighted path from the op to any sink, plus its own latency.
+func height(g *ir.DepGraph) []int64 {
+	n := len(g.Tree.Ops)
+	h := make([]int64, n)
+	for i := n - 1; i >= 0; i-- {
+		h[i] = int64(g.Latency(i))
+		for _, e := range g.Succ[i] {
+			if v := int64(e.Delay) + h[e.To]; v > h[i] {
+				h[i] = v
+			}
+		}
+	}
+	return h
+}
+
+func listSchedule(g *ir.DepGraph, numFUs int) *Schedule {
+	n := len(g.Tree.Ops)
+	issue := make([]int64, n)
+	unscheduled := n
+	npreds := make([]int, n)
+	earliest := make([]int64, n)
+	for i := 0; i < n; i++ {
+		npreds[i] = len(g.Pred[i])
+		issue[i] = -1
+	}
+	h := height(g)
+
+	// ready holds ops whose predecessors are all scheduled.
+	var ready []int
+	for i := 0; i < n; i++ {
+		if npreds[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	var cycle int64
+	for unscheduled > 0 {
+		// Pick up to numFUs ready ops whose earliest cycle has arrived,
+		// preferring exits (branch resolution gates when the next tree can
+		// start), then greater critical-path height, then program order.
+		slots := numFUs
+		for slots > 0 {
+			best := -1
+			better := func(i, j int) bool {
+				oi, oj := g.Tree.Ops[i], g.Tree.Ops[j]
+				ei, ej := oi.Kind == ir.OpExit, oj.Kind == ir.OpExit
+				if ei != ej {
+					return ei
+				}
+				if h[i] != h[j] {
+					return h[i] > h[j]
+				}
+				return oi.Seq < oj.Seq
+			}
+			for _, i := range ready {
+				if issue[i] >= 0 || earliest[i] > cycle {
+					continue
+				}
+				if best < 0 || better(i, best) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			issue[best] = cycle
+			slots--
+			unscheduled--
+			for _, e := range g.Succ[best] {
+				if v := cycle + int64(e.Delay); v > earliest[e.To] {
+					earliest[e.To] = v
+				}
+				npreds[e.To]--
+				if npreds[e.To] == 0 {
+					ready = append(ready, e.To)
+				}
+			}
+		}
+		// Drop scheduled entries from the ready list.
+		w := 0
+		for _, i := range ready {
+			if issue[i] < 0 {
+				ready[w] = i
+				w++
+			}
+		}
+		ready = ready[:w]
+		cycle++
+		if cycle > int64(n)*64+1024 {
+			panic(fmt.Sprintf("list scheduler livelock on tree %s", g.Tree.Name))
+		}
+	}
+
+	s := &Schedule{Issue: issue, Comp: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		s.Comp[i] = issue[i] + int64(g.Latency(i))
+	}
+	return s
+}
+
+// Validate checks that a schedule respects all dependence delays and, for
+// n > 0, the per-cycle issue-slot limit.
+func Validate(g *ir.DepGraph, s *Schedule, n int) error {
+	perCycle := map[int64]int{}
+	for i := range g.Tree.Ops {
+		if s.Issue[i] < 0 {
+			return fmt.Errorf("op %d unscheduled", i)
+		}
+		perCycle[s.Issue[i]]++
+		for _, e := range g.Succ[i] {
+			if s.Issue[e.To] < s.Issue[i]+int64(e.Delay) {
+				return fmt.Errorf("op %d issues at %d, before op %d + delay %d",
+					e.To, s.Issue[e.To], i, e.Delay)
+			}
+		}
+	}
+	if n > 0 {
+		for c, k := range perCycle {
+			if k > n {
+				return fmt.Errorf("cycle %d issues %d ops on %d FUs", c, k, n)
+			}
+		}
+	}
+	return nil
+}

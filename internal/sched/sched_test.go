@@ -1,0 +1,165 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specdis/internal/bench"
+	"specdis/internal/compile"
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sched"
+)
+
+// allTrees compiles every benchmark and returns all executed-shape trees —
+// a rich corpus of real dependence graphs.
+func allTrees(t testing.TB) []*ir.Tree {
+	t.Helper()
+	var trees []*ir.Tree
+	for _, b := range bench.All() {
+		prog, err := compile.Compile(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for _, name := range prog.Order {
+			trees = append(trees, prog.Funcs[name].Trees...)
+		}
+	}
+	return trees
+}
+
+func TestSchedulesAreValidEverywhere(t *testing.T) {
+	trees := allTrees(t)
+	models := []machine.Model{
+		machine.Infinite(2), machine.Infinite(6),
+		machine.New(1, 2), machine.New(2, 2), machine.New(5, 2),
+		machine.New(8, 6), machine.New(3, 6),
+	}
+	for _, m := range models {
+		for _, tr := range trees {
+			g := ir.BuildDepGraph(tr, m.LatencyFunc())
+			s := sched.FromGraph(g, m.NumFUs)
+			if err := sched.Validate(g, s, m.NumFUs); err != nil {
+				t.Fatalf("%s on %s: %v", tr.Name, m.Name, err)
+			}
+		}
+	}
+}
+
+func TestWiderMachinesNeverSlower(t *testing.T) {
+	trees := allTrees(t)
+	for _, tr := range trees {
+		m := machine.New(1, 2)
+		g := ir.BuildDepGraph(tr, m.LatencyFunc())
+		prev := sched.FromGraph(g, 1).Length()
+		for w := 2; w <= 8; w++ {
+			l := sched.FromGraph(g, w).Length()
+			if l > prev {
+				t.Fatalf("%s: %d FUs slower (%d) than %d FUs (%d)", tr.Name, w, l, w-1, prev)
+			}
+			prev = l
+		}
+		// And the infinite machine is a lower bound.
+		inf := sched.FromGraph(g, 0).Length()
+		if prev < inf {
+			t.Fatalf("%s: 8-FU schedule (%d) beats infinite machine (%d)", tr.Name, prev, inf)
+		}
+	}
+}
+
+func TestInfiniteEqualsASAP(t *testing.T) {
+	trees := allTrees(t)
+	m := machine.Infinite(6)
+	for _, tr := range trees {
+		g := ir.BuildDepGraph(tr, m.LatencyFunc())
+		s := sched.FromGraph(g, 0)
+		asap := g.ASAP()
+		for i := range tr.Ops {
+			if s.Issue[i] != int64(asap[i]) {
+				t.Fatalf("%s op %d: infinite schedule %d != ASAP %d", tr.Name, i, s.Issue[i], asap[i])
+			}
+		}
+	}
+}
+
+func TestSingleFUIsSequentialCount(t *testing.T) {
+	// On one FU, each cycle issues at most one op, so the schedule spans at
+	// least len(ops) cycles.
+	trees := allTrees(t)
+	for _, tr := range trees {
+		g := ir.BuildDepGraph(tr, machine.New(1, 2).LatencyFunc())
+		s := sched.FromGraph(g, 1)
+		var maxIssue int64
+		for _, c := range s.Issue {
+			if c > maxIssue {
+				maxIssue = c
+			}
+		}
+		if maxIssue < int64(len(tr.Ops)-1) {
+			t.Fatalf("%s: %d ops issued within %d cycles on 1 FU", tr.Name, len(tr.Ops), maxIssue+1)
+		}
+	}
+}
+
+// TestRandomChainsScheduleExactly checks the list scheduler against a
+// closed-form answer on random dependency chains: a pure chain's length is
+// the sum of its latencies regardless of FU count.
+func TestRandomChainsScheduleExactly(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fn := &ir.Function{Name: "chain"}
+		tr := &ir.Tree{Fn: fn, Name: "chain.t0"}
+		tr.NewBlock(-1, ir.NoReg, false)
+		kinds := []ir.OpKind{ir.OpAdd, ir.OpMul, ir.OpDiv, ir.OpFAdd}
+		m := machine.New(1+r.Intn(8), 2)
+		prevReg := fn.NewReg()
+		first := tr.NewOp(ir.OpConst, nil, prevReg)
+		_ = first
+		total := int64(m.Latency(first))
+		n := 1 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			k := kinds[r.Intn(len(kinds))]
+			op := tr.NewOp(k, []ir.Reg{prevReg, prevReg}, fn.NewReg())
+			prevReg = op.Dest
+			total += int64(m.Latency(op))
+		}
+		ex := tr.NewOp(ir.OpExit, []ir.Reg{prevReg}, ir.NoReg)
+		ex.Exit = ir.ExitRet
+		total += int64(m.Latency(ex))
+		g := ir.BuildDepGraph(tr, m.LatencyFunc())
+		s := sched.FromGraph(g, m.NumFUs)
+		return s.Length() == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	fn := &ir.Function{Name: "v"}
+	tr := &ir.Tree{Fn: fn, Name: "v.t0"}
+	tr.NewBlock(-1, ir.NoReg, false)
+	c := tr.NewOp(ir.OpConst, nil, fn.NewReg())
+	a := tr.NewOp(ir.OpAdd, []ir.Reg{c.Dest, c.Dest}, fn.NewReg())
+	_ = a
+	ex := tr.NewOp(ir.OpExit, nil, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	m := machine.New(2, 2)
+	g := ir.BuildDepGraph(tr, m.LatencyFunc())
+	s := sched.FromGraph(g, 2)
+	if err := sched.Validate(g, s, 2); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	// Violate a dependence.
+	bad := &sched.Schedule{Issue: append([]int64(nil), s.Issue...), Comp: s.Comp}
+	bad.Issue[1] = 0
+	if err := sched.Validate(g, bad, 2); err == nil {
+		t.Error("dependence violation accepted")
+	}
+	// Violate the slot limit.
+	bad2 := &sched.Schedule{Issue: []int64{0, 1, 1}, Comp: s.Comp}
+	if err := sched.Validate(g, bad2, 1); err == nil {
+		t.Error("slot-limit violation accepted")
+	}
+}

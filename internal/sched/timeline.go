@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+)
+
+// RenderTimeline writes a textual Gantt view of one tree's schedule: one row
+// per operation in issue order, with `=` marking the occupied cycles from
+// issue to write-back. It makes the effect of a transformation on a schedule
+// visible at a glance (see examples/rawdep for the programmatic variant).
+func RenderTimeline(w io.Writer, t *ir.Tree, m machine.Model) {
+	s := Tree(t, m)
+	length := s.Length()
+	fmt.Fprintf(w, "tree %s on %s: %d cycles, %d ops\n", t.Name, m.Name, length, len(t.Ops))
+
+	// Rows sorted by issue cycle, then Seq.
+	order := make([]int, len(t.Ops))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if s.Issue[a] > s.Issue[b] || (s.Issue[a] == s.Issue[b] && a > b) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+
+	for _, i := range order {
+		op := t.Ops[i]
+		bar := strings.Repeat(" ", int(s.Issue[i])) +
+			strings.Repeat("=", int(s.Comp[i]-s.Issue[i]))
+		if int64(len(bar)) < length {
+			bar += strings.Repeat(" ", int(length)-len(bar))
+		}
+		fmt.Fprintf(w, "%3d |%s| %s\n", s.Issue[i], bar, op)
+	}
+}
+
+// RenderProgramTimelines renders every tree of a program, skipping trees
+// with fewer than minOps operations.
+func RenderProgramTimelines(w io.Writer, p *ir.Program, m machine.Model, minOps int) {
+	for _, name := range p.Order {
+		for _, t := range p.Funcs[name].Trees {
+			if len(t.Ops) < minOps {
+				continue
+			}
+			RenderTimeline(w, t, m)
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+
+	"specdis/internal/compile"
+	"specdis/internal/machine"
+	"specdis/internal/sched"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	prog, err := compile.Compile(`
+int a[8];
+void main() {
+	for (int i = 0; i < 8; i = i + 1) { a[i] = i * 3; }
+	print(a[7]);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sched.RenderProgramTimelines(&sb, prog, machine.New(2, 2), 4)
+	out := sb.String()
+	if !strings.Contains(out, "cycles") || !strings.Contains(out, "=") {
+		t.Fatalf("timeline malformed:\n%s", out)
+	}
+	// Every rendered row bar must start at its issue column: rows begin with
+	// the issue number.
+	lines := strings.Split(out, "\n")
+	rows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") && strings.Contains(l, "=") {
+			rows++
+		}
+	}
+	if rows < 5 {
+		t.Fatalf("too few rendered rows (%d):\n%s", rows, out)
+	}
+}

@@ -1,0 +1,77 @@
+package sim_test
+
+import (
+	"testing"
+
+	"specdis/internal/alias"
+	"specdis/internal/bench"
+	"specdis/internal/compile"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+	"specdis/internal/spd"
+)
+
+// TestOutputScheduleInvariance checks the property the whole measurement
+// methodology rests on: the committed values of a guarded-execution program
+// do not depend on which legal execution order the interpreter uses. We run
+// every benchmark — before and after SpD — under semantic orders derived
+// from very different latency models and require identical output.
+func TestOutputScheduleInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	semLats := []machine.Model{
+		machine.Infinite(2),
+		machine.Infinite(6),
+		machine.New(1, 2), // latency model only; order derives from the graph
+	}
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			// Untransformed program.
+			var ref string
+			for _, m := range semLats {
+				prog, err := compile.Compile(b.Source)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := &sim.Runner{Prog: prog, SemLat: m.LatencyFunc()}
+				res, err := r.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == "" {
+					ref = res.Output
+				} else if res.Output != ref {
+					t.Fatalf("order under %s changed output", m.Name)
+				}
+			}
+			// SpD-transformed program: transform once deterministically,
+			// then reinterpret under each order.
+			for _, m := range semLats {
+				prog, err := compile.Compile(b.Source)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prof := sim.NewProfile()
+				r0 := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc(), Prof: prof}
+				if _, err := r0.Run(); err != nil {
+					t.Fatal(err)
+				}
+				alias.ResolveProgram(prog)
+				params := spd.DefaultParams()
+				params.MinGain = 0.01
+				spd.Transform(prog, prof, machine.Infinite(2).LatencyFunc(), params)
+				r := &sim.Runner{Prog: prog, SemLat: m.LatencyFunc()}
+				res, err := r.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Output != ref {
+					t.Fatalf("transformed program under order %s changed output", m.Name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package sim_test
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+)
+
+// evalOp builds a one-op program (const inputs → op → print) and runs it,
+// returning the printed line. It exercises the interpreter's evalPure for
+// every operation kind end to end.
+func evalOp(t *testing.T, kind ir.OpKind, isFloat bool, a, b ir.Value, nargs int) string {
+	t.Helper()
+	fn := &ir.Function{Name: "main"}
+	tr := &ir.Tree{Fn: fn, Name: "main.t0"}
+	tr.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{tr}
+
+	ra := fn.NewReg()
+	ca := tr.NewOp(ir.OpConst, nil, ra)
+	ca.Imm = a
+	args := []ir.Reg{ra}
+	if nargs == 2 {
+		rb := fn.NewReg()
+		cb := tr.NewOp(ir.OpConst, nil, rb)
+		cb.Imm = b
+		args = append(args, rb)
+	}
+	d := fn.NewReg()
+	tr.NewOp(kind, args, d)
+	pr := tr.NewOp(ir.OpPrint, []ir.Reg{d}, ir.NoReg)
+	pr.PrintFloat = isFloat
+	ex := tr.NewOp(ir.OpExit, nil, ir.NoReg)
+	ex.Exit = ir.ExitRet
+
+	prog := &ir.Program{
+		Funcs: map[string]*ir.Function{"main": fn}, Order: []string{"main"},
+		Main: "main", MemSize: 64,
+	}
+	r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc()}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("%v: %v", kind, err)
+	}
+	return strings.TrimSpace(res.Output)
+}
+
+func iv(i int64) ir.Value   { return ir.Value{I: i, F: float64(i)} }
+func fv(f float64) ir.Value { return ir.Value{I: int64(f), F: f} }
+
+func TestIntegerOpSemantics(t *testing.T) {
+	cases := []struct {
+		kind  ir.OpKind
+		a, b  int64
+		nargs int
+		want  int64
+	}{
+		{ir.OpMove, 42, 0, 1, 42},
+		{ir.OpAdd, 5, 7, 2, 12},
+		{ir.OpSub, 5, 7, 2, -2},
+		{ir.OpMul, -3, 9, 2, -27},
+		{ir.OpDiv, 17, 5, 2, 3},
+		{ir.OpDiv, 17, 0, 2, 0},                         // non-trapping
+		{ir.OpDiv, math.MinInt64, -1, 2, math.MinInt64}, // overflow defined
+		{ir.OpRem, 17, 5, 2, 2},
+		{ir.OpRem, 17, 0, 2, 0},
+		{ir.OpRem, math.MinInt64, -1, 2, 0},
+		{ir.OpNeg, 9, 0, 1, -9},
+		{ir.OpAnd, 12, 10, 2, 8},
+		{ir.OpOr, 12, 10, 2, 14},
+		{ir.OpXor, 12, 10, 2, 6},
+		{ir.OpNot, 0, 0, 1, -1},
+		{ir.OpShl, 3, 4, 2, 48},
+		{ir.OpShl, 1, 64, 2, 1}, // shift amounts mask to 6 bits
+		{ir.OpShr, -16, 2, 2, -4},
+		{ir.OpBNot, 0, 0, 1, 1},
+		{ir.OpBNot, 7, 0, 1, 0},
+		{ir.OpBAnd, 2, 3, 2, 1},
+		{ir.OpBAnd, 2, 0, 2, 0},
+		{ir.OpBAndNot, 2, 0, 2, 1},
+		{ir.OpBAndNot, 2, 3, 2, 0},
+		{ir.OpCmpEQ, 4, 4, 2, 1},
+		{ir.OpCmpNE, 4, 4, 2, 0},
+		{ir.OpCmpLT, 3, 4, 2, 1},
+		{ir.OpCmpLE, 4, 4, 2, 1},
+		{ir.OpCmpGT, 4, 3, 2, 1},
+		{ir.OpCmpGE, 3, 4, 2, 0},
+		{ir.OpCvtFI, 0, 0, 1, 0},
+	}
+	for _, c := range cases {
+		got := evalOp(t, c.kind, false, iv(c.a), iv(c.b), c.nargs)
+		if got != strconv.FormatInt(c.want, 10) {
+			t.Errorf("%v(%d,%d) = %s, want %d", c.kind, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFloatOpSemantics(t *testing.T) {
+	cases := []struct {
+		kind  ir.OpKind
+		a, b  float64
+		nargs int
+		want  string
+	}{
+		{ir.OpFAdd, 1.5, 2.25, 2, "3.75"},
+		{ir.OpFSub, 1.5, 2.25, 2, "-0.75"},
+		{ir.OpFMul, 1.5, -2, 2, "-3"},
+		{ir.OpFDiv, 7, 2, 2, "3.5"},
+		{ir.OpFNeg, 2.5, 0, 1, "-2.5"},
+		{ir.OpFCmpEQ, 2, 2, 2, "1"},
+		{ir.OpFCmpNE, 2, 2, 2, "0"},
+		{ir.OpFCmpLT, 1, 2, 2, "1"},
+		{ir.OpFCmpLE, 2, 2, 2, "1"},
+		{ir.OpFCmpGT, 1, 2, 2, "0"},
+		{ir.OpFCmpGE, 2, 1, 2, "1"},
+		{ir.OpSqrt, 9, 0, 1, "3"},
+		{ir.OpFAbs, -4.5, 0, 1, "4.5"},
+		{ir.OpSin, 0, 0, 1, "0"},
+		{ir.OpCos, 0, 0, 1, "1"},
+		{ir.OpExp, 0, 0, 1, "1"},
+		{ir.OpLog, 1, 0, 1, "0"},
+	}
+	for _, c := range cases {
+		isFloat := c.kind != ir.OpFCmpEQ && c.kind != ir.OpFCmpNE &&
+			c.kind != ir.OpFCmpLT && c.kind != ir.OpFCmpLE &&
+			c.kind != ir.OpFCmpGT && c.kind != ir.OpFCmpGE
+		got := evalOp(t, c.kind, isFloat, fv(c.a), fv(c.b), c.nargs)
+		if got != c.want {
+			t.Errorf("%v(%g,%g) = %s, want %s", c.kind, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCvtSemantics(t *testing.T) {
+	if got := evalOp(t, ir.OpCvtIF, true, iv(5), iv(0), 1); got != "5" {
+		t.Errorf("cvtif(5) = %s", got)
+	}
+	if got := evalOp(t, ir.OpCvtFI, false, fv(-2.9), fv(0), 1); got != "-2" {
+		t.Errorf("cvtfi(-2.9) = %s", got)
+	}
+	if got := evalOp(t, ir.OpCvtFI, false, fv(math.NaN()), fv(0), 1); got != "0" {
+		t.Errorf("cvtfi(NaN) = %s", got)
+	}
+	if got := evalOp(t, ir.OpCvtFI, false, fv(math.Inf(1)), fv(0), 1); got != strconv.FormatInt(math.MaxInt64, 10) {
+		t.Errorf("cvtfi(+Inf) = %s", got)
+	}
+	if got := evalOp(t, ir.OpCvtFI, false, fv(math.Inf(-1)), fv(0), 1); got != strconv.FormatInt(math.MinInt64, 10) {
+		t.Errorf("cvtfi(-Inf) = %s", got)
+	}
+}

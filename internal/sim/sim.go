@@ -1,0 +1,560 @@
+// Package sim executes decision-tree programs with guarded-execution
+// semantics and measures their run time under one or more machine schedules.
+//
+// Semantics. Each tree execution runs every operation of the tree in a fixed
+// topological order of the tree's dependence graph (the compiler's model of a
+// legal issue order): operations compute speculatively, but write-back —
+// register writes, memory stores, output — happens only when the guard
+// evaluates true. Speculative reads through garbage addresses are clamped
+// into the memory image (a non-faulting memory, per the paper's §4.6
+// assumption), and speculative integer division by zero yields zero.
+//
+// Timing. For each supplied Plan (a per-tree completion-cycle table produced
+// by a scheduler), a tree execution costs the maximum completion cycle over
+// the operations that actually committed — at least the taken exit's
+// resolution cycle, since exits carry the branch latency. Because committed
+// values are schedule-invariant, one semantic pass can price any number of
+// schedules at once.
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+
+	"specdis/internal/ir"
+)
+
+// Plan is a pricing table: completion cycles per op for every tree, as
+// produced by a scheduler for one machine configuration.
+type Plan struct {
+	Name string
+	comp map[*ir.Tree][]int64
+}
+
+// NewPlan returns an empty plan.
+func NewPlan(name string) *Plan {
+	return &Plan{Name: name, comp: map[*ir.Tree][]int64{}}
+}
+
+// SetTree installs the completion-cycle table for one tree (indexed by Seq).
+func (p *Plan) SetTree(t *ir.Tree, comp []int64) { p.comp[t] = comp }
+
+// Result is the outcome of a program run.
+type Result struct {
+	Output string
+	// Times has one entry per plan passed to Run: total cycles.
+	Times []int64
+	// Ops is the number of dynamic operation executions (including
+	// speculative ones), a work measure.
+	Ops int64
+	// Committed counts the operations whose write-back actually happened:
+	// Ops − Committed is the dynamic cost of speculation.
+	Committed int64
+	// Exit is main's return value.
+	Exit ir.Value
+}
+
+// Profile accumulates execution statistics during a profiling run: per-tree
+// execution counts and per-exit counts. Memory-arc counters (ExecCount /
+// AliasCount) are accumulated directly on the arcs of the profiled program.
+type Profile struct {
+	TreeExec map[*ir.Tree]int64
+	ExitExec map[*ir.Op]int64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{TreeExec: map[*ir.Tree]int64{}, ExitExec: map[*ir.Op]int64{}}
+}
+
+// ExitProb returns the measured probability that tree t leaves through exit
+// e, defaulting to a uniform split when the tree never executed.
+func (pr *Profile) ExitProb(t *ir.Tree, e *ir.Op) float64 {
+	total := pr.TreeExec[t]
+	if total == 0 {
+		return 1 / float64(len(t.Exits()))
+	}
+	return float64(pr.ExitExec[e]) / float64(total)
+}
+
+// TreeExecCount returns how many times tree t executed during profiling.
+func (pr *Profile) TreeExecCount(t *ir.Tree) int64 { return pr.TreeExec[t] }
+
+// DefaultMaxOps bounds the dynamic operation count of one run.
+const DefaultMaxOps = 4_000_000_000
+
+// Runner executes one program. A Runner is single-use per Run call but may
+// be reused; memory and output reset each run.
+type Runner struct {
+	Prog *ir.Program
+	// SemLat is the latency model used to fix the semantic execution order;
+	// any model gives the same committed values, so this only pins
+	// determinism. Required.
+	SemLat ir.LatencyFunc
+	// Plans are priced during the run.
+	Plans []*Plan
+	// Prof, when non-nil, collects profiling statistics (and updates arc
+	// alias counters on the program).
+	Prof *Profile
+	// MaxOps guards against runaway programs (0 = DefaultMaxOps).
+	MaxOps int64
+
+	mem       []ir.Value
+	out       bytes.Buffer
+	ops       int64
+	committed int64
+	times     []int64
+	ctxes     map[*ir.Tree]*treeCtx
+	framePool [][]ir.Value
+}
+
+// treeCtx is the per-tree execution context, built once and cached.
+type treeCtx struct {
+	order []int // topological execution order (Seq indices)
+	comp  [][]int64
+	memo  map[string][]int64 // (taken exit, committed-mask) -> per-plan time
+	exits []int              // Seq indices of exits, in Seq order
+
+	// onPath[i][e] reports whether op i's block lies on the path to the
+	// tree's e-th exit: only such ops contribute to that path's time (a
+	// speculative op from an untaken path occupies an issue slot but its
+	// write-back gates nothing).
+	onPath    [][]bool
+	exitIndex map[*ir.Op]int
+
+	committed []bool
+	addrs     []int64
+	mask      []byte
+}
+
+func (r *Runner) ctx(t *ir.Tree) *treeCtx {
+	if c, ok := r.ctxes[t]; ok {
+		return c
+	}
+	g := ir.BuildDepGraph(t, r.SemLat)
+	c := &treeCtx{
+		order:     topoOrder(g),
+		memo:      map[string][]int64{},
+		exitIndex: map[*ir.Op]int{},
+		committed: make([]bool, len(t.Ops)),
+		addrs:     make([]int64, len(t.Ops)),
+		mask:      make([]byte, (len(t.Ops)+7)/8+1),
+	}
+	for _, op := range t.Ops {
+		if op.Kind == ir.OpExit {
+			c.exitIndex[op] = len(c.exits)
+			c.exits = append(c.exits, op.Seq)
+		}
+	}
+	c.onPath = make([][]bool, len(t.Ops))
+	for i, op := range t.Ops {
+		c.onPath[i] = make([]bool, len(c.exits))
+		for e, exSeq := range c.exits {
+			c.onPath[i][e] = t.OnPath(op.Block, t.Ops[exSeq].Block)
+		}
+	}
+	for _, p := range r.Plans {
+		comp := p.comp[t]
+		if comp == nil {
+			panic(fmt.Sprintf("plan %q has no schedule for tree %s", p.Name, t.Name))
+		}
+		c.comp = append(c.comp, comp)
+	}
+	r.ctxes[t] = c
+	return c
+}
+
+// topoOrder returns a deterministic topological order of the dependence
+// graph: among ready ops, lowest Seq first.
+func topoOrder(g *ir.DepGraph) []int {
+	n := len(g.Tree.Ops)
+	npreds := make([]int, n)
+	for i := 0; i < n; i++ {
+		npreds[i] = len(g.Pred[i])
+	}
+	order := make([]int, 0, n)
+	done := make([]bool, n)
+	for len(order) < n {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if !done[i] && npreds[i] == 0 {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			panic("dependence graph has a cycle: " + g.Tree.Name)
+		}
+		done[picked] = true
+		order = append(order, picked)
+		for _, e := range g.Succ[picked] {
+			npreds[e.To]--
+		}
+	}
+	return order
+}
+
+// Run executes the program from main and returns the result.
+func (r *Runner) Run() (*Result, error) {
+	if r.SemLat == nil {
+		return nil, fmt.Errorf("sim: SemLat is required")
+	}
+	r.mem = make([]ir.Value, r.Prog.MemSize)
+	for _, g := range r.Prog.Globals {
+		copy(r.mem[g.Base:g.Base+g.Size], g.Init)
+	}
+	r.out.Reset()
+	r.ops = 0
+	r.committed = 0
+	r.times = make([]int64, len(r.Plans))
+	r.ctxes = map[*ir.Tree]*treeCtx{}
+
+	main := r.Prog.Funcs[r.Prog.Main]
+	exit, err := r.call(main, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Output:    r.out.String(),
+		Times:     r.times,
+		Ops:       r.ops,
+		Committed: r.committed,
+		Exit:      exit,
+	}, nil
+}
+
+func (r *Runner) getFrame(n int) []ir.Value {
+	if k := len(r.framePool); k > 0 && cap(r.framePool[k-1]) >= n {
+		f := r.framePool[k-1][:n]
+		r.framePool = r.framePool[:k-1]
+		for i := range f {
+			f[i] = ir.Value{}
+		}
+		return f
+	}
+	return make([]ir.Value, n)
+}
+
+func (r *Runner) putFrame(f []ir.Value) {
+	if len(r.framePool) < 64 {
+		r.framePool = append(r.framePool, f)
+	}
+}
+
+// call runs one function invocation.
+func (r *Runner) call(fn *ir.Function, args []ir.Value) (ir.Value, error) {
+	regs := r.getFrame(fn.NumRegs)
+	defer r.putFrame(regs)
+	for i, p := range fn.Params {
+		regs[p] = args[i]
+	}
+	cur := fn.Entry
+	for {
+		t := fn.Trees[cur]
+		exit, err := r.execTree(t, regs)
+		if err != nil {
+			return ir.Value{}, err
+		}
+		switch exit.Exit {
+		case ir.ExitGoto:
+			cur = exit.Target
+		case ir.ExitRet:
+			if len(exit.Args) > 0 {
+				return regs[exit.Args[0]], nil
+			}
+			return ir.Value{}, nil
+		case ir.ExitCall:
+			callee := r.Prog.Funcs[exit.Callee]
+			cargs := make([]ir.Value, len(exit.CallArg))
+			for i, a := range exit.CallArg {
+				cargs[i] = regs[a]
+			}
+			rv, err := r.call(callee, cargs)
+			if err != nil {
+				return ir.Value{}, err
+			}
+			if exit.Dest != ir.NoReg {
+				regs[exit.Dest] = rv
+			}
+			cur = exit.Target
+		}
+	}
+}
+
+func (r *Runner) clamp(a int64) int64 {
+	if a < 0 {
+		return 0
+	}
+	if a >= int64(len(r.mem)) {
+		return int64(len(r.mem)) - 1
+	}
+	return a
+}
+
+func guardOK(op *ir.Op, regs []ir.Value) bool {
+	if op.Guard == ir.NoReg {
+		return true
+	}
+	nz := regs[op.Guard].I != 0
+	if op.GuardNeg {
+		return !nz
+	}
+	return nz
+}
+
+// execTree executes one tree over the register frame, returning the taken
+// exit op.
+func (r *Runner) execTree(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
+	c := r.ctx(t)
+	maxOps := r.MaxOps
+	if maxOps == 0 {
+		maxOps = DefaultMaxOps
+	}
+	r.ops += int64(len(t.Ops))
+	if r.ops > maxOps {
+		return nil, fmt.Errorf("sim: operation budget exceeded (%d)", maxOps)
+	}
+
+	profiling := r.Prof != nil
+	var taken *ir.Op
+	for _, i := range c.order {
+		op := t.Ops[i]
+		ok := guardOK(op, regs)
+		c.committed[i] = ok
+		if ok {
+			r.committed++
+		}
+
+		switch op.Kind {
+		case ir.OpLoad:
+			a := r.clamp(regs[op.Args[0]].I)
+			if profiling {
+				c.addrs[i] = a
+			}
+			if ok {
+				regs[op.Dest] = r.mem[a]
+			}
+		case ir.OpStore:
+			a := r.clamp(regs[op.Args[0]].I)
+			if profiling {
+				c.addrs[i] = a
+			}
+			if ok {
+				r.mem[a] = regs[op.Args[1]]
+			}
+		case ir.OpPrint:
+			if ok {
+				r.printVal(regs[op.Args[0]], op.PrintFloat)
+			}
+		case ir.OpExit:
+			if ok {
+				if taken != nil {
+					return nil, fmt.Errorf("tree %s: two exits taken (%%%d and %%%d)", t.Name, taken.ID, op.ID)
+				}
+				taken = op
+			}
+		default:
+			v := evalPure(op, regs)
+			if ok && op.Dest != ir.NoReg {
+				regs[op.Dest] = v
+			}
+		}
+	}
+	if taken == nil {
+		return nil, fmt.Errorf("tree %s: no exit taken", t.Name)
+	}
+
+	if len(r.times) > 0 {
+		r.price(t, c, c.exitIndex[taken])
+	}
+	if profiling {
+		r.Prof.TreeExec[t]++
+		r.Prof.ExitExec[taken]++
+		for _, a := range t.Arcs {
+			if c.committed[a.From.Seq] && c.committed[a.To.Seq] {
+				a.ExecCount++
+				if c.addrs[a.From.Seq] == c.addrs[a.To.Seq] {
+					a.AliasCount++
+				}
+			}
+		}
+	}
+	return taken, nil
+}
+
+// price accumulates the cost of this execution under every plan: the time of
+// one tree execution is the maximum completion cycle over the ops that
+// committed on the taken path (results of speculative ops from other paths
+// gate nothing). Memoized by (taken exit, committed mask).
+func (r *Runner) price(t *ir.Tree, c *treeCtx, exitIdx int) {
+	for b := range c.mask {
+		c.mask[b] = 0
+	}
+	for i, ok := range c.committed {
+		if ok {
+			c.mask[i>>3] |= 1 << uint(i&7)
+		}
+	}
+	c.mask[len(c.mask)-1] = byte(exitIdx)
+	times, ok := c.memo[string(c.mask)]
+	if !ok {
+		times = make([]int64, len(r.Plans))
+		for pi, comp := range c.comp {
+			var max int64
+			for i, committed := range c.committed {
+				if committed && c.onPath[i][exitIdx] && comp[i] > max {
+					max = comp[i]
+				}
+			}
+			times[pi] = max
+		}
+		c.memo[string(c.mask)] = times
+	}
+	for pi, dt := range times {
+		r.times[pi] += dt
+	}
+}
+
+// evalPure computes the result of a side-effect-free, non-memory op.
+func evalPure(op *ir.Op, regs []ir.Value) ir.Value {
+	a := func(k int) ir.Value { return regs[op.Args[k]] }
+	b2i := func(b bool) ir.Value {
+		if b {
+			return ir.Value{I: 1, F: 1}
+		}
+		return ir.Value{}
+	}
+	switch op.Kind {
+	case ir.OpNop:
+		return ir.Value{}
+	case ir.OpConst:
+		return op.Imm
+	case ir.OpMove:
+		return a(0)
+	case ir.OpAdd:
+		return intV(a(0).I + a(1).I)
+	case ir.OpSub:
+		return intV(a(0).I - a(1).I)
+	case ir.OpMul:
+		return intV(a(0).I * a(1).I)
+	case ir.OpDiv:
+		d := a(1).I
+		if d == 0 {
+			return ir.Value{}
+		}
+		if a(0).I == math.MinInt64 && d == -1 {
+			return intV(math.MinInt64)
+		}
+		return intV(a(0).I / d)
+	case ir.OpRem:
+		d := a(1).I
+		if d == 0 {
+			return ir.Value{}
+		}
+		if a(0).I == math.MinInt64 && d == -1 {
+			return intV(0)
+		}
+		return intV(a(0).I % d)
+	case ir.OpNeg:
+		return intV(-a(0).I)
+	case ir.OpAnd:
+		return intV(a(0).I & a(1).I)
+	case ir.OpOr:
+		return intV(a(0).I | a(1).I)
+	case ir.OpXor:
+		return intV(a(0).I ^ a(1).I)
+	case ir.OpNot:
+		return intV(^a(0).I)
+	case ir.OpShl:
+		return intV(a(0).I << (uint64(a(1).I) & 63))
+	case ir.OpShr:
+		return intV(a(0).I >> (uint64(a(1).I) & 63))
+	case ir.OpBNot:
+		return b2i(a(0).I == 0)
+	case ir.OpBAnd:
+		return b2i(a(0).I != 0 && a(1).I != 0)
+	case ir.OpBAndNot:
+		return b2i(a(0).I != 0 && a(1).I == 0)
+	case ir.OpCmpEQ:
+		return b2i(a(0).I == a(1).I)
+	case ir.OpCmpNE:
+		return b2i(a(0).I != a(1).I)
+	case ir.OpCmpLT:
+		return b2i(a(0).I < a(1).I)
+	case ir.OpCmpLE:
+		return b2i(a(0).I <= a(1).I)
+	case ir.OpCmpGT:
+		return b2i(a(0).I > a(1).I)
+	case ir.OpCmpGE:
+		return b2i(a(0).I >= a(1).I)
+	case ir.OpFAdd:
+		return fltV(a(0).F + a(1).F)
+	case ir.OpFSub:
+		return fltV(a(0).F - a(1).F)
+	case ir.OpFMul:
+		return fltV(a(0).F * a(1).F)
+	case ir.OpFDiv:
+		return fltV(a(0).F / a(1).F)
+	case ir.OpFNeg:
+		return fltV(-a(0).F)
+	case ir.OpFCmpEQ:
+		return b2i(a(0).F == a(1).F)
+	case ir.OpFCmpNE:
+		return b2i(a(0).F != a(1).F)
+	case ir.OpFCmpLT:
+		return b2i(a(0).F < a(1).F)
+	case ir.OpFCmpLE:
+		return b2i(a(0).F <= a(1).F)
+	case ir.OpFCmpGT:
+		return b2i(a(0).F > a(1).F)
+	case ir.OpFCmpGE:
+		return b2i(a(0).F >= a(1).F)
+	case ir.OpCvtIF:
+		return fltV(float64(a(0).I))
+	case ir.OpCvtFI:
+		return cvtFI(a(0).F)
+	case ir.OpSqrt:
+		return fltV(math.Sqrt(a(0).F))
+	case ir.OpFAbs:
+		return fltV(math.Abs(a(0).F))
+	case ir.OpSin:
+		return fltV(math.Sin(a(0).F))
+	case ir.OpCos:
+		return fltV(math.Cos(a(0).F))
+	case ir.OpExp:
+		return fltV(math.Exp(a(0).F))
+	case ir.OpLog:
+		return fltV(math.Log(a(0).F))
+	}
+	panic("evalPure: unhandled op kind " + op.Kind.String())
+}
+
+func intV(i int64) ir.Value   { return ir.Value{I: i, F: float64(i)} }
+func fltV(f float64) ir.Value { return ir.Value{I: int64(f), F: f} }
+
+func cvtFI(f float64) ir.Value {
+	if math.IsNaN(f) {
+		return ir.Value{}
+	}
+	if f > math.MaxInt64 {
+		return intV(math.MaxInt64)
+	}
+	if f < math.MinInt64 {
+		return intV(math.MinInt64)
+	}
+	return intV(int64(f))
+}
+
+func (r *Runner) printVal(v ir.Value, isFloat bool) {
+	if isFloat {
+		f := v.F
+		// Round to 6 significant decimals so that output checksums are
+		// robust against benign floating-point noise across schedules.
+		r.out.WriteString(strconv.FormatFloat(f, 'g', 6, 64))
+	} else {
+		r.out.WriteString(strconv.FormatInt(v.I, 10))
+	}
+	r.out.WriteByte('\n')
+}

@@ -1,0 +1,322 @@
+package spd
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+)
+
+// applyRAW transforms an ambiguous store→load arc (paper §4.3, Figure 4-4).
+//
+// The load and every operation data-dependent on it are duplicated. The
+// duplicate ("no-alias") copy loses the arc and may therefore be scheduled
+// past the store; it computes into fresh registers, with its side effects and
+// merge moves guarded by ¬(addr_S == addr_L). The original ("alias") copy is
+// guarded by the compare; when possible the original load is replaced by a
+// move of the store's data register (store-to-load forwarding), removing the
+// store and load latencies from the alias path.
+func (x *transformer) applyRAW(a *ir.MemArc) error {
+	t := x.t
+	s, l := a.From, a.To
+	d := dependentSet(t, l)
+	snapshot := arcSnapshot(t)
+
+	// Store-to-load forwarding is legal only when the store provably commits
+	// whenever the load's value is observed and no other store can write the
+	// load's location in between. The store commits on every path through
+	// its block when its guard is exactly its block's path condition; with
+	// the block an ancestor of the load's, every consumer of the load sits
+	// on such a path.
+	sBlockGuard := t.Blocks[s.Block].Guard
+	sBlockNeg := t.Blocks[s.Block].Neg
+	canFwd := x.forwarding &&
+		t.BlockIsAncestor(s.Block, l.Block) &&
+		(s.Guard == ir.NoReg ||
+			(s.Guard == l.Guard && s.GuardNeg == l.GuardNeg) ||
+			(s.Guard == sBlockGuard && s.GuardNeg == sBlockNeg))
+	if canFwd {
+		for _, arc := range snapshot {
+			if arc != a && arc.To == l && arc.From.Kind == ir.OpStore {
+				canFwd = false
+				break
+			}
+		}
+	}
+
+	blk := t.CommonAncestor(s.Block, l.Block)
+	g := x.fn.NewReg()
+	cmp := x.newOp(ir.OpCmpEQ, []ir.Reg{s.AddrReg(), l.AddrReg()}, g, blk)
+	x.insertBefore(l, cmp)
+
+	dupOf := x.duplicate(d, g, false, map[ir.Reg]remapEntry{}, nil)
+
+	if canFwd {
+		// Alias path: forward the stored value; the original load ceases to
+		// be a memory operation, and its arcs (including a) disappear.
+		l.Kind = ir.OpMove
+		l.Args = []ir.Reg{s.DataReg()}
+		l.Ref = nil
+		x.removeArcsOf(l)
+	} else {
+		// Alias path keeps the original, still-ordered load.
+		_ = a // arc a stays in place for the original copy
+	}
+
+	x.inheritArcs(snapshot, dupOf, a)
+	return nil
+}
+
+// applyWAR transforms an ambiguous load→store arc (paper §4.4, Figure 4-5).
+//
+// A new load L3 of the store's address is inserted right after L1; the
+// computation depending on L1 is duplicated to consume L3's value, guarded by
+// the compare (the alias case reads the original value before the store
+// clobbers it); the original copy, guarded by ¬cmp, loses the arc so the
+// store may move up past the load.
+func (x *transformer) applyWAR(a *ir.MemArc) error {
+	t := x.t
+	l1, s1 := a.From, a.To
+	d := dependentSet(t, l1)
+	if d[s1] {
+		return fmt.Errorf("%w: store %%%d depends on load %%%d", ErrNotApplicable, s1.ID, l1.ID)
+	}
+	snapshot := arcSnapshot(t)
+	blk := t.CommonAncestor(l1.Block, s1.Block)
+
+	// The compare and the inserted load need the store's address before L1.
+	// Address computations normally sit right next to their store, so clone
+	// the pure computation chain up to L1 when needed.
+	sAddr := s1.AddrReg()
+	if !defsPrecede(t, sAddr, l1.Seq) {
+		na, err := x.materializeAt(sAddr, l1)
+		if err != nil {
+			return err
+		}
+		sAddr = na
+	}
+
+	g := x.fn.NewReg()
+	cmp := x.newOp(ir.OpCmpEQ, []ir.Reg{l1.AddrReg(), sAddr}, g, blk)
+	x.insertBefore(l1, cmp)
+
+	l3 := x.newOp(ir.OpLoad, []ir.Reg{sAddr}, x.fn.NewReg(), blk)
+	l3.Ref = cloneRef(s1.Ref)
+	l3.MarkAliasSide(true)
+	x.insertAfter(l1, l3)
+
+	// L3 behaves like a load at L1's position on S1's address: it is
+	// ambiguous with exactly the stores S1 is ambiguous with, and definitely
+	// anti-dependent on S1 itself.
+	for _, arc := range snapshot {
+		if arc == a {
+			continue
+		}
+		if arc.From == s1 && arc.To.Kind == ir.OpStore {
+			x.queueArc(l3, arc.To, arc.Ambiguous)
+		}
+		if arc.To == s1 && arc.From.Kind == ir.OpStore {
+			x.queueArc(arc.From, l3, arc.Ambiguous)
+		}
+	}
+	x.queueArc(l3, s1, false)
+
+	t.RemoveArc(a)
+
+	// Original copy (no-alias assumed): guard L1 with ¬cmp and merge the
+	// alias value over it when observable. This must precede duplicate() so
+	// that any shared guard combinations are materialized at L1, ahead of
+	// every later use.
+	hL1 := opGuard(l1)
+	if l1.Dest != ir.NoReg && needsMerge(x.fn, t, d, l1.Dest, l1) {
+		mv := x.newOp(ir.OpMove, []ir.Reg{l3.Dest}, l1.Dest, l1.Block)
+		setGuard(mv, x.combine(hL1, g, true, l1, l1.Block))
+		mv.MarkAliasSide(true)
+		x.insertAfter(l1, mv)
+		x.fn.MarkStable(l1.Dest)
+	}
+	setGuard(l1, x.combine(hL1, g, false, l1, l1.Block))
+	l1.MarkAliasSide(false)
+
+	// Duplicate the dependent computation, with L3 standing in for L1.
+	seedMap := map[ir.Reg]remapEntry{}
+	if l1.Dest != ir.NoReg {
+		seedMap[l1.Dest] = remapEntry{temp: l3.Dest, def: l1}
+	}
+	dupOf := x.duplicate(d, g, true, seedMap, l1)
+
+	x.inheritArcs(snapshot, dupOf, a)
+	return nil
+}
+
+// applyWAW transforms an ambiguous store→store arc (paper §4.5, Figure 4-6):
+// the arc is removed so the second store may execute first, and the first
+// store is guarded by ¬(addr1 == addr2) — when the addresses match its value
+// would have been overwritten anyway. Only the address compare is added.
+func (x *transformer) applyWAW(a *ir.MemArc) error {
+	t := x.t
+	s1, s2 := a.From, a.To
+	// Suppressing S1 on an address match is only sound when S2 then
+	// actually overwrites it — S2 must provably commit whenever S1 does.
+	if !(s2.Guard == ir.NoReg || (s2.Guard == s1.Guard && s2.GuardNeg == s1.GuardNeg)) {
+		return fmt.Errorf("%w: store %%%d may not commit when store %%%d does", ErrNotApplicable, s2.ID, s1.ID)
+	}
+	blk := t.CommonAncestor(s1.Block, s2.Block)
+	g := x.fn.NewReg()
+	cmp := x.newOp(ir.OpCmpEQ, []ir.Reg{s1.AddrReg(), s2.AddrReg()}, g, blk)
+
+	anchor := s1
+	if !defsPrecede(t, s2.AddrReg(), s1.Seq) {
+		// The second store's address is computed after S1: S1 itself must
+		// move down to just before S2 for the compare to be computable.
+		if err := x.moveDownSafe(s1, s2, a); err != nil {
+			return err
+		}
+		// Splice S1 out; it is re-inserted (after cmp) before S2.
+		for i, op := range t.Ops {
+			if op == s1 {
+				t.Ops = append(t.Ops[:i], t.Ops[i+1:]...)
+				break
+			}
+		}
+		anchor = s2
+		x.insertBefore(s2, cmp)
+		defer x.insertBefore(s2, s1) // after cmp and any guard-combine ops
+	} else {
+		x.insertBefore(s1, cmp)
+	}
+
+	h := opGuard(s1)
+	setGuard(s1, x.combine(h, g, false, anchor, blk))
+	s1.MarkAliasSide(false)
+	t.RemoveArc(a)
+	return nil
+}
+
+// moveDownSafe verifies that store s1 may be re-positioned to just before s2:
+// no dependence arc from s1 reaches an op at or before s2 (other than a
+// itself), and no op between them redefines a register s1 reads.
+func (x *transformer) moveDownSafe(s1, s2 *ir.Op, a *ir.MemArc) error {
+	for _, arc := range x.t.Arcs {
+		if arc != a && arc.From == s1 && arc.To.Seq <= s2.Seq {
+			return fmt.Errorf("%w: arc %s blocks moving store %%%d", ErrNotApplicable, arc, s1.ID)
+		}
+	}
+	reads := map[ir.Reg]bool{}
+	for _, r := range s1.Args {
+		reads[r] = true
+	}
+	if s1.Guard != ir.NoReg {
+		reads[s1.Guard] = true
+	}
+	for _, op := range x.t.Ops {
+		if op.Seq > s1.Seq && op.Seq < s2.Seq && op.Dest != ir.NoReg && reads[op.Dest] {
+			return fmt.Errorf("%w: op %%%d redefines an input of store %%%d", ErrNotApplicable, op.ID, s1.ID)
+		}
+	}
+	return nil
+}
+
+// remapEntry records a duplicated definition: reads of the original
+// register are redirected to the temporary only by readers on the
+// definition's own control path — on disjoint paths the definition never
+// commits, so such readers must keep the original (merged) register, whose
+// committed value there comes from other writers.
+type remapEntry struct {
+	temp ir.Reg
+	def  *ir.Op
+}
+
+// duplicate clones every op of D (except the seed load when seedMap already
+// maps its destination), producing the speculative copy. aliasSide selects
+// which outcome the duplicate copy commits on: false = no-alias (¬cmp, the
+// RAW shape), true = alias (cmp, the WAR shape). Pure duplicates compute
+// unguarded into fresh registers; side-effecting duplicates and merge moves
+// are guarded; originals are guarded with the opposite polarity. skip, when
+// non-nil, is a D member that must not be duplicated (the WAR seed load).
+func (x *transformer) duplicate(d map[*ir.Op]bool, g ir.Reg, aliasSide bool, regMap map[ir.Reg]remapEntry, skip *ir.Op) map[*ir.Op]*ir.Op {
+	t := x.t
+	dupOf := map[*ir.Op]*ir.Op{}
+	for _, o := range t.Ops {
+		if !d[o] || o == skip {
+			continue
+		}
+		h := opGuard(o)
+
+		remap := func(args []ir.Reg) []ir.Reg {
+			out := make([]ir.Reg, len(args))
+			for i, r := range args {
+				if e, ok := regMap[r]; ok && t.OnPath(e.def.Block, o.Block) {
+					out[i] = e.temp
+				} else {
+					out[i] = r
+				}
+			}
+			return out
+		}
+
+		dest := ir.Reg(ir.NoReg)
+		if o.Dest != ir.NoReg {
+			dest = x.fn.NewReg()
+		}
+		dup := x.newOp(o.Kind, remap(o.Args), dest, o.Block)
+		dup.Imm = o.Imm
+		dup.Ref = cloneRef(o.Ref)
+		dup.PrintFloat = o.PrintFloat
+		dup.MarkAliasSide(aliasSide)
+		if o.Kind.HasSideEffect() {
+			setGuard(dup, x.combine(h, g, aliasSide, o, o.Block))
+		}
+		x.insertAfter(o, dup)
+		dupOf[o] = dup
+		if o.Dest != ir.NoReg {
+			if needsMerge(x.fn, t, d, o.Dest, o) {
+				mv := x.newOp(ir.OpMove, []ir.Reg{dest}, o.Dest, o.Block)
+				setGuard(mv, x.combine(h, g, aliasSide, o, o.Block))
+				mv.MarkAliasSide(aliasSide)
+				x.insertAfter(o, mv)
+				x.fn.MarkStable(o.Dest)
+			}
+			regMap[o.Dest] = remapEntry{temp: dest, def: o}
+		}
+
+		// The original copy commits on the opposite outcome.
+		setGuard(o, x.combine(h, g, !aliasSide, o, o.Block))
+		o.MarkAliasSide(!aliasSide)
+	}
+	return dupOf
+}
+
+// inheritArcs extends memory-dependence arcs onto the duplicated memory ops:
+// a duplicate inherits every arc of its original against ops outside D, and
+// D-internal arcs are mirrored between the two duplicates. Arc a itself is
+// not inherited by the duplicate of its load — that is the speculation. Mixed
+// original/duplicate pairs commit on opposite compare outcomes and need no
+// ordering.
+func (x *transformer) inheritArcs(snapshot []*ir.MemArc, dupOf map[*ir.Op]*ir.Op, a *ir.MemArc) {
+	for _, arc := range snapshot {
+		du, okU := dupOf[arc.From]
+		dv, okV := dupOf[arc.To]
+		switch {
+		case okU && okV:
+			x.queueArc(du, dv, arc.Ambiguous)
+		case okU:
+			x.queueArc(du, arc.To, arc.Ambiguous)
+		case okV:
+			if arc == a {
+				continue // the speculated arc: the duplicate load escapes it
+			}
+			x.queueArc(arc.From, dv, arc.Ambiguous)
+		}
+	}
+}
+
+// removeArcsOf deletes every arc incident to op.
+func (x *transformer) removeArcsOf(op *ir.Op) {
+	kept := x.t.Arcs[:0]
+	for _, arc := range x.t.Arcs {
+		if arc.From != op && arc.To != op {
+			kept = append(kept, arc)
+		}
+	}
+	x.t.Arcs = kept
+}

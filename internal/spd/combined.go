@@ -1,0 +1,179 @@
+package spd
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+)
+
+// ApplyCombinedRAW implements the paper's §7 multi-alias extension: instead
+// of one-at-a-time application (which can replicate code for all 2^n alias
+// outcomes of n pairs), it speculates on the single most likely outcome —
+// no pair aliases — with ONE duplicate of the dependent code, and keeps the
+// original, fully ordered code as the correct-but-slower version for the
+// other 2^n − 1 outcomes.
+//
+// All arcs must be ambiguous RAW arcs of t. One address compare is emitted
+// per arc; their disjunction ("some pair aliases") guards the original copy,
+// its negation the duplicate's side effects and merges. The duplicate loses
+// every speculated arc at once. Returns the number of operations added.
+func ApplyCombinedRAW(t *ir.Tree, arcs []*ir.MemArc, forwarding bool) (int, error) {
+	if len(arcs) == 0 {
+		return 0, fmt.Errorf("%w: empty arc set", ErrNotApplicable)
+	}
+	if len(arcs) == 1 {
+		return Apply(t, arcs[0], forwarding)
+	}
+	for _, a := range arcs {
+		if a.Kind != ir.DepRAW || !a.Ambiguous {
+			return 0, fmt.Errorf("%w: combined speculation handles ambiguous RAW arcs, got %s", ErrNotApplicable, a)
+		}
+	}
+
+	x := &transformer{
+		t:            t,
+		fn:           t.Fn,
+		forwarding:   false, // the alias copy stays fully ordered
+		before:       map[*ir.Op][]*ir.Op{},
+		after:        map[*ir.Op][]*ir.Op{},
+		combineCache: map[combineKey]guardState{},
+		notCache:     map[ir.Reg]ir.Reg{},
+	}
+
+	// Seeds: the loads being speculated past their stores. The compare ops
+	// and the OR-tree computing "some pair aliases" are anchored before the
+	// earliest load.
+	seedSet := map[*ir.Op]bool{}
+	anchor := arcs[0].To
+	for _, a := range arcs {
+		seedSet[a.To] = true
+		if a.To.Seq < anchor.Seq {
+			anchor = a.To
+		}
+		// Every store and load address must be defined before the anchor so
+		// the compares are computable there.
+		if !defsPrecede(t, a.From.AddrReg(), anchor.Seq) ||
+			!defsPrecede(t, a.To.AddrReg(), anchor.Seq) {
+			return 0, fmt.Errorf("%w: address of %s unavailable at the earliest load", ErrNotApplicable, a)
+		}
+	}
+
+	// anyAlias = OR over per-arc address-equality compares.
+	blk := anchor.Block
+	for _, a := range arcs {
+		blk = t.CommonAncestor(blk, t.CommonAncestor(a.From.Block, a.To.Block))
+	}
+	var anyAlias ir.Reg = ir.NoReg
+	for _, a := range arcs {
+		g := x.fn.NewReg()
+		cmp := x.newOp(ir.OpCmpEQ, []ir.Reg{a.From.AddrReg(), a.To.AddrReg()}, g, blk)
+		x.insertBefore(anchor, cmp)
+		if anyAlias == ir.NoReg {
+			anyAlias = g
+		} else {
+			d := x.fn.NewReg()
+			or := x.newOp(ir.OpOr, []ir.Reg{anyAlias, g}, d, blk)
+			x.insertBefore(anchor, or)
+			anyAlias = d
+		}
+	}
+
+	// D: union of the dependent sets of all seed loads, restricted to blocks
+	// where every seed's commit is implied. For simplicity (and soundness)
+	// require all seeds to share one block; mixed-path groups are rejected.
+	for _, a := range arcs {
+		if a.To.Block != anchor.Block {
+			return 0, fmt.Errorf("%w: speculated loads on different paths", ErrNotApplicable)
+		}
+	}
+	d := map[*ir.Op]bool{}
+	for _, a := range arcs {
+		for op := range dependentSet(t, a.To) {
+			d[op] = true
+		}
+	}
+
+	snapshot := arcSnapshot(t)
+	dupOf := x.duplicate(d, anyAlias, false, map[ir.Reg]remapEntry{}, nil)
+
+	// Arc inheritance: duplicates inherit all arcs except the speculated
+	// ones (the duplicate of each seed load escapes its stores).
+	speculated := map[*ir.MemArc]bool{}
+	for _, a := range arcs {
+		speculated[a] = true
+	}
+	for _, arc := range snapshot {
+		du, okU := dupOf[arc.From]
+		dv, okV := dupOf[arc.To]
+		switch {
+		case okU && okV:
+			x.queueArc(du, dv, arc.Ambiguous)
+		case okU:
+			x.queueArc(du, arc.To, arc.Ambiguous)
+		case okV:
+			if speculated[arc] {
+				continue
+			}
+			x.queueArc(arc.From, dv, arc.Ambiguous)
+		}
+	}
+
+	x.flush()
+	x.flushArcs()
+	return x.added, nil
+}
+
+// CombinedGroups partitions a tree's eligible ambiguous RAW arcs into the
+// groups ApplyCombinedRAW accepts: arcs whose target loads share a block and
+// whose addresses are available at the group's earliest load. Groups of size
+// one are returned too (the caller may fall back to Apply).
+func CombinedGroups(t *ir.Tree, maxAliasProb, dflt float64) [][]*ir.MemArc {
+	byBlock := map[int][]*ir.MemArc{}
+	for _, a := range t.Arcs {
+		if a.Kind != ir.DepRAW || !a.Ambiguous || a.AliasProb(dflt) > maxAliasProb {
+			continue
+		}
+		if a.To.SpecSide > 0 {
+			continue
+		}
+		byBlock[a.To.Block] = append(byBlock[a.To.Block], a)
+	}
+	var out [][]*ir.MemArc
+	for _, group := range byBlock {
+		out = append(out, group)
+	}
+	return out
+}
+
+// TransformCombined runs combined speculation over every profiled tree:
+// within each tree, the largest viable group of ambiguous RAW arcs is
+// speculated as one unit. A Result compatible with Transform is returned
+// (each combined application counts its arcs as RAW applications).
+func TransformCombined(p *ir.Program, prof Profile, params Params) *Result {
+	res := &Result{}
+	for _, name := range p.Order {
+		for _, t := range p.Funcs[name].Trees {
+			if prof.TreeExecCount(t) == 0 {
+				continue
+			}
+			groups := CombinedGroups(t, params.MaxAliasProb, params.AssumedAliasProb)
+			var best []*ir.MemArc
+			for _, g := range groups {
+				if len(g) > len(best) {
+					best = g
+				}
+			}
+			if len(best) == 0 {
+				continue
+			}
+			added, err := ApplyCombinedRAW(t, best, params.Forwarding)
+			if err != nil {
+				continue
+			}
+			res.RAW += len(best)
+			res.AddedOps += added
+			res.Apps = append(res.Apps, Application{Tree: t, Kind: ir.DepRAW, Added: added})
+		}
+	}
+	return res
+}

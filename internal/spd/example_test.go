@@ -1,0 +1,47 @@
+package spd_test
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+	"specdis/internal/spd"
+)
+
+// ExampleApply reproduces the paper's Figure 4-4 on a hand-built tree: a
+// store, an ambiguously aliased load, and a dependent multiply. After the
+// transformation the tree holds an address compare, a speculative duplicate
+// of the load chain, and a guarded merge.
+func ExampleApply() {
+	fn := &ir.Function{Name: "fig44"}
+	t := &ir.Tree{Fn: fn, Name: "fig44.t0"}
+	t.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{t}
+
+	addrS, addrL, val := fn.NewReg(), fn.NewReg(), fn.NewReg()
+	fn.NumRegs = 3
+	t.NewOp(ir.OpStore, []ir.Reg{addrS, val}, ir.NoReg)
+	load := t.NewOp(ir.OpLoad, []ir.Reg{addrL}, fn.NewReg())
+	mul := t.NewOp(ir.OpMul, []ir.Reg{load.Dest, load.Dest}, fn.NewReg())
+	mul.VarWrite = true // externally observable result
+	exit := t.NewOp(ir.OpExit, []ir.Reg{mul.Dest}, ir.NoReg)
+	exit.Exit = ir.ExitRet
+	t.BuildMemArcs()
+
+	arc := t.Arcs[0]
+	fmt.Println("before:", t.Size(), "ops,", arc)
+
+	added, err := spd.Apply(t, arc, true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("added:", added, "ops")
+	for _, op := range t.Ops {
+		if op.Kind == ir.OpCmpEQ {
+			fmt.Println("compare:", op.Kind)
+		}
+	}
+	// Output:
+	// before: 4 ops, RAW(amb) %0 -> %1
+	// added: 4 ops
+	// compare: cmpeq
+}

@@ -1,0 +1,257 @@
+package spd
+
+import (
+	"specdis/internal/ir"
+)
+
+// Params are the guidance-heuristic knobs of Figure 5-1.
+type Params struct {
+	// MaxExpansion bounds per-tree code growth: SpD stops when the tree
+	// exceeds MaxExpansion × its original size.
+	MaxExpansion float64
+	// MinGain is the per-execution predicted-gain threshold, in cycles.
+	MinGain float64
+	// AssumedAliasProb is used for arcs with no profiled alias probability
+	// and as the weight of the conservative scenario in the tree-time
+	// estimate (the paper assumes 0.1, §5.3).
+	AssumedAliasProb float64
+	// MaxAliasProb: arcs measured to alias more often than this are not
+	// worth speculating on.
+	MaxAliasProb float64
+	// Forwarding enables store-to-load forwarding on the alias path of RAW
+	// transforms (Figure 4-4's direct forward).
+	Forwarding bool
+	// MaxIterationsPerTree is a safety bound on heuristic iterations.
+	MaxIterationsPerTree int
+}
+
+// DefaultParams returns the configuration used in the experiments.
+func DefaultParams() Params {
+	return Params{
+		MaxExpansion:         2.0,
+		MinGain:              0.25,
+		AssumedAliasProb:     0.1,
+		MaxAliasProb:         0.5,
+		Forwarding:           true,
+		MaxIterationsPerTree: 64,
+	}
+}
+
+// Profile supplies the path-probability information the heuristic needs
+// (sim.Profile implements it).
+type Profile interface {
+	ExitProb(t *ir.Tree, e *ir.Op) float64
+	TreeExecCount(t *ir.Tree) int64
+}
+
+// Application records one SpD application.
+type Application struct {
+	Tree  *ir.Tree
+	Kind  ir.DepKind
+	Gain  float64 // predicted per-execution gain, cycles
+	Added int     // operations added
+}
+
+// Result summarizes a whole-program SpD pass.
+type Result struct {
+	Apps          []Application
+	RAW, WAR, WAW int // application counts by dependence type (Table 6-3)
+	AddedOps      int
+}
+
+// Count returns the application count for one dependence kind.
+func (r *Result) Count(k ir.DepKind) int {
+	switch k {
+	case ir.DepRAW:
+		return r.RAW
+	case ir.DepWAR:
+		return r.WAR
+	}
+	return r.WAW
+}
+
+// Transform runs the guidance heuristic over every profiled tree of the
+// program. lat fixes the operation latencies (memory latency matters: longer
+// latencies surface more profitable aliases, Table 6-3).
+func Transform(p *ir.Program, prof Profile, lat ir.LatencyFunc, params Params) *Result {
+	res := &Result{}
+	for _, name := range p.Order {
+		for _, t := range p.Funcs[name].Trees {
+			if prof.TreeExecCount(t) == 0 {
+				continue
+			}
+			specDisambig(t, prof, lat, params, res)
+		}
+	}
+	return res
+}
+
+// exitProbs captures the profiled exit probabilities by exit order, so they
+// can be applied to clones of the tree (whose exit ops are fresh pointers).
+func exitProbs(t *ir.Tree, prof Profile) []float64 {
+	exits := t.Exits()
+	probs := make([]float64, len(exits))
+	for i, e := range exits {
+		probs[i] = prof.ExitProb(t, e)
+	}
+	return probs
+}
+
+// treeTime is the heuristic's estimate of the expected per-execution time of
+// a tree on the infinite machine: exit-probability-weighted path times,
+// mixing the likely all-no-alias scenario (conservative SpD copies excluded)
+// with the fully conservative one, at the assumed alias probability.
+func treeTime(t *ir.Tree, probs []float64, lat ir.LatencyFunc, q float64) float64 {
+	g := ir.BuildDepGraph(t, lat)
+	asap := g.ASAP()
+	full := g.PathTimeFiltered(asap, false)
+	likely := g.PathTimeFiltered(asap, true)
+	var e float64
+	for i, ex := range t.Exits() {
+		e += probs[i] * ((1-q)*float64(likely[ex]) + q*float64(full[ex]))
+	}
+	return e
+}
+
+// arcTight reports whether the arc is tight under the current ASAP schedule
+// (a necessary condition for it to lie on a critical path): the paper's
+// CriticalAlias pre-filter.
+func arcTight(g *ir.DepGraph, asap []int, a *ir.MemArc) bool {
+	from, to := a.From.Seq, a.To.Seq
+	var delay int
+	switch a.Kind {
+	case ir.DepRAW:
+		delay = g.Latency(from)
+	case ir.DepWAR:
+		delay = 1 - g.Latency(to)
+	case ir.DepWAW:
+		delay = 1
+	}
+	return asap[to] == asap[from]+delay
+}
+
+// specDisambig is the Figure 5-1 loop: repeatedly apply SpD to the ambiguous
+// alias with the highest predicted gain until the tree hits its expansion
+// bound or no alias clears MinGain. The gain of a candidate is evaluated by
+// applying the transformation to a clone of the tree and re-estimating its
+// expected time.
+func specDisambig(t *ir.Tree, prof Profile, lat ir.LatencyFunc, params Params, res *Result) {
+	maxSize := int(float64(t.Size()) * params.MaxExpansion)
+	skip := map[*ir.MemArc]bool{}
+	probs := exitProbs(t, prof)
+	q := params.AssumedAliasProb
+
+	eligible := func(a *ir.MemArc) bool {
+		return a.Ambiguous && !skip[a] &&
+			a.AliasProb(params.AssumedAliasProb) <= params.MaxAliasProb &&
+			a.To.SpecSide <= 0 // never speculate consumers of an alias copy
+	}
+
+	for iter := 0; iter < params.MaxIterationsPerTree; iter++ {
+		if t.Size() >= maxSize {
+			return
+		}
+		cur := treeTime(t, probs, lat, q)
+		g := ir.BuildDepGraph(t, lat)
+		asap := g.ASAP()
+
+		// Ceiling: the expected time if every remaining eligible ambiguous
+		// dependence were resolved in speculation's favour. When even that
+		// would not clear MinGain, the tree is done. This keeps cascades
+		// moving through mutually blocking arcs (parallel chains where no
+		// single removal shows gain) exactly as the paper's optimistic
+		// Gain() does, while still stopping on hopeless trees.
+		var removed []*ir.MemArc
+		kept := t.Arcs[:0]
+		for _, a := range t.Arcs {
+			if eligible(a) {
+				removed = append(removed, a)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		t.Arcs = kept
+		ideal := treeTime(t, probs, lat, q)
+		t.Arcs = append(t.Arcs, removed...)
+		ceiling := cur - ideal
+		if ceiling < params.MinGain {
+			return
+		}
+
+		// Prefer the tight arc whose same-target group removal shows the
+		// largest individual gain; with parallel chains all group gains can
+		// be zero, in which case any tight eligible arc advances the
+		// cascade (earliest target first, for determinism).
+		var best *ir.MemArc
+		bestGain := -1.0
+		for _, a := range append([]*ir.MemArc(nil), t.Arcs...) {
+			if !eligible(a) || !arcTight(g, asap, a) {
+				continue
+			}
+			p := a.AliasProb(params.AssumedAliasProb)
+			group := []*ir.MemArc{}
+			for _, b := range t.Arcs {
+				if b.Ambiguous && b.To == a.To && b.Kind == a.Kind &&
+					b.AliasProb(params.AssumedAliasProb) <= params.MaxAliasProb {
+					group = append(group, b)
+				}
+			}
+			for _, b := range group {
+				t.RemoveArc(b)
+			}
+			without := treeTime(t, probs, lat, q)
+			t.Arcs = append(t.Arcs, group...)
+			gn := (1 - p) * (cur - without)
+			if gn > bestGain ||
+				(gn == bestGain && best != nil && a.To.Seq < best.To.Seq) {
+				best, bestGain = a, gn
+			}
+		}
+		if best == nil {
+			return
+		}
+		if bestGain < params.MinGain {
+			bestGain = ceiling // the cascade's promise, not this step's
+		}
+		bestIdx := -1
+		for i, a := range t.Arcs {
+			if a == best {
+				bestIdx = i
+				break
+			}
+		}
+
+		// Gate: tentatively transform a clone; refuse arcs whose realistic
+		// post-transform estimate is clearly worse than the status quo.
+		clone := t.Clone()
+		if _, err := Apply(clone, clone.Arcs[bestIdx], params.Forwarding); err != nil {
+			skip[best] = true
+			continue
+		}
+		if after := treeTime(clone, probs, lat, q); after > cur+0.25 {
+			skip[best] = true
+			continue
+		}
+
+		added, err := Apply(t, best, params.Forwarding)
+		if err != nil {
+			// The clone accepted this transform, so the original must too;
+			// treat a refusal defensively.
+			skip[best] = true
+			continue
+		}
+		// A RAW arc survives on the alias copy when forwarding is not
+		// possible; it is handled now either way, so never revisit it.
+		skip[best] = true
+		res.Apps = append(res.Apps, Application{Tree: t, Kind: best.Kind, Gain: bestGain, Added: added})
+		res.AddedOps += added
+		switch best.Kind {
+		case ir.DepRAW:
+			res.RAW++
+		case ir.DepWAR:
+			res.WAR++
+		case ir.DepWAW:
+			res.WAW++
+		}
+	}
+}

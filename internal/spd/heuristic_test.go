@@ -1,0 +1,148 @@
+package spd_test
+
+import (
+	"testing"
+
+	"specdis/internal/alias"
+	"specdis/internal/compile"
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+	"specdis/internal/spd"
+)
+
+// prep compiles src, profiles it, and runs the static disambiguator,
+// returning everything the heuristic needs.
+func prep(t *testing.T, src string) (*ir.Program, *sim.Profile, ir.LatencyFunc) {
+	t.Helper()
+	prog, err := compile.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := sim.NewProfile()
+	lat := machine.Infinite(2).LatencyFunc()
+	r := &sim.Runner{Prog: prog, SemLat: lat, Prof: prof}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	alias.ResolveProgram(prog)
+	return prog, prof, lat
+}
+
+const hotRAW = `
+int a[32];
+int f(int i, int j, int v) {
+	a[i] = v;
+	return a[j] * 3 + 1;
+}
+void main() {
+	int s = 0;
+	for (int k = 0; k < 64; k = k + 1) { s = s + f(k % 32, (k + 9) % 32, k); }
+	print(s);
+}
+`
+
+func TestHeuristicAppliesOnHotAmbiguousArc(t *testing.T) {
+	prog, prof, lat := prep(t, hotRAW)
+	res := spd.Transform(prog, prof, lat, spd.DefaultParams())
+	if res.RAW == 0 {
+		t.Fatal("heuristic never applied on a hot ambiguous RAW arc")
+	}
+	if res.AddedOps == 0 || len(res.Apps) != res.RAW+res.WAR+res.WAW {
+		t.Errorf("bookkeeping off: %+v", res)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("transformed program invalid: %v", err)
+	}
+}
+
+func TestHeuristicSkipsColdTrees(t *testing.T) {
+	// f is never called: no profile weight, no applications.
+	prog, prof, lat := prep(t, `
+int a[8];
+int f(int i, int j) { a[i] = 1; return a[j]; }
+void main() { print(7); }
+`)
+	res := spd.Transform(prog, prof, lat, spd.DefaultParams())
+	if len(res.Apps) != 0 {
+		t.Fatalf("applied to never-executed code: %+v", res.Apps)
+	}
+}
+
+func TestHeuristicSkipsAlwaysAliasingArcs(t *testing.T) {
+	// i == j on every call: alias probability 1, nothing to speculate on.
+	prog, prof, lat := prep(t, `
+int a[8];
+int f(int i, int j) { a[i] = 5; return a[j]; }
+void main() {
+	int s = 0;
+	for (int k = 0; k < 40; k = k + 1) { s = s + f(k % 8, k % 8); }
+	print(s);
+}
+`)
+	res := spd.Transform(prog, prof, lat, spd.DefaultParams())
+	if len(res.Apps) != 0 {
+		t.Fatalf("applied to an always-aliasing arc: %+v", res.Apps)
+	}
+}
+
+func TestMaxExpansionBoundsGrowth(t *testing.T) {
+	// With MaxExpansion 1.0 the expansion budget is exhausted before the
+	// first application (the paper's loop tests TreeSize < MaxSize before
+	// each ApplySpD), so nothing may be transformed.
+	prog, prof, lat := prep(t, hotRAW)
+	params := spd.DefaultParams()
+	params.MaxExpansion = 1.0
+	res := spd.Transform(prog, prof, lat, params)
+	if len(res.Apps) != 0 {
+		t.Fatalf("MaxExpansion 1.0 still applied %d times", len(res.Apps))
+	}
+	// A generous budget must allow at least one application, and each
+	// application may overshoot the bound by at most its own added ops
+	// (the bound is checked before applying, as in Figure 5-1).
+	params.MaxExpansion = 2.0
+	res = spd.Transform(prog, prof, lat, params)
+	if len(res.Apps) == 0 {
+		t.Fatal("generous budget applied nothing")
+	}
+	for _, app := range res.Apps {
+		if app.Added <= 0 {
+			t.Errorf("application reported %d added ops", app.Added)
+		}
+	}
+}
+
+func TestHugeMinGainDisablesSpD(t *testing.T) {
+	prog, prof, lat := prep(t, hotRAW)
+	params := spd.DefaultParams()
+	params.MinGain = 1e9
+	res := spd.Transform(prog, prof, lat, params)
+	if len(res.Apps) != 0 {
+		t.Fatalf("MinGain threshold ignored: %+v", res.Apps)
+	}
+}
+
+func TestTransformPreservesSemantics(t *testing.T) {
+	prog, prof, lat := prep(t, hotRAW)
+	r0 := &sim.Runner{Prog: prog, SemLat: lat}
+	before, err := r0.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd.Transform(prog, prof, lat, spd.DefaultParams())
+	r1 := &sim.Runner{Prog: prog, SemLat: lat}
+	after, err := r1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Output != after.Output {
+		t.Fatalf("output changed: %q -> %q", before.Output, after.Output)
+	}
+}
+
+func TestResultCount(t *testing.T) {
+	r := &spd.Result{RAW: 3, WAR: 1, WAW: 2}
+	if r.Count(ir.DepRAW) != 3 || r.Count(ir.DepWAR) != 1 || r.Count(ir.DepWAW) != 2 {
+		t.Error("Count mapping wrong")
+	}
+}

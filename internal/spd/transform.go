@@ -1,0 +1,362 @@
+// Package spd implements speculative disambiguation, the paper's core
+// contribution: a compile-time transformation that resolves an ambiguous
+// memory alias at run time by emitting an address compare and two copies of
+// the dependent code — one assuming the references alias, one assuming they
+// do not — with side-effecting operations guarded by the compare's outcome
+// (§4), plus the profile-driven guidance heuristic of Figure 5-1 (§5.3).
+package spd
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+)
+
+// guardState is a (register, polarity) condition; reg == NoReg means always.
+type guardState struct {
+	reg ir.Reg
+	neg bool
+}
+
+// transformer applies one SpD transformation to one arc of one tree.
+type transformer struct {
+	t          *ir.Tree
+	fn         *ir.Function
+	forwarding bool
+
+	before map[*ir.Op][]*ir.Op
+	after  map[*ir.Op][]*ir.Op
+	added  int
+
+	pendingArcs []pendingArc
+
+	combineCache map[combineKey]guardState
+	notCache     map[ir.Reg]ir.Reg
+}
+
+type combineKey struct {
+	h    ir.Reg
+	hNeg bool
+	g    ir.Reg
+	want bool // true: condition g must hold; false: ¬g must hold
+}
+
+// ErrNotApplicable reports that the transform would be unsafe or useless for
+// this arc and was skipped.
+var ErrNotApplicable = fmt.Errorf("spd: transform not applicable")
+
+// Apply performs speculative disambiguation for arc a of tree t. It returns
+// the number of operations added. ErrNotApplicable (wrapped) is returned when
+// the arc cannot be transformed safely; the tree is then unchanged.
+func Apply(t *ir.Tree, a *ir.MemArc, forwarding bool) (int, error) {
+	if !a.Ambiguous {
+		return 0, fmt.Errorf("%w: arc %s is a definite dependence", ErrNotApplicable, a)
+	}
+	x := &transformer{
+		t:            t,
+		fn:           t.Fn,
+		forwarding:   forwarding,
+		before:       map[*ir.Op][]*ir.Op{},
+		after:        map[*ir.Op][]*ir.Op{},
+		combineCache: map[combineKey]guardState{},
+		notCache:     map[ir.Reg]ir.Reg{},
+	}
+	var err error
+	switch a.Kind {
+	case ir.DepRAW:
+		err = x.applyRAW(a)
+	case ir.DepWAR:
+		err = x.applyWAR(a)
+	case ir.DepWAW:
+		err = x.applyWAW(a)
+	}
+	if err != nil {
+		return 0, err
+	}
+	x.flush()
+	x.flushArcs()
+	return x.added, nil
+}
+
+// newOp builds an op with a fresh ID (position assigned at flush).
+func (x *transformer) newOp(kind ir.OpKind, args []ir.Reg, dest ir.Reg, blk int) *ir.Op {
+	x.added++
+	return &ir.Op{
+		ID: x.t.AllocID(), Kind: kind, Args: args, Dest: dest,
+		Guard: ir.NoReg, Block: blk,
+	}
+}
+
+func (x *transformer) insertBefore(anchor, op *ir.Op) {
+	x.before[anchor] = append(x.before[anchor], op)
+}
+
+func (x *transformer) insertAfter(anchor, op *ir.Op) {
+	x.after[anchor] = append(x.after[anchor], op)
+}
+
+// flush rebuilds the op list with all pending insertions and renumbers Seq.
+func (x *transformer) flush() {
+	out := make([]*ir.Op, 0, len(x.t.Ops)+x.added)
+	for _, op := range x.t.Ops {
+		out = append(out, x.before[op]...)
+		out = append(out, op)
+		out = append(out, x.after[op]...)
+	}
+	x.t.Ops = out
+	x.t.Renumber()
+}
+
+// matNot materializes ¬r, placing the op before anchor.
+func (x *transformer) matNot(r ir.Reg, anchor *ir.Op, blk int) ir.Reg {
+	if n, ok := x.notCache[r]; ok {
+		return n
+	}
+	d := x.fn.NewReg()
+	op := x.newOp(ir.OpBNot, []ir.Reg{r}, d, blk)
+	x.insertBefore(anchor, op)
+	x.notCache[r] = d
+	return d
+}
+
+// combine returns a guard meaning h ∧ g (want true) or h ∧ ¬g (want false),
+// where h is the op's pre-existing guard. Boolean ops are placed before
+// anchor; results are cached so each combination is materialized once (the
+// first anchor precedes later uses because ops are processed in Seq order).
+func (x *transformer) combine(h guardState, g ir.Reg, want bool, anchor *ir.Op, blk int) guardState {
+	if h.reg == ir.NoReg {
+		return guardState{reg: g, neg: !want}
+	}
+	key := combineKey{h: h.reg, hNeg: h.neg, g: g, want: want}
+	if cached, ok := x.combineCache[key]; ok {
+		return cached
+	}
+	hr := h.reg
+	if h.neg {
+		hr = x.matNot(h.reg, anchor, blk)
+	}
+	d := x.fn.NewReg()
+	kind := ir.OpBAnd
+	if !want {
+		kind = ir.OpBAndNot
+	}
+	op := x.newOp(kind, []ir.Reg{hr, g}, d, blk)
+	x.insertBefore(anchor, op)
+	gs := guardState{reg: d}
+	x.combineCache[key] = gs
+	return gs
+}
+
+func opGuard(o *ir.Op) guardState { return guardState{reg: o.Guard, neg: o.GuardNeg} }
+
+func setGuard(o *ir.Op, g guardState) {
+	o.Guard = g.reg
+	o.GuardNeg = g.neg
+}
+
+// dependentSet computes D: the set of non-exit ops reachable from seed via
+// register flow (an op joins D when any of its arguments reads a register
+// written by a D member). The result is a conservative over-approximation:
+// redefinitions do not untaint a register.
+//
+// Duplication is restricted to ops in blocks dominated by the seed's block:
+// only there does the op's commit imply the seed load committed, making the
+// address compare's inputs (and the duplicate's stale temporaries)
+// meaningful. Ops on other paths read the guarded-merged registers, whose
+// committed values are always correct, so they are left untouched — and
+// because such an op reads the merged value rather than a duplicate
+// temporary, its own result needs no duplication either (taint does not
+// propagate through it).
+func dependentSet(t *ir.Tree, seed *ir.Op) map[*ir.Op]bool {
+	d := map[*ir.Op]bool{seed: true}
+	tainted := map[ir.Reg]bool{}
+	if seed.Dest != ir.NoReg {
+		tainted[seed.Dest] = true
+	}
+	for _, op := range t.Ops {
+		if op.Seq <= seed.Seq || op.Kind == ir.OpExit {
+			continue
+		}
+		if !t.BlockIsAncestor(seed.Block, op.Block) {
+			continue
+		}
+		for _, r := range op.Args {
+			if tainted[r] {
+				d[op] = true
+				// A merge-protected destination carries the correct
+				// committed value under every alias outcome, so taint does
+				// not flow through it: its readers need no duplication.
+				if op.Dest != ir.NoReg && !t.Fn.Stable(op.Dest) {
+					tainted[op.Dest] = true
+				}
+				break
+			}
+		}
+	}
+	return d
+}
+
+// needsMerge reports whether register r (defined by def, a member of D) is
+// observable outside the duplicated region and therefore needs a guarded
+// merge move: read by an exit, read by an op outside D, read in another tree
+// of the function, or read at-or-before its definition within D (a
+// loop-carried use observing the previous tree execution).
+func needsMerge(fn *ir.Function, t *ir.Tree, d map[*ir.Op]bool, r ir.Reg, def *ir.Op) bool {
+	reads := func(op *ir.Op) bool {
+		for _, a := range op.Args {
+			if a == r {
+				return true
+			}
+		}
+		for _, a := range op.CallArg {
+			if a == r {
+				return true
+			}
+		}
+		return false
+	}
+	for _, tr := range fn.Trees {
+		for _, op := range tr.Ops {
+			// A register consumed as a guard must hold a valid value on
+			// every execution — the masking machinery itself reads it — so
+			// it always needs the merge, no matter who the reader is.
+			if op.Guard == r {
+				return true
+			}
+			if !reads(op) {
+				continue
+			}
+			if tr != t {
+				return true
+			}
+			if op.Kind == ir.OpExit || !d[op] {
+				return true
+			}
+			if op.Seq <= def.Seq {
+				return true // loop-carried within the tree
+			}
+		}
+	}
+	return false
+}
+
+// defsPrecede reports whether every definition of r in the tree occurs
+// strictly before position seq (so a new op at seq may read r).
+func defsPrecede(t *ir.Tree, r ir.Reg, seq int) bool {
+	found := false
+	for _, op := range t.Ops {
+		if op.Dest == r {
+			if op.Seq >= seq {
+				return false
+			}
+			found = true
+		}
+	}
+	// A register with no definition in this tree is defined in an earlier
+	// tree (or is a parameter) and is always available.
+	_ = found
+	return true
+}
+
+// arcSnapshot captures the current arcs for inheritance decisions.
+func arcSnapshot(t *ir.Tree) []*ir.MemArc {
+	return append([]*ir.MemArc(nil), t.Arcs...)
+}
+
+// classifyArc derives the dependence kind for a (from, to) pair.
+func classifyArc(from, to *ir.Op) (ir.DepKind, bool) {
+	switch {
+	case from.Kind == ir.OpStore && to.Kind == ir.OpLoad:
+		return ir.DepRAW, true
+	case from.Kind == ir.OpLoad && to.Kind == ir.OpStore:
+		return ir.DepWAR, true
+	case from.Kind == ir.OpStore && to.Kind == ir.OpStore:
+		return ir.DepWAW, true
+	}
+	return 0, false
+}
+
+// queueArc records an arc to add between u and v; the final orientation is
+// decided after flush, when both ops have Seq positions. Load/load pairs are
+// dropped.
+func (x *transformer) queueArc(u, v *ir.Op, ambiguous bool) {
+	x.pendingArcs = append(x.pendingArcs, pendingArc{u: u, v: v, amb: ambiguous})
+}
+
+type pendingArc struct {
+	u, v *ir.Op
+	amb  bool
+}
+
+// flushArcs materializes queued arcs using post-flush Seq order.
+func (x *transformer) flushArcs() {
+	for _, p := range x.pendingArcs {
+		u, v := p.u, p.v
+		if u.Seq > v.Seq {
+			u, v = v, u
+		}
+		kind, ok := classifyArc(u, v)
+		if !ok {
+			continue
+		}
+		x.t.Arcs = append(x.t.Arcs, &ir.MemArc{From: u, To: v, Kind: kind, Ambiguous: p.amb})
+	}
+	x.pendingArcs = nil
+}
+
+func cloneRef(r *ir.MemRef) *ir.MemRef {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	return &c
+}
+
+// materializeAt makes the value of reg available before anchor by cloning
+// its defining chain of pure, unguarded, non-memory operations (fresh
+// destinations, inserted before anchor). Registers already defined before
+// anchor — or defined in an earlier tree — are used directly. Fails with
+// ErrNotApplicable on guarded, multiply-defined, memory-dependent, or overly
+// deep chains.
+func (x *transformer) materializeAt(reg ir.Reg, anchor *ir.Op) (ir.Reg, error) {
+	t := x.t
+	memo := map[ir.Reg]ir.Reg{}
+	var clone func(r ir.Reg, depth int) (ir.Reg, error)
+	clone = func(r ir.Reg, depth int) (ir.Reg, error) {
+		if nr, ok := memo[r]; ok {
+			return nr, nil
+		}
+		if depth > 16 {
+			return 0, fmt.Errorf("%w: address chain too deep", ErrNotApplicable)
+		}
+		var def *ir.Op
+		for _, op := range t.Ops {
+			if op.Dest == r {
+				if def != nil {
+					return 0, fmt.Errorf("%w: register r%d multiply defined", ErrNotApplicable, r)
+				}
+				def = op
+			}
+		}
+		if def == nil || def.Seq < anchor.Seq {
+			return r, nil // live-in or already available
+		}
+		if def.Kind.IsMem() || def.Kind.HasSideEffect() || def.IsGuarded() {
+			return 0, fmt.Errorf("%w: address depends on op %%%d (%s)", ErrNotApplicable, def.ID, def.Kind)
+		}
+		args := make([]ir.Reg, len(def.Args))
+		for i, a := range def.Args {
+			na, err := clone(a, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = na
+		}
+		n := x.newOp(def.Kind, args, x.fn.NewReg(), anchor.Block)
+		n.Imm = def.Imm
+		x.insertBefore(anchor, n)
+		memo[r] = n.Dest
+		return n.Dest, nil
+	}
+	return clone(reg, 0)
+}

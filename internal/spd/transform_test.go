@@ -1,0 +1,392 @@
+package spd
+
+import (
+	"errors"
+	"testing"
+
+	"specdis/internal/ir"
+)
+
+// rawTree builds the Figure 4-4 shape: store S; load L; mul; add (observable).
+func rawTree() (*ir.Tree, *ir.MemArc) {
+	fn := &ir.Function{Name: "raw"}
+	t := &ir.Tree{Fn: fn, Name: "raw.t0"}
+	t.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{t}
+	addrS, addrL, val := fn.NewReg(), fn.NewReg(), fn.NewReg()
+	fn.NumRegs = 3
+	t.NewOp(ir.OpStore, []ir.Reg{addrS, val}, ir.NoReg)
+	l := t.NewOp(ir.OpLoad, []ir.Reg{addrL}, fn.NewReg())
+	mul := t.NewOp(ir.OpMul, []ir.Reg{l.Dest, l.Dest}, fn.NewReg())
+	add := t.NewOp(ir.OpAdd, []ir.Reg{mul.Dest, val}, fn.NewReg())
+	add.VarWrite = true
+	ex := t.NewOp(ir.OpExit, []ir.Reg{add.Dest}, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	t.BuildMemArcs()
+	return t, t.Arcs[0]
+}
+
+func countKind(t *ir.Tree, k ir.OpKind) int {
+	n := 0
+	for _, op := range t.Ops {
+		if op.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRAWTransformShape(t *testing.T) {
+	tr, arc := rawTree()
+	sizeBefore := tr.Size()
+	added, err := Apply(tr, arc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("transformed tree invalid: %v", err)
+	}
+	if tr.Size() != sizeBefore+added {
+		t.Errorf("size %d != %d + %d", tr.Size(), sizeBefore, added)
+	}
+	// Paper cost for RAW: 1 (compare) + n_L duplicated ops (plus merge moves
+	// for observable registers). n_L = 3 (load, mul, add); the add's result
+	// is observable so one merge move appears: 1 + 3 + 1.
+	if added != 5 {
+		t.Errorf("added %d ops, expected 5", added)
+	}
+	if countKind(tr, ir.OpCmpEQ) != 1 {
+		t.Error("no address compare emitted")
+	}
+	// With forwarding the original load became a move; the duplicate load
+	// is the only remaining load.
+	if countKind(tr, ir.OpLoad) != 1 {
+		t.Errorf("forwarding should leave exactly 1 load, got %d", countKind(tr, ir.OpLoad))
+	}
+	// The speculated duplicate load must carry no arc from the store.
+	for _, a := range tr.Arcs {
+		if a.From.Kind == ir.OpStore && a.To.Kind == ir.OpLoad {
+			t.Errorf("duplicate load still ordered after the store: %v", a)
+		}
+	}
+	// Alias sides: at least one op on each side.
+	plus, minus := 0, 0
+	for _, op := range tr.Ops {
+		switch {
+		case op.SpecSide > 0:
+			plus++
+		case op.SpecSide < 0:
+			minus++
+		}
+	}
+	if plus == 0 || minus == 0 {
+		t.Errorf("side tags missing: +%d -%d", plus, minus)
+	}
+}
+
+func TestRAWWithoutForwardingKeepsArc(t *testing.T) {
+	tr, arc := rawTree()
+	if _, err := Apply(tr, arc, false); err != nil {
+		t.Fatal(err)
+	}
+	// Both loads present; the original keeps its arc.
+	if countKind(tr, ir.OpLoad) != 2 {
+		t.Errorf("expected 2 loads, got %d", countKind(tr, ir.OpLoad))
+	}
+	kept := false
+	for _, a := range tr.Arcs {
+		if a == arc {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Error("original arc should survive on the alias copy")
+	}
+}
+
+func TestRAWForwardingRefusedForGuardedStore(t *testing.T) {
+	tr, arc := rawTree()
+	// Give the store a guard the load does not share: forwarding unsafe.
+	g := tr.Fn.NewReg()
+	arc.From.Guard = g
+	if _, err := Apply(tr, arc, true); err != nil {
+		t.Fatal(err)
+	}
+	if countKind(tr, ir.OpLoad) != 2 {
+		t.Error("forwarding must be refused when the store may not commit")
+	}
+}
+
+func TestDefiniteArcRejected(t *testing.T) {
+	tr, arc := rawTree()
+	arc.Ambiguous = false
+	_, err := Apply(tr, arc, true)
+	if !errors.Is(err, ErrNotApplicable) {
+		t.Fatalf("definite arc: %v", err)
+	}
+}
+
+// warTree builds Figure 4-5's core: load L1; dependent mul (observable);
+// store S1 that may overwrite L1's location.
+func warTree() (*ir.Tree, *ir.MemArc) {
+	fn := &ir.Function{Name: "war"}
+	t := &ir.Tree{Fn: fn, Name: "war.t0"}
+	t.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{t}
+	addrL, addrS, val := fn.NewReg(), fn.NewReg(), fn.NewReg()
+	fn.NumRegs = 3
+	l1 := t.NewOp(ir.OpLoad, []ir.Reg{addrL}, fn.NewReg())
+	mul := t.NewOp(ir.OpMul, []ir.Reg{l1.Dest, l1.Dest}, fn.NewReg())
+	mul.VarWrite = true
+	t.NewOp(ir.OpStore, []ir.Reg{addrS, val}, ir.NoReg)
+	ex := t.NewOp(ir.OpExit, []ir.Reg{mul.Dest}, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	t.BuildMemArcs()
+	return t, t.Arcs[0]
+}
+
+func TestWARTransformShape(t *testing.T) {
+	tr, arc := warTree()
+	if arc.Kind != ir.DepWAR {
+		t.Fatalf("fixture arc is %v", arc.Kind)
+	}
+	added, err := Apply(tr, arc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("transformed tree invalid: %v", err)
+	}
+	// Cost 2 + n_L: compare + inserted load L3 + duplicated dependents
+	// (mul) + merges (mul observable, plus the load value if observable).
+	if added < 3 {
+		t.Errorf("added only %d ops", added)
+	}
+	// L3 must be definitely anti-dependent on S1.
+	foundDef := false
+	for _, a := range tr.Arcs {
+		if a.Kind == ir.DepWAR && !a.Ambiguous && a.To.Kind == ir.OpStore {
+			foundDef = true
+		}
+		if a == arc {
+			t.Error("transformed WAR arc still present")
+		}
+	}
+	if !foundDef {
+		t.Error("missing definite L3 -> S1 anti-dependence")
+	}
+	if countKind(tr, ir.OpLoad) != 2 {
+		t.Errorf("expected original load + L3, got %d loads", countKind(tr, ir.OpLoad))
+	}
+}
+
+func TestWARRefusedWhenStoreDependsOnLoad(t *testing.T) {
+	fn := &ir.Function{Name: "ward"}
+	tr := &ir.Tree{Fn: fn, Name: "ward.t0"}
+	tr.NewBlock(-1, ir.NoReg, false)
+	addrL, addrS := fn.NewReg(), fn.NewReg()
+	l1 := tr.NewOp(ir.OpLoad, []ir.Reg{addrL}, fn.NewReg())
+	tr.NewOp(ir.OpStore, []ir.Reg{addrS, l1.Dest}, ir.NoReg) // stores the loaded value
+	ex := tr.NewOp(ir.OpExit, nil, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	tr.BuildMemArcs()
+	_, err := Apply(tr, tr.Arcs[0], true)
+	if !errors.Is(err, ErrNotApplicable) {
+		t.Fatalf("expected ErrNotApplicable, got %v", err)
+	}
+}
+
+func TestWARClonesLateAddressChain(t *testing.T) {
+	// The store address is computed after the load by pure ops: the
+	// transform clones the chain before L1 instead of refusing.
+	fn := &ir.Function{Name: "wara"}
+	tr := &ir.Tree{Fn: fn, Name: "wara.t0"}
+	tr.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{tr}
+	addrL, base := fn.NewReg(), fn.NewReg()
+	l1 := tr.NewOp(ir.OpLoad, []ir.Reg{addrL}, fn.NewReg())
+	dep := tr.NewOp(ir.OpMul, []ir.Reg{l1.Dest, l1.Dest}, fn.NewReg())
+	dep.VarWrite = true
+	addrS := tr.NewOp(ir.OpAdd, []ir.Reg{base, base}, fn.NewReg())
+	tr.NewOp(ir.OpStore, []ir.Reg{addrS.Dest, base}, ir.NoReg)
+	ex := tr.NewOp(ir.OpExit, []ir.Reg{dep.Dest}, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	tr.BuildMemArcs()
+	var war *ir.MemArc
+	for _, a := range tr.Arcs {
+		if a.Kind == ir.DepWAR {
+			war = a
+		}
+	}
+	added, err := Apply(tr, war, true)
+	if err != nil {
+		t.Fatalf("late pure address chain should be cloneable: %v", err)
+	}
+	if added < 4 { // cloned add + cmp + L3 + dup/merge
+		t.Errorf("only %d ops added", added)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A cloned add must appear before L1.
+	found := false
+	for _, op := range tr.Ops {
+		if op.Kind == ir.OpAdd && op.Seq < l1.Seq && op != addrS {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("address chain not cloned before the load")
+	}
+}
+
+func TestWARRefusedWhenAddressLoaded(t *testing.T) {
+	// The store address itself comes from memory after L1: cloning a load
+	// would change what it reads, so the transform must refuse.
+	fn := &ir.Function{Name: "warb"}
+	tr := &ir.Tree{Fn: fn, Name: "warb.t0"}
+	tr.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{tr}
+	addrL, base := fn.NewReg(), fn.NewReg()
+	l1 := tr.NewOp(ir.OpLoad, []ir.Reg{addrL}, fn.NewReg())
+	idx := tr.NewOp(ir.OpLoad, []ir.Reg{base}, fn.NewReg()) // index array load
+	addrS := tr.NewOp(ir.OpAdd, []ir.Reg{base, idx.Dest}, fn.NewReg())
+	st := tr.NewOp(ir.OpStore, []ir.Reg{addrS.Dest, base}, ir.NoReg)
+	ex := tr.NewOp(ir.OpExit, []ir.Reg{l1.Dest}, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	tr.BuildMemArcs()
+	var war *ir.MemArc
+	for _, a := range tr.Arcs {
+		if a.Kind == ir.DepWAR && a.From == l1 && a.To == st {
+			war = a
+		}
+	}
+	if war == nil {
+		t.Fatal("fixture lacks WAR arc")
+	}
+	_, err := Apply(tr, war, true)
+	if !errors.Is(err, ErrNotApplicable) {
+		t.Fatalf("expected ErrNotApplicable, got %v", err)
+	}
+}
+
+// wawTree: store S1; store S2 to a possibly equal address.
+func wawTree(lateAddr bool) (*ir.Tree, *ir.MemArc) {
+	fn := &ir.Function{Name: "waw"}
+	t := &ir.Tree{Fn: fn, Name: "waw.t0"}
+	t.NewBlock(-1, ir.NoReg, false)
+	a1, v1, v2 := fn.NewReg(), fn.NewReg(), fn.NewReg()
+	var a2 ir.Reg
+	if !lateAddr {
+		a2 = fn.NewReg()
+	}
+	if !lateAddr {
+		t.NewOp(ir.OpStore, []ir.Reg{a1, v1}, ir.NoReg)
+		t.NewOp(ir.OpStore, []ir.Reg{a2, v2}, ir.NoReg)
+	} else {
+		t.NewOp(ir.OpStore, []ir.Reg{a1, v1}, ir.NoReg)
+		addr2 := t.NewOp(ir.OpAdd, []ir.Reg{a1, v1}, fn.NewReg())
+		t.NewOp(ir.OpStore, []ir.Reg{addr2.Dest, v2}, ir.NoReg)
+	}
+	ex := t.NewOp(ir.OpExit, nil, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	t.BuildMemArcs()
+	for _, a := range t.Arcs {
+		if a.Kind == ir.DepWAW {
+			return t, a
+		}
+	}
+	panic("no WAW arc in fixture")
+}
+
+func TestWAWTransform(t *testing.T) {
+	tr, arc := wawTree(false)
+	s1 := arc.From
+	added, err := Apply(tr, arc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper cost: only the address comparison.
+	if added != 1 {
+		t.Errorf("WAW added %d ops, want 1", added)
+	}
+	if s1.Guard == ir.NoReg || !s1.GuardNeg {
+		t.Errorf("S1 must be guarded by ¬cmp, got %v", s1)
+	}
+	if s1.SpecSide != -1 {
+		t.Errorf("S1 side = %d", s1.SpecSide)
+	}
+	for _, a := range tr.Arcs {
+		if a.Kind == ir.DepWAW {
+			t.Error("WAW arc survived the transform")
+		}
+	}
+}
+
+func TestWAWWithLateAddressMovesStore(t *testing.T) {
+	tr, arc := wawTree(true)
+	s1, s2 := arc.From, arc.To
+	if _, err := Apply(tr, arc, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Seq > s2.Seq {
+		t.Error("moved S1 should sit before S2")
+	}
+	// The compare must come before S1's new position.
+	for _, op := range tr.Ops {
+		if op.Kind == ir.OpCmpEQ {
+			if op.Seq > s1.Seq {
+				t.Error("compare placed after the guarded store")
+			}
+		}
+	}
+}
+
+func TestDependentSetStopsAtExitsAndSiblings(t *testing.T) {
+	fn := &ir.Function{Name: "ds"}
+	tr := &ir.Tree{Fn: fn, Name: "ds.t0"}
+	fn.Trees = []*ir.Tree{tr}
+	root := tr.NewBlock(-1, ir.NoReg, false)
+	cnd := fn.NewReg()
+	thenB := tr.NewBlock(root, cnd, false)
+	sibB := tr.NewBlock(root, cnd, true)
+
+	// The seed load commits only on the then-path; a consumer on the
+	// sibling path sees a compare whose inputs are stale there, so it must
+	// read the merged register instead of being duplicated.
+	l := tr.NewOp(ir.OpLoad, []ir.Reg{cnd}, fn.NewReg())
+	l.Block = thenB
+	dep := tr.NewOp(ir.OpAdd, []ir.Reg{l.Dest, l.Dest}, fn.NewReg())
+	dep.Block = thenB
+	other := tr.NewOp(ir.OpMul, []ir.Reg{dep.Dest, dep.Dest}, fn.NewReg())
+	other.Block = sibB
+	ex := tr.NewOp(ir.OpExit, []ir.Reg{dep.Dest}, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	ex.Block = root
+
+	d := dependentSet(tr, l)
+	if !d[l] || !d[dep] {
+		t.Error("direct dependents missing from D")
+	}
+	if d[other] {
+		t.Error("sibling-path consumer must not be duplicated")
+	}
+	if d[ex] {
+		t.Error("exits must never join D")
+	}
+	// dep's result is read by an exit and by a non-D op: must be merged.
+	if !needsMerge(fn, tr, d, dep.Dest, dep) {
+		t.Error("exit-read register must need a merge")
+	}
+	// The load's result is read only inside D, strictly after its def:
+	// no merge needed.
+	if needsMerge(fn, tr, d, l.Dest, l) {
+		t.Error("D-internal register must not need a merge")
+	}
+}

@@ -1,0 +1,141 @@
+package spd_test
+
+import (
+	"errors"
+	"testing"
+
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+	"specdis/internal/spd"
+)
+
+// The heuristic never selects WAR arcs (matching the paper's Table 6-3), so
+// the differential fuzzer rarely exercises the WAR transform end to end.
+// These tests force-apply it and verify both alias outcomes semantically.
+
+const warProgram = `
+int a[16];
+int f(int i, int j, int v) {
+	int old = a[j];     // L1: read
+	a[i] = v;           // S1: may overwrite a[j]
+	return old * 10;    // depends on the pre-store value
+}
+void main() {
+	for (int k = 0; k < 16; k = k + 1) { a[k] = k; }
+	print(f(3, 7, 100)); // no alias: old = 7
+	print(f(5, 5, 200)); // alias:    old = 5 (read before overwrite)
+	print(a[3]);
+}
+`
+
+func TestWARSemanticsBothOutcomes(t *testing.T) {
+	prog, prof, lat := prep(t, warProgram)
+	r0 := &sim.Runner{Prog: prog, SemLat: lat}
+	before, err := r0.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prof
+
+	// Find and force-apply the WAR arc in f.
+	applied := 0
+	for _, tr := range prog.Funcs["f"].Trees {
+		for _, a := range append([]*ir.MemArc(nil), tr.Arcs...) {
+			if a.Kind == ir.DepWAR && a.Ambiguous {
+				if _, err := spd.Apply(tr, a, true); err != nil {
+					if errors.Is(err, spd.ErrNotApplicable) {
+						continue
+					}
+					t.Fatal(err)
+				}
+				applied++
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no WAR arc applied")
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	r1 := &sim.Runner{Prog: prog, SemLat: lat}
+	after, err := r1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Output != before.Output {
+		t.Fatalf("WAR transform changed output:\n got %q\nwant %q", after.Output, before.Output)
+	}
+	// And under a second semantic order.
+	r2 := &sim.Runner{Prog: prog, SemLat: machine.New(1, 6).LatencyFunc()}
+	again, err := r2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Output != before.Output {
+		t.Fatal("WAR transform order-sensitive")
+	}
+}
+
+// TestWARInsertedLoadOrdering: the inserted L3 must carry a definite
+// anti-dependence on S1 and inherit S1's store-ambiguities, per Figure 4-5's
+// arc discussion.
+func TestWARArcInheritanceWithThirdStore(t *testing.T) {
+	fn := &ir.Function{Name: "w3"}
+	tr := &ir.Tree{Fn: fn, Name: "w3.t0"}
+	tr.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{tr}
+	addrL, addrS, addrX, val := fn.NewReg(), fn.NewReg(), fn.NewReg(), fn.NewReg()
+	fn.NumRegs = 4
+	l1 := tr.NewOp(ir.OpLoad, []ir.Reg{addrL}, fn.NewReg())
+	dep := tr.NewOp(ir.OpMul, []ir.Reg{l1.Dest, l1.Dest}, fn.NewReg())
+	dep.VarWrite = true
+	tr.NewOp(ir.OpStore, []ir.Reg{addrS, val}, ir.NoReg) // S1
+	sx := tr.NewOp(ir.OpStore, []ir.Reg{addrX, val}, ir.NoReg)
+	ex := tr.NewOp(ir.OpExit, []ir.Reg{dep.Dest}, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	tr.BuildMemArcs()
+
+	var war *ir.MemArc
+	for _, a := range tr.Arcs {
+		if a.Kind == ir.DepWAR && a.To.AddrReg() == addrS {
+			war = a
+		}
+	}
+	if war == nil {
+		t.Fatal("fixture lacks the WAR arc")
+	}
+	if _, err := spd.Apply(tr, war, true); err != nil {
+		t.Fatal(err)
+	}
+
+	var l3 *ir.Op
+	for _, op := range tr.Ops {
+		if op.Kind == ir.OpLoad && op != l1 && op.AddrReg() == addrS {
+			l3 = op
+		}
+	}
+	if l3 == nil {
+		t.Fatal("no inserted L3")
+	}
+	defAnti, inherited := false, false
+	for _, a := range tr.Arcs {
+		if a.From == l3 && a.To.AddrReg() == addrS && !a.Ambiguous && a.Kind == ir.DepWAR {
+			defAnti = true
+		}
+		if a.From == l3 && a.To == sx && a.Kind == ir.DepWAR && a.Ambiguous {
+			inherited = true
+		}
+	}
+	if !defAnti {
+		t.Error("L3 lacks the definite anti-dependence on S1")
+	}
+	if !inherited {
+		t.Error("L3 did not inherit S1's ambiguity with the later store")
+	}
+}
