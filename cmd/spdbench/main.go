@@ -10,17 +10,41 @@
 //	spdbench -only table63    # one experiment: table61|table62|table63|fig62|fig63|fig64
 //	spdbench -only ext        # the §7 extension experiments (grafting, combined)
 //	spdbench -bench fft       # restrict to one benchmark
+//	spdbench -par 4           # evaluation-cell worker pool width (0 = GOMAXPROCS)
+//	spdbench -json            # also write BENCH_spdbench.json with timings
+//	spdbench -cpuprofile f    # write a CPU profile of the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"specdis/internal/bench"
 	"specdis/internal/exper"
 )
+
+// benchReport is the schema of BENCH_spdbench.json: per-experiment wall
+// times plus the runner's deduplicated work counters.
+type benchReport struct {
+	// WallMS maps experiment name to wall-clock milliseconds.
+	WallMS map[string]float64 `json:"wall_ms"`
+	// TotalMS is the wall time of the whole evaluation.
+	TotalMS float64 `json:"total_ms"`
+	// Par is the worker-pool width the run used (0 = GOMAXPROCS).
+	Par int `json:"par"`
+	// Cells counts distinct evaluation cells: prepares + timed measures.
+	Cells int64 `json:"cells"`
+	// CellsPerSec is Cells / total wall seconds.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// SimOps is the total number of simulated dynamic operations across
+	// all timed runs.
+	SimOps int64 `json:"sim_ops"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -29,9 +53,13 @@ func main() {
 	benchName := flag.String("bench", "", "restrict to one benchmark")
 	maxExpansion := flag.Float64("maxexpansion", 0, "override SpD MaxExpansion")
 	minGain := flag.Float64("mingain", -1, "override SpD MinGain")
+	par := flag.Int("par", 0, "evaluation-cell worker pool width (0 = GOMAXPROCS, 1 = sequential)")
+	jsonOut := flag.Bool("json", false, "write BENCH_spdbench.json with per-experiment timings")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	r := exper.New()
+	r.Par = *par
 	if *benchName != "" {
 		b := bench.ByName(*benchName)
 		if b == nil {
@@ -46,8 +74,29 @@ func main() {
 		r.Params.MinGain = *minGain
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	want := func(name string) bool { return *only == "" || *only == name }
 	out := os.Stdout
+	report := benchReport{WallMS: map[string]float64{}, Par: *par}
+	start := time.Now()
+	timed := func(name string, fn func() error) {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			log.Fatal(err)
+		}
+		report.WallMS[name] = float64(time.Since(t0).Microseconds()) / 1000
+	}
 
 	if want("table61") {
 		exper.RenderTable61(out)
@@ -58,53 +107,89 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	if want("table63") {
-		rows, err := r.Table63()
-		if err != nil {
-			log.Fatal(err)
-		}
-		exper.RenderTable63(out, rows)
-		fmt.Fprintln(out)
+		timed("table63", func() error {
+			rows, err := r.Table63()
+			if err != nil {
+				return err
+			}
+			exper.RenderTable63(out, rows)
+			fmt.Fprintln(out)
+			return nil
+		})
 	}
 	if want("fig62") {
-		rows, err := r.Figure62()
-		if err != nil {
-			log.Fatal(err)
-		}
-		exper.RenderFigure62(out, rows)
-		fmt.Fprintln(out)
+		timed("fig62", func() error {
+			rows, err := r.Figure62()
+			if err != nil {
+				return err
+			}
+			exper.RenderFigure62(out, rows)
+			fmt.Fprintln(out)
+			return nil
+		})
 	}
 	if want("fig63") {
-		rows, err := r.Figure63()
-		if err != nil {
-			log.Fatal(err)
-		}
-		exper.RenderFigure63(out, rows)
-		fmt.Fprintln(out)
+		timed("fig63", func() error {
+			rows, err := r.Figure63()
+			if err != nil {
+				return err
+			}
+			exper.RenderFigure63(out, rows)
+			fmt.Fprintln(out)
+			return nil
+		})
 	}
 	if want("fig64") {
-		rows, err := r.Figure64()
-		if err != nil {
-			log.Fatal(err)
-		}
-		exper.RenderFigure64(out, rows)
-		fmt.Fprintln(out)
+		timed("fig64", func() error {
+			rows, err := r.Figure64()
+			if err != nil {
+				return err
+			}
+			exper.RenderFigure64(out, rows)
+			fmt.Fprintln(out)
+			return nil
+		})
 	}
 	if *only == "overhead" {
-		rows, err := r.DynamicOverhead(2)
-		if err != nil {
-			log.Fatal(err)
-		}
-		exper.RenderOverhead(out, rows)
+		timed("overhead", func() error {
+			rows, err := r.DynamicOverhead(2)
+			if err != nil {
+				return err
+			}
+			exper.RenderOverhead(out, rows)
+			return nil
+		})
 	}
 	if *only == "ext" {
-		grows, err := r.ExtGrafting(6, 5)
+		timed("ext", func() error {
+			grows, err := r.ExtGrafting(6, 5)
+			if err != nil {
+				return err
+			}
+			crows, err := r.ExtCombined(6)
+			if err != nil {
+				return err
+			}
+			exper.RenderExtensions(out, grows, crows)
+			return nil
+		})
+	}
+
+	if *jsonOut {
+		total := time.Since(start)
+		st := r.Stats()
+		report.TotalMS = float64(total.Microseconds()) / 1000
+		report.Cells = st.Prepares + st.Measures
+		if s := total.Seconds(); s > 0 {
+			report.CellsPerSec = float64(report.Cells) / s
+		}
+		report.SimOps = st.SimOps
+		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
-		crows, err := r.ExtCombined(6)
-		if err != nil {
+		if err := os.WriteFile("BENCH_spdbench.json", append(data, '\n'), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		exper.RenderExtensions(out, grows, crows)
 	}
 }

@@ -43,6 +43,14 @@ func (k Kind) String() string {
 	return fmt.Sprintf("disamb(%d)", int(k))
 }
 
+// LatencySensitive reports whether the pipeline's prepared program depends
+// on the memory latency it targets. Only SPEC consults the latency (the SpD
+// profitability heuristic weighs load latencies when picking dependences to
+// speculate on); NAIVE, STATIC and PERFECT produce identical programs and
+// profiles at every latency, so their evaluation cells can be shared across
+// latencies.
+func (k Kind) LatencySensitive() bool { return k == Spec }
+
 // Kinds lists all pipelines in presentation order.
 var Kinds = []Kind{Naive, Static, Spec, Perfect}
 
@@ -171,17 +179,26 @@ func removeSuperfluous(prog *ir.Program) {
 }
 
 // Plans builds pricing plans for each machine model over the prepared
-// program's trees.
+// program's trees. Op latencies depend only on a model's memory latency, so
+// each tree's dependence graph is built once per distinct memory latency and
+// shared by every model's list-scheduling pass — for the usual nine-model
+// Measure call that is one graph per tree instead of nine.
 func Plans(p *Prepared, models []machine.Model) []*sim.Plan {
 	plans := make([]*sim.Plan, len(models))
+	byMemLat := map[int][]int{} // memory latency -> model indices
 	for i, m := range models {
-		plan := sim.NewPlan(m.Name)
-		for _, name := range p.Prog.Order {
-			for _, t := range p.Prog.Funcs[name].Trees {
-				plan.SetTree(t, sched.Tree(t, m).Comp)
+		plans[i] = sim.NewPlan(m.Name)
+		byMemLat[m.MemLatency] = append(byMemLat[m.MemLatency], i)
+	}
+	for _, name := range p.Prog.Order {
+		for _, t := range p.Prog.Funcs[name].Trees {
+			for memLat, idxs := range byMemLat {
+				g := ir.BuildDepGraph(t, machine.Infinite(memLat).LatencyFunc())
+				for _, i := range idxs {
+					plans[i].SetTree(t, sched.FromGraph(g, models[i].NumFUs).Comp)
+				}
 			}
 		}
-		plans[i] = plan
 	}
 	return plans
 }

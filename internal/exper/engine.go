@@ -1,0 +1,125 @@
+package exper
+
+import (
+	"runtime"
+	"sync"
+
+	"specdis/internal/bench"
+	"specdis/internal/disamb"
+)
+
+// group is a singleflight-style memoizing call group: the first Do for a key
+// runs fn; concurrent Do calls for the same key wait for that one in-flight
+// computation; later calls return the cached result (or error) immediately.
+// The zero value is ready to use.
+type group[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*groupCall[V]
+}
+
+type groupCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the value for key, computing it with fn exactly once across all
+// concurrent and future callers.
+func (g *group[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[K]*groupCall[V]{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &groupCall[V]{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+// Stats are cumulative counters of the work a Runner has actually performed
+// (deduplicated cells, not requests).
+type Stats struct {
+	// Prepares counts distinct compile+transform pipeline runs.
+	Prepares int64
+	// Measures counts distinct timed simulation runs (one run prices all
+	// of its cell's machine models at once).
+	Measures int64
+	// SimOps counts dynamic operations executed across all timed runs,
+	// the simulator's work measure.
+	SimOps int64
+}
+
+// Stats returns a snapshot of the runner's work counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Prepares: r.nPrepares.Load(),
+		Measures: r.nMeasures.Load(),
+		SimOps:   r.nSimOps.Load(),
+	}
+}
+
+// par returns the effective worker-pool width.
+func (r *Runner) par() int {
+	if r.Par > 0 {
+		return r.Par
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// warmCell names one evaluation cell to warm: a (benchmark, pipeline,
+// memory-latency) triple, either prepare-only or fully measured.
+type warmCell struct {
+	bench   *bench.Benchmark
+	kind    disamb.Kind
+	memLat  int
+	measure bool
+}
+
+// warm fans the given cells out across a bounded worker pool, populating the
+// prepare/measure caches. Workers pull cells from a channel, so a worker
+// blocked in the singleflight layer (waiting on a computation another worker
+// owns) never deadlocks the pool: cell dependencies form a DAG (measure →
+// prepare) and every computation runs inline in the worker that claimed it.
+//
+// Errors are deliberately ignored here: the caller's sequential assembly
+// loop re-requests every cell, hits the cache, and surfaces the first error
+// in deterministic iteration order — so parallel and sequential runs fail
+// identically too.
+func (r *Runner) warm(cells []warmCell) {
+	workers := r.par()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		// The assembly loop itself does the work; warming would just push
+		// every cell through the cache path twice.
+		return
+	}
+	ch := make(chan warmCell)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for c := range ch {
+				if c.measure {
+					_, _ = r.Measure(c.bench, c.kind, c.memLat)
+				} else {
+					_, _ = r.Prepared(c.bench, c.kind, c.memLat)
+				}
+			}
+		}()
+	}
+	for _, c := range cells {
+		ch <- c
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -6,12 +6,17 @@
 //
 // A Runner caches prepared programs and measurements so the experiments can
 // share work: one timed simulation prices a program under the infinite
-// machine and all eight widths at once.
+// machine and all eight widths at once, and — for the pipelines whose output
+// does not depend on memory latency — under both memory latencies at once.
+// Each experiment first fans its cells out over a bounded worker pool
+// (Runner.Par); a singleflight layer deduplicates the cells the experiments
+// have in common, so concurrent and repeated requests coalesce onto one
+// computation. Results are byte-identical to a sequential run.
 package exper
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"specdis/internal/bench"
 	"specdis/internal/disamb"
@@ -30,15 +35,30 @@ type Runner struct {
 	Params     spd.Params
 	Benchmarks []*bench.Benchmark
 
-	mu       sync.Mutex
-	prepared map[prepKey]*disamb.Prepared
-	measured map[prepKey]*Measurement
+	// Par bounds the worker pool experiments use to evaluate independent
+	// (benchmark, pipeline, latency) cells concurrently: 0 means
+	// GOMAXPROCS, 1 runs fully sequentially. Output is byte-identical at
+	// every setting; see TestParallelDeterminism.
+	Par int
+
+	prep group[prepKey, *disamb.Prepared]
+	meas group[prepKey, *measCell]
+
+	nPrepares atomic.Int64
+	nMeasures atomic.Int64
+	nSimOps   atomic.Int64
 }
 
 type prepKey struct {
 	bench  string
 	kind   disamb.Kind
-	memLat int
+	memLat int // 0 = canonical cell shared by all latencies
+}
+
+// measCell is one timed run's result: a Measurement per priced memory
+// latency (parallel to the lats the run was keyed under).
+type measCell struct {
+	byLat []*Measurement
 }
 
 // Measurement is one program's cycle counts: Inf for the infinite machine
@@ -46,66 +66,122 @@ type prepKey struct {
 type Measurement struct {
 	Inf     int64
 	ByWidth [MaxWidth]int64
+	// Ops is the number of dynamic operations the timed simulation
+	// executed (including squashed speculative ones).
+	Ops int64
 }
 
-// New returns a Runner over the full suite with default SpD parameters.
+// New returns a Runner over the full suite with default SpD parameters and
+// the parallel cell engine enabled (Par = GOMAXPROCS).
 func New() *Runner {
 	return &Runner{
 		Params:     spd.DefaultParams(),
 		Benchmarks: bench.All(),
-		prepared:   map[prepKey]*disamb.Prepared{},
-		measured:   map[prepKey]*Measurement{},
 	}
 }
 
+// latSlot returns memLat's index in MemLats.
+func latSlot(memLat int) (int, bool) {
+	for i, l := range MemLats {
+		if l == memLat {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // Prepared returns (building and caching) the program for one pipeline.
+//
+// Pipelines that are not latency-sensitive share a single canonical cell
+// across all memory latencies: their transforms never read the latency, and
+// profiling results are latency-invariant (the simulator executes in Seq
+// order under every semantic model), so preparing per latency would only
+// duplicate work.
 func (r *Runner) Prepared(b *bench.Benchmark, kind disamb.Kind, memLat int) (*disamb.Prepared, error) {
 	key := prepKey{b.Name, kind, memLat}
-	r.mu.Lock()
-	p, ok := r.prepared[key]
-	r.mu.Unlock()
-	if ok {
+	if !kind.LatencySensitive() {
+		key.memLat = 0
+		memLat = MemLats[0]
+	}
+	return r.prep.Do(key, func() (*disamb.Prepared, error) {
+		r.nPrepares.Add(1)
+		p, err := disamb.Prepare(b.Source, kind, memLat, r.Params)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, memLat, err)
+		}
 		return p, nil
-	}
-	p, err := disamb.Prepare(b.Source, kind, memLat, r.Params)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, memLat, err)
-	}
-	r.mu.Lock()
-	r.prepared[key] = p
-	r.mu.Unlock()
-	return p, nil
+	})
 }
 
 // Measure returns (running and caching) the cycle counts for one pipeline
 // under the infinite machine and every width at the given memory latency.
+//
+// For latency-insensitive pipelines the two standard latencies are priced by
+// one merged 18-model run over the shared prepared program (timing plans are
+// pure pricing — the executed operations are identical), halving the number
+// of simulations.
 func (r *Runner) Measure(b *bench.Benchmark, kind disamb.Kind, memLat int) (*Measurement, error) {
 	key := prepKey{b.Name, kind, memLat}
-	r.mu.Lock()
-	m, ok := r.measured[key]
-	r.mu.Unlock()
-	if ok {
-		return m, nil
+	lats := []int{memLat}
+	slot := 0
+	if !kind.LatencySensitive() {
+		if s, ok := latSlot(memLat); ok {
+			key.memLat = 0
+			lats = MemLats
+			slot = s
+		}
 	}
-	p, err := r.Prepared(b, kind, memLat)
+	cell, err := r.meas.Do(key, func() (*measCell, error) {
+		p, err := r.Prepared(b, kind, memLat)
+		if err != nil {
+			return nil, err
+		}
+		models := make([]machine.Model, 0, len(lats)*(MaxWidth+1))
+		for _, lat := range lats {
+			models = append(models, machine.Infinite(lat))
+			for w := 1; w <= MaxWidth; w++ {
+				models = append(models, machine.New(w, lat))
+			}
+		}
+		r.nMeasures.Add(1)
+		res, err := disamb.Measure(p, models)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, lats[0], err)
+		}
+		r.nSimOps.Add(res.Ops)
+		cell := &measCell{byLat: make([]*Measurement, len(lats))}
+		for li := range lats {
+			m := &Measurement{Inf: res.Times[li*(MaxWidth+1)], Ops: res.Ops}
+			copy(m.ByWidth[:], res.Times[li*(MaxWidth+1)+1:(li+1)*(MaxWidth+1)])
+			cell.byLat[li] = m
+		}
+		return cell, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	models := make([]machine.Model, 0, MaxWidth+1)
-	models = append(models, machine.Infinite(memLat))
-	for w := 1; w <= MaxWidth; w++ {
-		models = append(models, machine.New(w, memLat))
+	return cell.byLat[slot], nil
+}
+
+// PrepareAll warms every (benchmark, pipeline, memory latency) prepare cell
+// of the evaluation grid through the worker pool and returns the first error
+// in grid order.
+func (r *Runner) PrepareAll() error {
+	var cells []warmCell
+	for _, b := range r.Benchmarks {
+		for _, k := range disamb.Kinds {
+			for _, memLat := range MemLats {
+				cells = append(cells, warmCell{bench: b, kind: k, memLat: memLat})
+			}
+		}
 	}
-	res, err := disamb.Measure(p, models)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, memLat, err)
+	r.warm(cells)
+	for _, c := range cells {
+		if _, err := r.Prepared(c.bench, c.kind, c.memLat); err != nil {
+			return err
+		}
 	}
-	m = &Measurement{Inf: res.Times[0]}
-	copy(m.ByWidth[:], res.Times[1:])
-	r.mu.Lock()
-	r.measured[key] = m
-	r.mu.Unlock()
-	return m, nil
+	return nil
 }
 
 // speedup returns base/x − 1 (the paper's bar heights).
@@ -128,6 +204,14 @@ type Table63Row struct {
 
 // Table63 reproduces Table 6-3.
 func (r *Runner) Table63() ([]Table63Row, error) {
+	var cells []warmCell
+	for _, b := range r.Benchmarks {
+		for _, memLat := range MemLats {
+			cells = append(cells, warmCell{bench: b, kind: disamb.Spec, memLat: memLat})
+		}
+	}
+	r.warm(cells)
+
 	var rows []Table63Row
 	var total Table63Row
 	total.Program = "TOTAL"
@@ -172,6 +256,16 @@ const Fig62Width = 5
 
 // Figure62 reproduces Figure 6-2 for both memory latencies.
 func (r *Runner) Figure62() ([]Fig62Row, error) {
+	var cells []warmCell
+	for _, b := range r.Benchmarks {
+		for _, kind := range disamb.Kinds {
+			for _, memLat := range MemLats {
+				cells = append(cells, warmCell{bench: b, kind: kind, memLat: memLat, measure: true})
+			}
+		}
+	}
+	r.warm(cells)
+
 	var rows []Fig62Row
 	for _, memLat := range MemLats {
 		for _, b := range r.Benchmarks {
@@ -213,6 +307,16 @@ type Fig63Row struct {
 
 // Figure63 reproduces Figure 6-3 (NRC benchmarks only, per the paper).
 func (r *Runner) Figure63() ([]Fig63Row, error) {
+	var cells []warmCell
+	for _, b := range bench.NRC() {
+		for _, kind := range []disamb.Kind{disamb.Static, disamb.Spec} {
+			for _, memLat := range MemLats {
+				cells = append(cells, warmCell{bench: b, kind: kind, memLat: memLat, measure: true})
+			}
+		}
+	}
+	r.warm(cells)
+
 	var rows []Fig63Row
 	for _, memLat := range MemLats {
 		for _, b := range bench.NRC() {
@@ -247,6 +351,12 @@ type Fig64Row struct {
 
 // Figure64 reproduces Figure 6-4.
 func (r *Runner) Figure64() ([]Fig64Row, error) {
+	var cells []warmCell
+	for _, b := range r.Benchmarks {
+		cells = append(cells, warmCell{bench: b, kind: disamb.Spec, memLat: 2})
+	}
+	r.warm(cells)
+
 	var rows []Fig64Row
 	for _, b := range r.Benchmarks {
 		p, err := r.Prepared(b, disamb.Spec, 2)

@@ -18,6 +18,7 @@ func (t *Tree) Clone() *Tree {
 		ID:     t.ID,
 		Fn:     &fnCopy,
 		Name:   t.Name,
+		PIdx:   t.PIdx,
 		Blocks: append([]Block(nil), t.Blocks...),
 		nextID: t.nextID,
 	}

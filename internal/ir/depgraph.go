@@ -124,7 +124,7 @@ func BuildDepGraph(t *Tree, lat LatencyFunc) *DepGraph {
 		return t.OnPath(a.Block, b.Block) || t.OnPath(b.Block, a.Block)
 	}
 
-	var regBuf []Reg
+	var regBuf, prevBuf []Reg
 	lastPrint := -1
 	for i, op := range t.Ops {
 		// Flow dependences for every register read.
@@ -151,8 +151,8 @@ func BuildDepGraph(t *Tree, lat LatencyFunc) *DepGraph {
 					continue
 				}
 				// Anti: prior reader of r.
-				reads := opReads(prev, nil)
-				for _, pr := range reads {
+				prevBuf = opReads(prev, prevBuf)
+				for _, pr := range prevBuf {
 					if pr == r {
 						addEdge(j, i, 0)
 						break

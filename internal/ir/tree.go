@@ -68,6 +68,11 @@ type Tree struct {
 	Fn   *Function
 	Name string // diagnostic label, e.g. "f.loop1.body"
 
+	// PIdx is the tree's program-wide index, assigned by Program.IndexTrees.
+	// Simulators and pricing plans use it for dense per-tree tables instead
+	// of pointer-keyed maps.
+	PIdx int
+
 	Ops    []*Op
 	Arcs   []*MemArc
 	Blocks []Block
@@ -352,6 +357,20 @@ func (p *Program) Validate() error {
 		}
 	}
 	return nil
+}
+
+// IndexTrees assigns every tree a dense program-wide index (Tree.PIdx) in
+// deterministic Order/Trees iteration order and returns the tree count.
+// Idempotent; call again after any pass that adds or removes trees.
+func (p *Program) IndexTrees() int {
+	n := 0
+	for _, name := range p.Order {
+		for _, t := range p.Funcs[name].Trees {
+			t.PIdx = n
+			n++
+		}
+	}
+	return n
 }
 
 // OpCount returns the total static operation count of the program, the

@@ -1,0 +1,44 @@
+package sched_test
+
+import (
+	"testing"
+
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sched"
+)
+
+// BenchmarkListSchedule times the heap scheduler over the full benchmark
+// corpus on the 5-FU / 2-cycle machine, with dependence graphs prebuilt —
+// scheduling cost only.
+func BenchmarkListSchedule(b *testing.B) {
+	trees := allTrees(b)
+	m := machine.New(5, 2)
+	graphs := make([]*ir.DepGraph, len(trees))
+	for i, tr := range trees {
+		graphs[i] = ir.BuildDepGraph(tr, m.LatencyFunc())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			sched.FromGraph(g, m.NumFUs)
+		}
+	}
+}
+
+// BenchmarkListScheduleRef is the seed scan scheduler on the same corpus,
+// the baseline BenchmarkListSchedule is measured against.
+func BenchmarkListScheduleRef(b *testing.B) {
+	trees := allTrees(b)
+	m := machine.New(5, 2)
+	graphs := make([]*ir.DepGraph, len(trees))
+	for i, tr := range trees {
+		graphs[i] = ir.BuildDepGraph(tr, m.LatencyFunc())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range graphs {
+			sched.ListScheduleRef(g, m.NumFUs)
+		}
+	}
+}

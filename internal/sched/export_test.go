@@ -1,0 +1,7 @@
+package sched
+
+import "specdis/internal/ir"
+
+// ListScheduleRef exposes the reference scan scheduler to tests: the heap
+// scheduler must reproduce its schedules exactly.
+func ListScheduleRef(g *ir.DepGraph, numFUs int) *Schedule { return listScheduleRef(g, numFUs) }

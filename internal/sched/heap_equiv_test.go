@@ -1,0 +1,59 @@
+package sched_test
+
+import (
+	"testing"
+
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sched"
+)
+
+// nineModels returns the nine machine models one Measure cell schedules
+// under: the infinite machine plus widths 1..8, at one memory latency.
+func nineModels(memLat int) []machine.Model {
+	models := []machine.Model{machine.Infinite(memLat)}
+	for w := 1; w <= 8; w++ {
+		models = append(models, machine.New(w, memLat))
+	}
+	return models
+}
+
+// TestHeapSchedulerMatchesReferenceEverywhere locks the heap scheduler to
+// the seed scan scheduler: on every tree of the benchmark suite, under all
+// nine machine models and both memory latencies, the schedules must be
+// bit-identical (hence valid and never longer), and Validate must accept
+// them.
+func TestHeapSchedulerMatchesReferenceEverywhere(t *testing.T) {
+	trees := allTrees(t)
+	for _, memLat := range []int{2, 6} {
+		models := nineModels(memLat)
+		for _, tr := range trees {
+			// One graph per tree serves every model of this latency — the
+			// same sharing disamb.Plans relies on.
+			g := ir.BuildDepGraph(tr, models[0].LatencyFunc())
+			for _, m := range models {
+				got := sched.FromGraph(g, m.NumFUs)
+				if err := sched.Validate(g, got, m.NumFUs); err != nil {
+					t.Fatalf("%s on %s: invalid schedule: %v", tr.Name, m.Name, err)
+				}
+				if m.NumFUs == 0 {
+					continue // ASAP path has no reference counterpart
+				}
+				ref := sched.ListScheduleRef(g, m.NumFUs)
+				if err := sched.Validate(g, ref, m.NumFUs); err != nil {
+					t.Fatalf("%s on %s: reference schedule invalid: %v", tr.Name, m.Name, err)
+				}
+				if got.Length() > ref.Length() {
+					t.Errorf("%s on %s: heap schedule longer than reference (%d > %d)",
+						tr.Name, m.Name, got.Length(), ref.Length())
+				}
+				for i := range tr.Ops {
+					if got.Issue[i] != ref.Issue[i] {
+						t.Fatalf("%s on %s: op %d issues at %d, reference at %d",
+							tr.Name, m.Name, i, got.Issue[i], ref.Issue[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,14 @@
 // Package sched schedules decision trees for LIFE machine configurations:
-// an ASAP schedule for the infinite machine and a cycle-driven list scheduler
-// for constrained machines with N universal, fully pipelined functional
-// units (each op occupies one issue slot in its issue cycle).
+// an ASAP schedule for the infinite machine and a list scheduler for
+// constrained machines with N universal, fully pipelined functional units
+// (each op occupies one issue slot in its issue cycle).
+//
+// The list scheduler keeps its ready list in a priority heap and advances
+// time event-driven — idle cycles are skipped directly to the next
+// earliest-ready time — so scheduling is O(ops·log ops + edges) instead of
+// the O(cycles·ready²) of a naive per-slot rescan. The selection order is
+// identical to the reference scan scheduler (see listScheduleRef), so the
+// produced schedules are bit-for-bit the same.
 package sched
 
 import (
@@ -30,6 +37,10 @@ func (s *Schedule) Length() int64 {
 
 // Tree schedules one tree for the given machine model. NumFUs == 0 yields
 // the ASAP (infinite machine) schedule.
+//
+// When scheduling one tree under several models that share a latency
+// function, build the dependence graph once with ir.BuildDepGraph and call
+// FromGraph per model instead: graph construction dominates the cost.
 func Tree(t *ir.Tree, m machine.Model) *Schedule {
 	g := ir.BuildDepGraph(t, m.LatencyFunc())
 	return FromGraph(g, m.NumFUs)
@@ -66,7 +77,193 @@ func height(g *ir.DepGraph) []int64 {
 	return h
 }
 
+// schedState is the shared scratch of one listSchedule call: a max-heap of
+// issueable ops ordered by pick priority (exits first, then greater
+// critical-path height, then program order) and a min-heap of ops whose
+// predecessors are scheduled but whose earliest issue cycle is still in the
+// future, keyed by that cycle.
+type schedState struct {
+	isExit   []bool
+	h        []int64 // critical-path heights
+	earliest []int64
+
+	ready   []int // max-heap by pick priority
+	pending []int // min-heap by earliest, ties by op index
+}
+
+// readyLess reports whether op a should be picked before op b: exits first
+// (branch resolution gates when the next tree can start), then greater
+// critical-path height, then program order. Op indices equal Seq, so the
+// final tie-break is a < b.
+func (s *schedState) readyLess(a, b int) bool {
+	if s.isExit[a] != s.isExit[b] {
+		return s.isExit[a]
+	}
+	if s.h[a] != s.h[b] {
+		return s.h[a] > s.h[b]
+	}
+	return a < b
+}
+
+func (s *schedState) pendingLess(a, b int) bool {
+	if s.earliest[a] != s.earliest[b] {
+		return s.earliest[a] < s.earliest[b]
+	}
+	return a < b
+}
+
+func (s *schedState) pushReady(i int) {
+	s.ready = append(s.ready, i)
+	j := len(s.ready) - 1
+	for j > 0 {
+		p := (j - 1) / 2
+		if !s.readyLess(s.ready[j], s.ready[p]) {
+			break
+		}
+		s.ready[j], s.ready[p] = s.ready[p], s.ready[j]
+		j = p
+	}
+}
+
+func (s *schedState) popReady() int {
+	top := s.ready[0]
+	last := len(s.ready) - 1
+	s.ready[0] = s.ready[last]
+	s.ready = s.ready[:last]
+	j := 0
+	for {
+		l, r := 2*j+1, 2*j+2
+		best := j
+		if l < last && s.readyLess(s.ready[l], s.ready[best]) {
+			best = l
+		}
+		if r < last && s.readyLess(s.ready[r], s.ready[best]) {
+			best = r
+		}
+		if best == j {
+			break
+		}
+		s.ready[j], s.ready[best] = s.ready[best], s.ready[j]
+		j = best
+	}
+	return top
+}
+
+func (s *schedState) pushPending(i int) {
+	s.pending = append(s.pending, i)
+	j := len(s.pending) - 1
+	for j > 0 {
+		p := (j - 1) / 2
+		if !s.pendingLess(s.pending[j], s.pending[p]) {
+			break
+		}
+		s.pending[j], s.pending[p] = s.pending[p], s.pending[j]
+		j = p
+	}
+}
+
+func (s *schedState) popPending() int {
+	top := s.pending[0]
+	last := len(s.pending) - 1
+	s.pending[0] = s.pending[last]
+	s.pending = s.pending[:last]
+	j := 0
+	for {
+		l, r := 2*j+1, 2*j+2
+		best := j
+		if l < last && s.pendingLess(s.pending[l], s.pending[best]) {
+			best = l
+		}
+		if r < last && s.pendingLess(s.pending[r], s.pending[best]) {
+			best = r
+		}
+		if best == j {
+			break
+		}
+		s.pending[j], s.pending[best] = s.pending[best], s.pending[j]
+		j = best
+	}
+	return top
+}
+
+// listSchedule is the heap-based list scheduler. Selection order matches
+// listScheduleRef exactly; only the mechanics differ: issueable ops sit in a
+// priority heap instead of being rescanned per slot, ops whose earliest
+// cycle is in the future wait in a time-keyed heap, and empty cycles are
+// skipped in one step.
 func listSchedule(g *ir.DepGraph, numFUs int) *Schedule {
+	n := len(g.Tree.Ops)
+	issue := make([]int64, n)
+	npreds := make([]int, n)
+	for i := 0; i < n; i++ {
+		npreds[i] = len(g.Pred[i])
+		issue[i] = -1
+	}
+	h := height(g)
+
+	st := &schedState{
+		isExit:   make([]bool, n),
+		h:        h,
+		earliest: make([]int64, n),
+		ready:    make([]int, 0, n),
+	}
+	for i, op := range g.Tree.Ops {
+		st.isExit[i] = op.Kind == ir.OpExit
+	}
+	for i := 0; i < n; i++ {
+		if npreds[i] == 0 {
+			st.pushReady(i) // earliest is 0 = first cycle: immediately issueable
+		}
+	}
+
+	unscheduled := n
+	var cycle int64
+	for unscheduled > 0 {
+		// Admit pending ops whose earliest cycle has arrived.
+		for len(st.pending) > 0 && st.earliest[st.pending[0]] <= cycle {
+			st.pushReady(st.popPending())
+		}
+		if len(st.ready) == 0 {
+			if len(st.pending) == 0 {
+				panic(fmt.Sprintf("list scheduler stuck on tree %s: dependence cycle", g.Tree.Name))
+			}
+			cycle = st.earliest[st.pending[0]] // skip the idle gap
+			continue
+		}
+		for slots := numFUs; slots > 0 && len(st.ready) > 0; slots-- {
+			best := st.popReady()
+			issue[best] = cycle
+			unscheduled--
+			for _, e := range g.Succ[best] {
+				if v := cycle + int64(e.Delay); v > st.earliest[e.To] {
+					st.earliest[e.To] = v
+				}
+				if npreds[e.To]--; npreds[e.To] == 0 {
+					// Negative-delay (anti-dependence) edges can free a
+					// successor into the current cycle.
+					if st.earliest[e.To] <= cycle {
+						st.pushReady(e.To)
+					} else {
+						st.pushPending(e.To)
+					}
+				}
+			}
+		}
+		cycle++
+	}
+
+	s := &Schedule{Issue: issue, Comp: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		s.Comp[i] = issue[i] + int64(g.Latency(i))
+	}
+	return s
+}
+
+// listScheduleRef is the original cycle-driven scan scheduler, kept as the
+// executable specification of the selection order: tests check that
+// listSchedule reproduces its schedules exactly on the whole benchmark
+// suite.
+func listScheduleRef(g *ir.DepGraph, numFUs int) *Schedule {
 	n := len(g.Tree.Ops)
 	issue := make([]int64, n)
 	unscheduled := n

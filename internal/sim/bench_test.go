@@ -1,0 +1,50 @@
+package sim_test
+
+import (
+	"testing"
+
+	"specdis/internal/bench"
+	"specdis/internal/compile"
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sched"
+	"specdis/internal/sim"
+)
+
+// BenchmarkExecTree times the simulator's execution hot path: a full timed
+// run of the fft benchmark priced under the nine standard machine models,
+// dominated by execTree / evalPure / price.
+func BenchmarkExecTree(b *testing.B) {
+	bm := bench.ByName("fft")
+	prog, err := compile.Compile(bm.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := []machine.Model{machine.Infinite(2)}
+	for w := 1; w <= 8; w++ {
+		models = append(models, machine.New(w, 2))
+	}
+	plans := make([]*sim.Plan, len(models))
+	for i, m := range models {
+		plans[i] = sim.NewPlan(m.Name)
+	}
+	for _, name := range prog.Order {
+		for _, t := range prog.Funcs[name].Trees {
+			g := ir.BuildDepGraph(t, machine.Infinite(2).LatencyFunc())
+			for i, m := range models {
+				plans[i].SetTree(t, sched.FromGraph(g, m.NumFUs).Comp)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &sim.Runner{
+			Prog:   prog,
+			SemLat: machine.Infinite(2).LatencyFunc(),
+			Plans:  plans,
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -27,19 +27,49 @@ import (
 )
 
 // Plan is a pricing table: completion cycles per op for every tree, as
-// produced by a scheduler for one machine configuration.
+// produced by a scheduler for one machine configuration. Entries are stored
+// as they arrive; Runner.Run resolves them once into a dense table indexed
+// by program-wide tree index (ir.Tree.PIdx), so the execution hot path never
+// touches a pointer-keyed map.
 type Plan struct {
-	Name string
-	comp map[*ir.Tree][]int64
+	Name  string
+	trees []*ir.Tree
+	comps [][]int64
 }
 
 // NewPlan returns an empty plan.
 func NewPlan(name string) *Plan {
-	return &Plan{Name: name, comp: map[*ir.Tree][]int64{}}
+	return &Plan{Name: name}
 }
 
 // SetTree installs the completion-cycle table for one tree (indexed by Seq).
-func (p *Plan) SetTree(t *ir.Tree, comp []int64) { p.comp[t] = comp }
+// Setting the same tree again overwrites the earlier table.
+func (p *Plan) SetTree(t *ir.Tree, comp []int64) {
+	p.trees = append(p.trees, t)
+	p.comps = append(p.comps, comp)
+}
+
+// planEntry is one resolved slot of a dense plan table. The tree pointer is
+// kept so that an entry installed for a different program's tree (a PIdx
+// collision) is detected instead of silently mis-pricing.
+type planEntry struct {
+	tree *ir.Tree
+	comp []int64
+}
+
+// dense lays the plan out as a table indexed by tree PIdx (entries for the
+// same tree resolve to the latest SetTree call). Trees of the program
+// without an entry stay nil and trip the missing-schedule panic on first
+// execution.
+func (p *Plan) dense(numTrees int) []planEntry {
+	tab := make([]planEntry, numTrees)
+	for i, t := range p.trees {
+		if t.PIdx >= 0 && t.PIdx < numTrees {
+			tab[t.PIdx] = planEntry{tree: t, comp: p.comps[i]}
+		}
+	}
+	return tab
+}
 
 // Result is the outcome of a program run.
 type Result struct {
@@ -89,9 +119,11 @@ const DefaultMaxOps = 4_000_000_000
 // be reused; memory and output reset each run.
 type Runner struct {
 	Prog *ir.Program
-	// SemLat is the latency model used to fix the semantic execution order;
-	// any model gives the same committed values, so this only pins
-	// determinism. Required.
+	// SemLat is the latency model the semantic execution order is defined
+	// under. Ops execute in Seq order — the lowest-Seq-first topological
+	// order of the dependence graph, which is the same under every latency
+	// model — so the value never changes results; it is still required so
+	// callers state their model explicitly. Required.
 	SemLat ir.LatencyFunc
 	// Plans are priced during the run.
 	Plans []*Plan
@@ -106,48 +138,80 @@ type Runner struct {
 	ops       int64
 	committed int64
 	times     []int64
-	ctxes     map[*ir.Tree]*treeCtx
+	ctxes     []*treeCtx    // dense, indexed by tree PIdx
+	planTabs  [][]planEntry // per plan: dense comp tables by tree PIdx
+	profTree  []int64       // per-tree execution counts, flushed into Prof
 	framePool [][]ir.Value
+	argPool   [][]ir.Value
 }
 
 // treeCtx is the per-tree execution context, built once and cached.
+//
+// Execution order: ops run in Seq order. Dependence edges always point from
+// a lower Seq to a higher one (see ir.BuildDepGraph), so Seq order is
+// exactly the deterministic lowest-Seq-first topological order of the
+// dependence graph under every latency model — no graph needs to be built
+// to execute.
 type treeCtx struct {
-	order []int // topological execution order (Seq indices)
-	comp  [][]int64
-	memo  map[string][]int64 // (taken exit, committed-mask) -> per-plan time
-	exits []int              // Seq indices of exits, in Seq order
+	comp [][]int64
+	memo map[string][]int64 // (taken exit, guarded-commit mask) -> per-plan time
+	// memoInt replaces memo when the guarded-commit mask fits in 24 bits
+	// (the common case): key = commit bits | exit index << 24. Integer
+	// hashing is markedly cheaper than hashing a byte-string mask.
+	memoInt map[uint32][]int64
+	exits   []int // Seq indices of exits, in Seq order
 
 	// onPath[i][e] reports whether op i's block lies on the path to the
 	// tree's e-th exit: only such ops contribute to that path's time (a
 	// speculative op from an untaken path occupies an issue slot but its
 	// write-back gates nothing).
-	onPath    [][]bool
-	exitIndex map[*ir.Op]int
+	onPath [][]bool
+	exitOf []int // Seq index -> exit index (meaningful for exit ops only)
+
+	// guarded lists the Seq indices of guarded ops — the only ops whose
+	// commit status can vary between executions. Unguarded ops always
+	// commit, so their contribution to a path's time is the per-exit
+	// constant base[plan][exit] and the pricing memo only needs to key on
+	// the guarded ops' commit bits.
+	guarded []int
+	base    [][]int64 // [plan][exit]: max completion over unguarded on-path ops
 
 	committed []bool
 	addrs     []int64
-	mask      []byte
+	mask      []byte // len(guarded) commit bits + one exit byte
+
+	profExit []int64 // per-exit execution counts (profiling runs)
 }
 
 func (r *Runner) ctx(t *ir.Tree) *treeCtx {
-	if c, ok := r.ctxes[t]; ok {
+	if c := r.ctxes[t.PIdx]; c != nil {
 		return c
 	}
-	g := ir.BuildDepGraph(t, r.SemLat)
 	c := &treeCtx{
-		order:     topoOrder(g),
-		memo:      map[string][]int64{},
-		exitIndex: map[*ir.Op]int{},
+		exitOf:    make([]int, len(t.Ops)),
 		committed: make([]bool, len(t.Ops)),
 		addrs:     make([]int64, len(t.Ops)),
-		mask:      make([]byte, (len(t.Ops)+7)/8+1),
 	}
 	for _, op := range t.Ops {
 		if op.Kind == ir.OpExit {
-			c.exitIndex[op] = len(c.exits)
+			c.exitOf[op.Seq] = len(c.exits)
 			c.exits = append(c.exits, op.Seq)
 		}
+		if op.Guard != ir.NoReg {
+			c.guarded = append(c.guarded, op.Seq)
+		} else {
+			// Unguarded ops commit on every execution; execTree only ever
+			// rewrites the guarded entries.
+			c.committed[op.Seq] = true
+		}
 	}
+	if len(c.guarded) <= 24 && len(c.exits) <= 256 {
+		c.memoInt = map[uint32][]int64{}
+	} else {
+		c.memo = map[string][]int64{}
+		c.mask = make([]byte, (len(c.guarded)+7)/8+1)
+	}
+	c.profExit = make([]int64, len(c.exits))
 	c.onPath = make([][]bool, len(t.Ops))
 	for i, op := range t.Ops {
 		c.onPath[i] = make([]bool, len(c.exits))
@@ -155,45 +219,29 @@ func (r *Runner) ctx(t *ir.Tree) *treeCtx {
 			c.onPath[i][e] = t.OnPath(op.Block, t.Ops[exSeq].Block)
 		}
 	}
-	for _, p := range r.Plans {
-		comp := p.comp[t]
-		if comp == nil {
+	for pi, p := range r.Plans {
+		ent := r.planTabs[pi][t.PIdx]
+		if ent.tree != t || ent.comp == nil {
 			panic(fmt.Sprintf("plan %q has no schedule for tree %s", p.Name, t.Name))
 		}
-		c.comp = append(c.comp, comp)
+		c.comp = append(c.comp, ent.comp)
 	}
-	r.ctxes[t] = c
-	return c
-}
-
-// topoOrder returns a deterministic topological order of the dependence
-// graph: among ready ops, lowest Seq first.
-func topoOrder(g *ir.DepGraph) []int {
-	n := len(g.Tree.Ops)
-	npreds := make([]int, n)
-	for i := 0; i < n; i++ {
-		npreds[i] = len(g.Pred[i])
-	}
-	order := make([]int, 0, n)
-	done := make([]bool, n)
-	for len(order) < n {
-		picked := -1
-		for i := 0; i < n; i++ {
-			if !done[i] && npreds[i] == 0 {
-				picked = i
-				break
+	c.base = make([][]int64, len(c.comp))
+	for pi, comp := range c.comp {
+		base := make([]int64, len(c.exits))
+		for e := range c.exits {
+			var max int64
+			for i, op := range t.Ops {
+				if op.Guard == ir.NoReg && c.onPath[i][e] && comp[i] > max {
+					max = comp[i]
+				}
 			}
+			base[e] = max
 		}
-		if picked < 0 {
-			panic("dependence graph has a cycle: " + g.Tree.Name)
-		}
-		done[picked] = true
-		order = append(order, picked)
-		for _, e := range g.Succ[picked] {
-			npreds[e.To]--
-		}
+		c.base[pi] = base
 	}
-	return order
+	r.ctxes[t.PIdx] = c
+	return c
 }
 
 // Run executes the program from main and returns the result.
@@ -209,12 +257,36 @@ func (r *Runner) Run() (*Result, error) {
 	r.ops = 0
 	r.committed = 0
 	r.times = make([]int64, len(r.Plans))
-	r.ctxes = map[*ir.Tree]*treeCtx{}
+	numTrees := r.Prog.IndexTrees()
+	r.ctxes = make([]*treeCtx, numTrees)
+	r.profTree = make([]int64, numTrees)
+	r.planTabs = make([][]planEntry, len(r.Plans))
+	for pi, p := range r.Plans {
+		r.planTabs[pi] = p.dense(numTrees)
+	}
 
 	main := r.Prog.Funcs[r.Prog.Main]
 	exit, err := r.call(main, nil)
 	if err != nil {
 		return nil, err
+	}
+	// Execution counted into dense per-tree tables; fold it into the
+	// pointer-keyed Profile maps once, at the end of the run.
+	if r.Prof != nil {
+		for _, name := range r.Prog.Order {
+			for _, t := range r.Prog.Funcs[name].Trees {
+				if n := r.profTree[t.PIdx]; n > 0 {
+					r.Prof.TreeExec[t] += n
+				}
+				if c := r.ctxes[t.PIdx]; c != nil {
+					for e, cnt := range c.profExit {
+						if cnt > 0 {
+							r.Prof.ExitExec[t.Ops[c.exits[e]]] += cnt
+						}
+					}
+				}
+			}
+		}
 	}
 	return &Result{
 		Output:    r.out.String(),
@@ -243,6 +315,24 @@ func (r *Runner) putFrame(f []ir.Value) {
 	}
 }
 
+// getArgs / putArgs pool call-argument buffers the same way frames are
+// pooled: the buffer is dead as soon as the callee has copied its parameters
+// into its frame, but recursion requires a stack of them, not one scratch.
+func (r *Runner) getArgs(n int) []ir.Value {
+	if k := len(r.argPool); k > 0 && cap(r.argPool[k-1]) >= n {
+		a := r.argPool[k-1][:n]
+		r.argPool = r.argPool[:k-1]
+		return a
+	}
+	return make([]ir.Value, n)
+}
+
+func (r *Runner) putArgs(a []ir.Value) {
+	if len(r.argPool) < 64 {
+		r.argPool = append(r.argPool, a)
+	}
+}
+
 // call runs one function invocation.
 func (r *Runner) call(fn *ir.Function, args []ir.Value) (ir.Value, error) {
 	regs := r.getFrame(fn.NumRegs)
@@ -267,11 +357,12 @@ func (r *Runner) call(fn *ir.Function, args []ir.Value) (ir.Value, error) {
 			return ir.Value{}, nil
 		case ir.ExitCall:
 			callee := r.Prog.Funcs[exit.Callee]
-			cargs := make([]ir.Value, len(exit.CallArg))
+			cargs := r.getArgs(len(exit.CallArg))
 			for i, a := range exit.CallArg {
 				cargs[i] = regs[a]
 			}
 			rv, err := r.call(callee, cargs)
+			r.putArgs(cargs)
 			if err != nil {
 				return ir.Value{}, err
 			}
@@ -305,7 +396,8 @@ func guardOK(op *ir.Op, regs []ir.Value) bool {
 }
 
 // execTree executes one tree over the register frame, returning the taken
-// exit op.
+// exit op. Ops run in Seq order, which is a topological order of the
+// dependence graph (see treeCtx).
 func (r *Runner) execTree(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
 	c := r.ctx(t)
 	maxOps := r.MaxOps
@@ -319,12 +411,18 @@ func (r *Runner) execTree(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
 
 	profiling := r.Prof != nil
 	var taken *ir.Op
-	for _, i := range c.order {
-		op := t.Ops[i]
-		ok := guardOK(op, regs)
-		c.committed[i] = ok
-		if ok {
-			r.committed++
+	var ncommit int64
+	for i, op := range t.Ops {
+		// Unguarded ops always commit (their committed entries are
+		// pre-set); only guarded ops need their guard evaluated.
+		ok := true
+		if op.Guard != ir.NoReg {
+			nz := regs[op.Guard].I != 0
+			ok = nz != op.GuardNeg
+			c.committed[i] = ok
+			if ok {
+				ncommit++
+			}
 		}
 
 		switch op.Kind {
@@ -365,13 +463,14 @@ func (r *Runner) execTree(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
 	if taken == nil {
 		return nil, fmt.Errorf("tree %s: no exit taken", t.Name)
 	}
+	r.committed += ncommit + int64(len(t.Ops)-len(c.guarded))
 
 	if len(r.times) > 0 {
-		r.price(t, c, c.exitIndex[taken])
+		r.price(t, c, c.exitOf[taken.Seq])
 	}
 	if profiling {
-		r.Prof.TreeExec[t]++
-		r.Prof.ExitExec[taken]++
+		r.profTree[t.PIdx]++
+		c.profExit[c.exitOf[taken.Seq]]++
 		for _, a := range t.Arcs {
 			if c.committed[a.From.Seq] && c.committed[a.To.Seq] {
 				a.ExecCount++
@@ -387,44 +486,79 @@ func (r *Runner) execTree(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
 // price accumulates the cost of this execution under every plan: the time of
 // one tree execution is the maximum completion cycle over the ops that
 // committed on the taken path (results of speculative ops from other paths
-// gate nothing). Memoized by (taken exit, committed mask).
+// gate nothing). Unguarded ops always commit, so their maximum is the
+// precomputed per-exit base; only the guarded ops' commit bits vary, and
+// they form the memo key together with the taken exit.
 func (r *Runner) price(t *ir.Tree, c *treeCtx, exitIdx int) {
-	for b := range c.mask {
-		c.mask[b] = 0
-	}
-	for i, ok := range c.committed {
-		if ok {
-			c.mask[i>>3] |= 1 << uint(i&7)
-		}
-	}
-	c.mask[len(c.mask)-1] = byte(exitIdx)
-	times, ok := c.memo[string(c.mask)]
-	if !ok {
-		times = make([]int64, len(r.Plans))
-		for pi, comp := range c.comp {
-			var max int64
-			for i, committed := range c.committed {
-				if committed && c.onPath[i][exitIdx] && comp[i] > max {
-					max = comp[i]
-				}
+	var times []int64
+	if c.memoInt != nil {
+		var bits uint32
+		for k, i := range c.guarded {
+			if c.committed[i] {
+				bits |= 1 << uint(k)
 			}
-			times[pi] = max
 		}
-		c.memo[string(c.mask)] = times
+		key := bits | uint32(exitIdx)<<24
+		var ok bool
+		times, ok = c.memoInt[key]
+		if !ok {
+			times = r.priceMiss(c, exitIdx)
+			c.memoInt[key] = times
+		}
+	} else {
+		for b := range c.mask {
+			c.mask[b] = 0
+		}
+		for k, i := range c.guarded {
+			if c.committed[i] {
+				c.mask[k>>3] |= 1 << uint(k&7)
+			}
+		}
+		c.mask[len(c.mask)-1] = byte(exitIdx)
+		var ok bool
+		times, ok = c.memo[string(c.mask)]
+		if !ok {
+			times = r.priceMiss(c, exitIdx)
+			c.memo[string(c.mask)] = times
+		}
 	}
 	for pi, dt := range times {
 		r.times[pi] += dt
 	}
 }
 
+// priceMiss computes the per-plan time of the current commit pattern.
+func (r *Runner) priceMiss(c *treeCtx, exitIdx int) []int64 {
+	times := make([]int64, len(r.Plans))
+	for pi, comp := range c.comp {
+		max := c.base[pi][exitIdx]
+		for _, i := range c.guarded {
+			if c.committed[i] && c.onPath[i][exitIdx] && comp[i] > max {
+				max = comp[i]
+			}
+		}
+		times[pi] = max
+	}
+	return times
+}
+
+// b2i converts a comparison result to the IR's boolean encoding.
+func b2i(b bool) ir.Value {
+	if b {
+		return ir.Value{I: 1, F: 1}
+	}
+	return ir.Value{}
+}
+
 // evalPure computes the result of a side-effect-free, non-memory op.
 func evalPure(op *ir.Op, regs []ir.Value) ir.Value {
-	a := func(k int) ir.Value { return regs[op.Args[k]] }
-	b2i := func(b bool) ir.Value {
-		if b {
-			return ir.Value{I: 1, F: 1}
-		}
-		return ir.Value{}
+	// Hot path: resolve the (at most two) operands once, without closures.
+	var x, y ir.Value
+	switch len(op.Args) {
+	case 2:
+		x, y = regs[op.Args[0]], regs[op.Args[1]]
+	case 1:
+		x = regs[op.Args[0]]
 	}
 	switch op.Kind {
 	case ir.OpNop:
@@ -432,101 +566,101 @@ func evalPure(op *ir.Op, regs []ir.Value) ir.Value {
 	case ir.OpConst:
 		return op.Imm
 	case ir.OpMove:
-		return a(0)
+		return x
 	case ir.OpAdd:
-		return intV(a(0).I + a(1).I)
+		return intV(x.I + y.I)
 	case ir.OpSub:
-		return intV(a(0).I - a(1).I)
+		return intV(x.I - y.I)
 	case ir.OpMul:
-		return intV(a(0).I * a(1).I)
+		return intV(x.I * y.I)
 	case ir.OpDiv:
-		d := a(1).I
+		d := y.I
 		if d == 0 {
 			return ir.Value{}
 		}
-		if a(0).I == math.MinInt64 && d == -1 {
+		if x.I == math.MinInt64 && d == -1 {
 			return intV(math.MinInt64)
 		}
-		return intV(a(0).I / d)
+		return intV(x.I / d)
 	case ir.OpRem:
-		d := a(1).I
+		d := y.I
 		if d == 0 {
 			return ir.Value{}
 		}
-		if a(0).I == math.MinInt64 && d == -1 {
+		if x.I == math.MinInt64 && d == -1 {
 			return intV(0)
 		}
-		return intV(a(0).I % d)
+		return intV(x.I % d)
 	case ir.OpNeg:
-		return intV(-a(0).I)
+		return intV(-x.I)
 	case ir.OpAnd:
-		return intV(a(0).I & a(1).I)
+		return intV(x.I & y.I)
 	case ir.OpOr:
-		return intV(a(0).I | a(1).I)
+		return intV(x.I | y.I)
 	case ir.OpXor:
-		return intV(a(0).I ^ a(1).I)
+		return intV(x.I ^ y.I)
 	case ir.OpNot:
-		return intV(^a(0).I)
+		return intV(^x.I)
 	case ir.OpShl:
-		return intV(a(0).I << (uint64(a(1).I) & 63))
+		return intV(x.I << (uint64(y.I) & 63))
 	case ir.OpShr:
-		return intV(a(0).I >> (uint64(a(1).I) & 63))
+		return intV(x.I >> (uint64(y.I) & 63))
 	case ir.OpBNot:
-		return b2i(a(0).I == 0)
+		return b2i(x.I == 0)
 	case ir.OpBAnd:
-		return b2i(a(0).I != 0 && a(1).I != 0)
+		return b2i(x.I != 0 && y.I != 0)
 	case ir.OpBAndNot:
-		return b2i(a(0).I != 0 && a(1).I == 0)
+		return b2i(x.I != 0 && y.I == 0)
 	case ir.OpCmpEQ:
-		return b2i(a(0).I == a(1).I)
+		return b2i(x.I == y.I)
 	case ir.OpCmpNE:
-		return b2i(a(0).I != a(1).I)
+		return b2i(x.I != y.I)
 	case ir.OpCmpLT:
-		return b2i(a(0).I < a(1).I)
+		return b2i(x.I < y.I)
 	case ir.OpCmpLE:
-		return b2i(a(0).I <= a(1).I)
+		return b2i(x.I <= y.I)
 	case ir.OpCmpGT:
-		return b2i(a(0).I > a(1).I)
+		return b2i(x.I > y.I)
 	case ir.OpCmpGE:
-		return b2i(a(0).I >= a(1).I)
+		return b2i(x.I >= y.I)
 	case ir.OpFAdd:
-		return fltV(a(0).F + a(1).F)
+		return fltV(x.F + y.F)
 	case ir.OpFSub:
-		return fltV(a(0).F - a(1).F)
+		return fltV(x.F - y.F)
 	case ir.OpFMul:
-		return fltV(a(0).F * a(1).F)
+		return fltV(x.F * y.F)
 	case ir.OpFDiv:
-		return fltV(a(0).F / a(1).F)
+		return fltV(x.F / y.F)
 	case ir.OpFNeg:
-		return fltV(-a(0).F)
+		return fltV(-x.F)
 	case ir.OpFCmpEQ:
-		return b2i(a(0).F == a(1).F)
+		return b2i(x.F == y.F)
 	case ir.OpFCmpNE:
-		return b2i(a(0).F != a(1).F)
+		return b2i(x.F != y.F)
 	case ir.OpFCmpLT:
-		return b2i(a(0).F < a(1).F)
+		return b2i(x.F < y.F)
 	case ir.OpFCmpLE:
-		return b2i(a(0).F <= a(1).F)
+		return b2i(x.F <= y.F)
 	case ir.OpFCmpGT:
-		return b2i(a(0).F > a(1).F)
+		return b2i(x.F > y.F)
 	case ir.OpFCmpGE:
-		return b2i(a(0).F >= a(1).F)
+		return b2i(x.F >= y.F)
 	case ir.OpCvtIF:
-		return fltV(float64(a(0).I))
+		return fltV(float64(x.I))
 	case ir.OpCvtFI:
-		return cvtFI(a(0).F)
+		return cvtFI(x.F)
 	case ir.OpSqrt:
-		return fltV(math.Sqrt(a(0).F))
+		return fltV(math.Sqrt(x.F))
 	case ir.OpFAbs:
-		return fltV(math.Abs(a(0).F))
+		return fltV(math.Abs(x.F))
 	case ir.OpSin:
-		return fltV(math.Sin(a(0).F))
+		return fltV(math.Sin(x.F))
 	case ir.OpCos:
-		return fltV(math.Cos(a(0).F))
+		return fltV(math.Cos(x.F))
 	case ir.OpExp:
-		return fltV(math.Exp(a(0).F))
+		return fltV(math.Exp(x.F))
 	case ir.OpLog:
-		return fltV(math.Log(a(0).F))
+		return fltV(math.Log(x.F))
 	}
 	panic("evalPure: unhandled op kind " + op.Kind.String())
 }
