@@ -135,6 +135,49 @@ func TestSpdbenchSingleExperiments(t *testing.T) {
 	}
 }
 
+// TestSpdbenchTraceBackends checks the -trace flag: both backends render the
+// same report, the JSON reports the backend's work correctly, and an unknown
+// mode is rejected.
+func TestSpdbenchTraceBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := build(t, dir, "cmd/spdbench")
+
+	var reports []string
+	for _, mode := range []string{"replay", "interp"} {
+		cmd := exec.Command(bin, "-trace", mode, "-bench", "fft", "-json")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("-trace %s: %v\n%s", mode, err, out)
+		}
+		reports = append(reports, string(out))
+		data, err := os.ReadFile(filepath.Join(dir, "BENCH_spdbench.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := string(data)
+		if !strings.Contains(s, `"mode": "`+mode+`"`) {
+			t.Fatalf("-trace %s JSON lacks mode:\n%s", mode, s)
+		}
+		if mode == "replay" && (strings.Contains(s, `"replay_cells": 0`) || !strings.Contains(s, `"interp_cells": 0`)) {
+			t.Fatalf("replay JSON counts wrong:\n%s", s)
+		}
+		if mode == "interp" && (!strings.Contains(s, `"replay_cells": 0`) || !strings.Contains(s, `"captures": 0`)) {
+			t.Fatalf("interp JSON counts wrong:\n%s", s)
+		}
+	}
+	if reports[0] != reports[1] {
+		t.Fatalf("backends disagree:\n--- replay ---\n%s\n--- interp ---\n%s", reports[0], reports[1])
+	}
+
+	if out, err := exec.Command(bin, "-trace", "wat").CombinedOutput(); err == nil {
+		t.Errorf("unknown -trace mode accepted:\n%s", out)
+	}
+}
+
 func TestSpdfmt(t *testing.T) {
 	dir := t.TempDir()
 	bin := build(t, dir, "cmd/spdfmt")

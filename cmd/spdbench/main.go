@@ -11,6 +11,7 @@
 //	spdbench -only ext        # the §7 extension experiments (grafting, combined)
 //	spdbench -bench fft       # restrict to one benchmark
 //	spdbench -par 4           # evaluation-cell worker pool width (0 = GOMAXPROCS)
+//	spdbench -trace interp    # interpret every timed run instead of trace replay
 //	spdbench -json            # also write BENCH_spdbench.json with timings
 //	spdbench -cpuprofile f    # write a CPU profile of the run
 package main
@@ -41,9 +42,31 @@ type benchReport struct {
 	Cells int64 `json:"cells"`
 	// CellsPerSec is Cells / total wall seconds.
 	CellsPerSec float64 `json:"cells_per_sec"`
-	// SimOps is the total number of simulated dynamic operations across
-	// all timed runs.
+	// SimOps is the total number of dynamic operations priced across all
+	// timed measurement cells. Deterministic for a given tree (an exact
+	// simulation-work count, not a timing), and identical under both
+	// -trace backends; CI pins it against the committed baseline.
 	SimOps int64 `json:"sim_ops"`
+	// Trace describes the trace-capture & replay backend's work.
+	Trace traceReport `json:"trace"`
+}
+
+// traceReport is the "trace" section of BENCH_spdbench.json.
+type traceReport struct {
+	// Mode is the backend the run used: "replay" or "interp".
+	Mode string `json:"mode"`
+	// Captures counts distinct execution traces materialized; CacheHits
+	// counts trace requests served from the singleflight cache.
+	Captures  int64 `json:"captures"`
+	CacheHits int64 `json:"cache_hits"`
+	// Events and Bytes total the logical events and encoded bytes of all
+	// captured traces.
+	Events int64 `json:"events"`
+	Bytes  int64 `json:"bytes"`
+	// ReplayCells and InterpCells split the timed measurement cells by
+	// pricing backend.
+	ReplayCells int64 `json:"replay_cells"`
+	InterpCells int64 `json:"interp_cells"`
 }
 
 func main() {
@@ -54,12 +77,21 @@ func main() {
 	maxExpansion := flag.Float64("maxexpansion", 0, "override SpD MaxExpansion")
 	minGain := flag.Float64("mingain", -1, "override SpD MinGain")
 	par := flag.Int("par", 0, "evaluation-cell worker pool width (0 = GOMAXPROCS, 1 = sequential)")
+	traceMode := flag.String("trace", "replay", "timed-simulation backend: replay (capture a trace once, price every model by replay) or interp (interpret every timed run)")
 	jsonOut := flag.Bool("json", false, "write BENCH_spdbench.json with per-experiment timings")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	r := exper.New()
 	r.Par = *par
+	switch *traceMode {
+	case "replay":
+		r.TraceReplay = true
+	case "interp":
+		r.TraceReplay = false
+	default:
+		log.Fatalf("unknown -trace mode %q (want replay or interp)", *traceMode)
+	}
 	if *benchName != "" {
 		b := bench.ByName(*benchName)
 		if b == nil {
@@ -184,6 +216,15 @@ func main() {
 			report.CellsPerSec = float64(report.Cells) / s
 		}
 		report.SimOps = st.SimOps
+		report.Trace = traceReport{
+			Mode:        *traceMode,
+			Captures:    st.TraceCaptures,
+			CacheHits:   st.TraceHits,
+			Events:      st.TraceEvents,
+			Bytes:       st.TraceBytes,
+			ReplayCells: st.ReplayCells,
+			InterpCells: st.InterpCells,
+		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatal(err)

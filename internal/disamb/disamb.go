@@ -16,6 +16,7 @@ import (
 	"specdis/internal/sched"
 	"specdis/internal/sim"
 	"specdis/internal/spd"
+	"specdis/internal/trace"
 )
 
 // Kind selects a disambiguator pipeline.
@@ -69,6 +70,12 @@ type Prepared struct {
 	BaseOps int
 	// Grafts counts applied tree grafts (0 unless Options.Graft is set).
 	Grafts int
+	// Trace is the execution trace recorded during the profiling run, when
+	// Options.Record was set and the pipeline's profiling interpretation is
+	// execution-equivalent to the final program (PERFECT: its transform
+	// removes arcs only, never ops). Nil otherwise; Capture materializes a
+	// trace for any prepared program.
+	Trace *trace.Trace
 }
 
 // Options configure a pipeline beyond the paper's defaults.
@@ -81,6 +88,10 @@ type Options struct {
 	// GraftRounds rounds (default 1).
 	Graft       *graft.Params
 	GraftRounds int
+	// Record asks the pipeline to piggyback an execution-trace recording on
+	// its profiling interpretation when that run is valid for the final
+	// program (see Prepared.Trace). It never adds an interpretation.
+	Record bool
 }
 
 // Prepare compiles src and applies the selected disambiguator. memLat is the
@@ -101,14 +112,17 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount()}
 	lat := machine.Infinite(memLat).LatencyFunc()
 
-	profileRun := func() error {
+	profileRun := func(rec *trace.Recorder) error {
 		p.Profile = sim.NewProfile()
-		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile}
+		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec}
 		res, err := r.Run()
 		if err != nil {
 			return fmt.Errorf("%s profiling run: %w", kind, err)
 		}
 		p.Output = res.Output
+		if rec != nil {
+			p.Trace = rec.Finish(res.Ops, res.Committed)
+		}
 		return nil
 	}
 
@@ -118,7 +132,7 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 			rounds = 1
 		}
 		for i := 0; i < rounds; i++ {
-			if err := profileRun(); err != nil {
+			if err := profileRun(nil); err != nil {
 				return nil, err
 			}
 			res := graft.Program(prog, p.Profile, *o.Graft)
@@ -142,13 +156,22 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 		p.Static = alias.ResolveProgram(prog)
 
 	case Perfect:
-		if err := profileRun(); err != nil {
+		// The profiling run executes the exact stream of the final program:
+		// removeSuperfluous only deletes arcs, which execution never reads.
+		// Recording here makes the prepared trace free.
+		var rec *trace.Recorder
+		if o.Record {
+			rec = trace.NewRecorder()
+		}
+		if err := profileRun(rec); err != nil {
 			return nil, err
 		}
 		removeSuperfluous(prog)
 
 	case Spec:
-		if err := profileRun(); err != nil {
+		// The profiling run precedes the SpD transform, so its stream is NOT
+		// a trace of the final program; Capture records one afterwards.
+		if err := profileRun(nil); err != nil {
 			return nil, err
 		}
 		p.Static = alias.ResolveProgram(prog)
@@ -201,6 +224,48 @@ func Plans(p *Prepared, models []machine.Model) []*sim.Plan {
 		}
 	}
 	return plans
+}
+
+// Capture returns an execution trace of the prepared program for replay
+// pricing: the trace piggybacked on the profiling run when one is valid
+// (see Options.Record), otherwise one fresh recording interpretation. The
+// recorded run is validated against the profiling output when one exists.
+func Capture(p *Prepared) (*trace.Trace, error) {
+	if p.Trace != nil {
+		return p.Trace, nil
+	}
+	rec := trace.NewRecorder()
+	r := &sim.Runner{
+		Prog:   p.Prog,
+		SemLat: machine.Infinite(p.MemLat).LatencyFunc(),
+		Rec:    rec,
+	}
+	res, err := r.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s capture run: %w", p.Kind, err)
+	}
+	if p.Output != "" && res.Output != p.Output {
+		return nil, fmt.Errorf("%s capture run output diverged from profiling run", p.Kind)
+	}
+	return rec.Finish(res.Ops, res.Committed), nil
+}
+
+// ReplayMeasure prices the prepared program under every model by replaying
+// tr against the models' schedules — no operand is evaluated. Times are
+// bit-identical to Measure on the same cell; Output is empty (the capture
+// run already validated it) and Ops/Committed are the recorded run's.
+//
+// tr must trace an execution-equivalent program: same tree indices, ops,
+// guards and exits (arcs may differ — they affect schedules, not
+// execution). NAIVE, STATIC and PERFECT preparations of one source satisfy
+// this mutually; SPEC needs a trace of its own transformed program.
+func ReplayMeasure(p *Prepared, models []machine.Model, tr *trace.Trace) (*sim.Result, error) {
+	rp := &sim.Replayer{Prog: p.Prog, Plans: Plans(p, models)}
+	res, err := rp.Replay(tr)
+	if err != nil {
+		return nil, fmt.Errorf("%s replay: %w", p.Kind, err)
+	}
+	return res, nil
 }
 
 // Measure executes the prepared program once, pricing it under every model.

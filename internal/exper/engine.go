@@ -44,24 +44,52 @@ func (g *group[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 }
 
 // Stats are cumulative counters of the work a Runner has actually performed
-// (deduplicated cells, not requests).
+// (deduplicated cells, not requests). Every counter is maintained with
+// atomics and Stats may be called at any time — including from other
+// goroutines while the worker pool is still warming cells; see
+// TestStatsWhileWarming. The snapshot is monotonic per counter but not a
+// single atomic cut across counters.
 type Stats struct {
 	// Prepares counts distinct compile+transform pipeline runs.
 	Prepares int64
-	// Measures counts distinct timed simulation runs (one run prices all
-	// of its cell's machine models at once).
+	// Measures counts distinct timed measurement cells (one cell prices all
+	// of its machine models at once). ReplayCells + InterpCells == Measures
+	// once the runner is idle.
 	Measures int64
-	// SimOps counts dynamic operations executed across all timed runs,
-	// the simulator's work measure.
+	// SimOps counts dynamic operations priced across all measurement cells
+	// — operations interpreted (interp backend) or replayed from a trace
+	// (replay backend). The two backends report identical totals.
 	SimOps int64
+	// TraceCaptures counts distinct execution traces materialized, whether
+	// piggybacked on a profiling run or captured by a dedicated recording
+	// interpretation. TraceHits counts trace requests served from the cache
+	// instead.
+	TraceCaptures, TraceHits int64
+	// TraceEvents and TraceBytes total the logical events and encoded bytes
+	// of all captured traces.
+	TraceEvents, TraceBytes int64
+	// ReplayCells and InterpCells split Measures by simulation backend.
+	ReplayCells, InterpCells int64
 }
 
-// Stats returns a snapshot of the runner's work counters.
+// Stats returns a snapshot of the runner's work counters. Safe to call
+// concurrently with running experiments.
 func (r *Runner) Stats() Stats {
+	// Load captures before requests: requests are incremented before their
+	// capture runs, so this order keeps TraceHits non-negative even when
+	// sampled mid-warm.
+	captures := r.nTraceCaptures.Load()
+	reqs := r.nTraceReqs.Load()
 	return Stats{
-		Prepares: r.nPrepares.Load(),
-		Measures: r.nMeasures.Load(),
-		SimOps:   r.nSimOps.Load(),
+		Prepares:      r.nPrepares.Load(),
+		Measures:      r.nMeasures.Load(),
+		SimOps:        r.nSimOps.Load(),
+		TraceCaptures: captures,
+		TraceHits:     reqs - captures,
+		TraceEvents:   r.nTraceEvents.Load(),
+		TraceBytes:    r.nTraceBytes.Load(),
+		ReplayCells:   r.nReplayCells.Load(),
+		InterpCells:   r.nInterpCells.Load(),
 	}
 }
 

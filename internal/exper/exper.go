@@ -21,7 +21,9 @@ import (
 	"specdis/internal/bench"
 	"specdis/internal/disamb"
 	"specdis/internal/machine"
+	"specdis/internal/sim"
 	"specdis/internal/spd"
+	"specdis/internal/trace"
 )
 
 // MaxWidth is the widest machine evaluated (the paper sweeps 1–8 FUs).
@@ -41,12 +43,28 @@ type Runner struct {
 	// every setting; see TestParallelDeterminism.
 	Par int
 
-	prep group[prepKey, *disamb.Prepared]
-	meas group[prepKey, *measCell]
+	// TraceReplay selects the trace-capture & replay simulation backend for
+	// timed measurements (the default from New; `spdbench -trace=interp`
+	// turns it off): each cell's program is interpreted once, recording an
+	// execution trace, and every machine model is priced by replaying the
+	// trace against its schedules. Reports are byte-identical to the
+	// interpreting backend at every Par setting; see
+	// TestTraceReplayEquivalence.
+	TraceReplay bool
 
-	nPrepares atomic.Int64
-	nMeasures atomic.Int64
-	nSimOps   atomic.Int64
+	prep   group[prepKey, *disamb.Prepared]
+	meas   group[prepKey, *measCell]
+	traces group[prepKey, *trace.Trace]
+
+	nPrepares      atomic.Int64
+	nMeasures      atomic.Int64
+	nSimOps        atomic.Int64
+	nTraceReqs     atomic.Int64
+	nTraceCaptures atomic.Int64
+	nTraceEvents   atomic.Int64
+	nTraceBytes    atomic.Int64
+	nReplayCells   atomic.Int64
+	nInterpCells   atomic.Int64
 }
 
 type prepKey struct {
@@ -71,12 +89,14 @@ type Measurement struct {
 	Ops int64
 }
 
-// New returns a Runner over the full suite with default SpD parameters and
-// the parallel cell engine enabled (Par = GOMAXPROCS).
+// New returns a Runner over the full suite with default SpD parameters, the
+// parallel cell engine enabled (Par = GOMAXPROCS), and the trace-replay
+// simulation backend.
 func New() *Runner {
 	return &Runner{
-		Params:     spd.DefaultParams(),
-		Benchmarks: bench.All(),
+		Params:      spd.DefaultParams(),
+		Benchmarks:  bench.All(),
+		TraceReplay: true,
 	}
 }
 
@@ -105,11 +125,51 @@ func (r *Runner) Prepared(b *bench.Benchmark, kind disamb.Kind, memLat int) (*di
 	}
 	return r.prep.Do(key, func() (*disamb.Prepared, error) {
 		r.nPrepares.Add(1)
-		p, err := disamb.Prepare(b.Source, kind, memLat, r.Params)
+		p, err := disamb.PrepareOpts(b.Source, disamb.Options{
+			Kind: kind, MemLat: memLat, SpD: r.Params,
+			// Under the replay backend, PERFECT's profiling run doubles as
+			// the capture run for the whole latency-insensitive trace class
+			// (see traceFor) at no extra interpretation.
+			Record: r.TraceReplay && kind == disamb.Perfect,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, memLat, err)
 		}
 		return p, nil
+	})
+}
+
+// traceFor returns (capturing and caching) the execution trace replayed for
+// one measurement cell.
+//
+// Traces depend only on what a cell's program *executes*, never on arcs or
+// schedules, so all latency-insensitive pipelines of a benchmark share one
+// trace: NAIVE, STATIC and PERFECT run the identical operation stream (their
+// disambiguators touch arcs only). That class is keyed under PERFECT, whose
+// preparation already interprets the program for its profile — recording
+// there makes the shared trace free (disamb.Options.Record). SPEC's
+// transformed programs get their own per-latency traces, captured by one
+// interpretation each (disamb.Capture). TestTraceClassShared pins the
+// class-sharing invariant.
+func (r *Runner) traceFor(b *bench.Benchmark, kind disamb.Kind, memLat int) (*trace.Trace, error) {
+	key := prepKey{b.Name, kind, memLat}
+	if !kind.LatencySensitive() {
+		key.kind, key.memLat = disamb.Perfect, 0
+	}
+	r.nTraceReqs.Add(1)
+	return r.traces.Do(key, func() (*trace.Trace, error) {
+		p, err := r.Prepared(b, key.kind, memLat)
+		if err != nil {
+			return nil, err
+		}
+		r.nTraceCaptures.Add(1)
+		tr, err := disamb.Capture(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, key.kind, memLat, err)
+		}
+		r.nTraceEvents.Add(tr.Events)
+		r.nTraceBytes.Add(int64(tr.Size()))
+		return tr, nil
 	})
 }
 
@@ -144,7 +204,18 @@ func (r *Runner) Measure(b *bench.Benchmark, kind disamb.Kind, memLat int) (*Mea
 			}
 		}
 		r.nMeasures.Add(1)
-		res, err := disamb.Measure(p, models)
+		var res *sim.Result
+		if r.TraceReplay {
+			tr, terr := r.traceFor(b, kind, memLat)
+			if terr != nil {
+				return nil, terr
+			}
+			res, err = disamb.ReplayMeasure(p, models, tr)
+			r.nReplayCells.Add(1)
+		} else {
+			res, err = disamb.Measure(p, models)
+			r.nInterpCells.Add(1)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, lats[0], err)
 		}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+	"specdis/internal/trace"
+)
+
+// Replayer prices a program under machine schedules by replaying a recorded
+// execution trace instead of interpreting the program: each distinct tree
+// execution pattern — (tree, taken exit, guard-commit bits) — is priced once
+// with the same arithmetic the interpreting Runner memoizes, then multiplied
+// by the pattern's total trip count from the trace's histogram (Trace.Hist).
+// The resulting Times are bit-identical to a timed Run (int64 cycle sums
+// commute), but not a single operand is evaluated and the pricing work is
+// proportional to the number of distinct patterns, not dynamic events.
+//
+// The trace must come from an execution-equivalent program: one whose tree
+// structure (tree indices, ops, guards, exits) matches Prog's. Traces
+// recorded before arc-only transformations (alias resolution, PERFECT's arc
+// removal) remain valid; traces recorded before op-level transformations
+// (SpD) do not.
+type Replayer struct {
+	Prog  *ir.Program
+	Plans []*Plan
+}
+
+// replayCtx is the per-tree pricing context of a replay: the shared pricing
+// skeleton plus this replay's completion-cycle tables.
+type replayCtx struct {
+	*priceShape
+	comp [][]int64
+	base [][]int64
+}
+
+// Replay prices the trace and returns the per-plan cycle totals. Ops and
+// Committed are taken from the recorded run (replay performs no semantic
+// work); Output is empty.
+func (rp *Replayer) Replay(tr *trace.Trace) (*Result, error) {
+	h, err := tr.Hist()
+	if err != nil {
+		return nil, err
+	}
+	if h.MaxFn >= len(rp.Prog.Order) {
+		return nil, fmt.Errorf("sim: trace function index %d out of range", h.MaxFn)
+	}
+	numTrees := rp.Prog.IndexTrees()
+	trees := make([]*ir.Tree, numTrees)
+	for _, name := range rp.Prog.Order {
+		for _, t := range rp.Prog.Funcs[name].Trees {
+			trees[t.PIdx] = t
+		}
+	}
+	planTabs := make([][]planEntry, len(rp.Plans))
+	for pi, p := range rp.Plans {
+		planTabs[pi] = p.dense(numTrees)
+	}
+	ctxes := make([]*replayCtx, numTrees)
+	times := make([]int64, len(rp.Plans))
+
+	for i := range h.Entries {
+		e := &h.Entries[i]
+		if e.Idx >= numTrees {
+			return nil, fmt.Errorf("sim: trace tree index %d out of range (program has %d trees)", e.Idx, numTrees)
+		}
+		c := ctxes[e.Idx]
+		if c == nil {
+			c = rp.ctx(trees[e.Idx], planTabs)
+			ctxes[e.Idx] = c
+		}
+		if e.Exit >= len(c.exits) {
+			return nil, fmt.Errorf("sim: trace exit %d out of range for tree %s", e.Exit, trees[e.Idx].Name)
+		}
+		if len(e.Bits) != c.bitBytes() {
+			return nil, fmt.Errorf("sim: trace commit bits are %d bytes, tree %s has %d guarded ops — trace does not match program",
+				len(e.Bits), trees[e.Idx].Name, len(c.guarded))
+		}
+		if n := len(c.guarded) & 7; n != 0 && e.Bits[len(e.Bits)-1]>>uint(n) != 0 {
+			return nil, fmt.Errorf("sim: trace commit bits for tree %s set beyond its %d guarded ops", trees[e.Idx].Name, len(c.guarded))
+		}
+		// Histogram entries are distinct patterns, so each is priced exactly
+		// once — no memo needed.
+		ts := c.priceBits(e.Bits, e.Exit)
+		for pi, dt := range ts {
+			times[pi] += dt * e.Count
+		}
+	}
+	return &Result{Times: times, Ops: tr.Ops, Committed: tr.Committed}, nil
+}
+
+// ctx builds the pricing context for one tree, mirroring Runner.ctx.
+func (rp *Replayer) ctx(t *ir.Tree, planTabs [][]planEntry) *replayCtx {
+	c := &replayCtx{priceShape: shapeOf(t)}
+	for pi, p := range rp.Plans {
+		ent := planTabs[pi][t.PIdx]
+		if ent.tree != t || ent.comp == nil {
+			panic(fmt.Sprintf("plan %q has no schedule for tree %s", p.Name, t.Name))
+		}
+		c.comp = append(c.comp, ent.comp)
+	}
+	c.base = c.baseTables(t, c.comp)
+	return c
+}
+
+// priceBits computes the per-plan time of one commit pattern from packed
+// bits, the replay counterpart of Runner.priceMiss.
+func (c *replayCtx) priceBits(bits []byte, exitIdx int) []int64 {
+	times := make([]int64, len(c.comp))
+	for pi, comp := range c.comp {
+		max := c.base[pi][exitIdx]
+		for k, i := range c.guarded {
+			if bits[k>>3]&(1<<uint(k&7)) != 0 && c.onPath[i][exitIdx] && comp[i] > max {
+				max = comp[i]
+			}
+		}
+		times[pi] = max
+	}
+	return times
+}

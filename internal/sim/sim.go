@@ -24,6 +24,7 @@ import (
 	"strconv"
 
 	"specdis/internal/ir"
+	"specdis/internal/trace"
 )
 
 // Plan is a pricing table: completion cycles per op for every tree, as
@@ -130,6 +131,11 @@ type Runner struct {
 	// Prof, when non-nil, collects profiling statistics (and updates arc
 	// alias counters on the program).
 	Prof *Profile
+	// Rec, when non-nil, records the run's execution trace — every tree
+	// execution's (PIdx, taken exit, guard-commit bits) plus call framing —
+	// for later replay pricing (see Replayer). The caller owns the recorder
+	// and finishes it with the run's Ops/Committed totals.
+	Rec *trace.Recorder
 	// MaxOps guards against runaway programs (0 = DefaultMaxOps).
 	MaxOps int64
 
@@ -141,8 +147,80 @@ type Runner struct {
 	ctxes     []*treeCtx    // dense, indexed by tree PIdx
 	planTabs  [][]planEntry // per plan: dense comp tables by tree PIdx
 	profTree  []int64       // per-tree execution counts, flushed into Prof
+	fnIdx     map[string]int
 	framePool [][]ir.Value
 	argPool   [][]ir.Value
+}
+
+// priceShape is the schedule-independent pricing skeleton of one tree,
+// shared by the interpreting Runner and the trace Replayer.
+type priceShape struct {
+	exits  []int // Seq indices of exits, in Seq order
+	exitOf []int // Seq index -> exit index (meaningful for exit ops only)
+
+	// guarded lists the Seq indices of guarded ops — the only ops whose
+	// commit status can vary between executions. Unguarded ops always
+	// commit, so their contribution to a path's time is the per-exit
+	// constant base[plan][exit] and the pricing memo only needs to key on
+	// the guarded ops' commit bits.
+	guarded []int
+
+	// onPath[i][e] reports whether op i's block lies on the path to the
+	// tree's e-th exit: only such ops contribute to that path's time (a
+	// speculative op from an untaken path occupies an issue slot but its
+	// write-back gates nothing).
+	onPath [][]bool
+}
+
+func shapeOf(t *ir.Tree) *priceShape {
+	s := &priceShape{exitOf: make([]int, len(t.Ops))}
+	for _, op := range t.Ops {
+		if op.Kind == ir.OpExit {
+			s.exitOf[op.Seq] = len(s.exits)
+			s.exits = append(s.exits, op.Seq)
+		}
+		if op.Guard != ir.NoReg {
+			s.guarded = append(s.guarded, op.Seq)
+		}
+	}
+	s.onPath = make([][]bool, len(t.Ops))
+	for i, op := range t.Ops {
+		s.onPath[i] = make([]bool, len(s.exits))
+		for e, exSeq := range s.exits {
+			s.onPath[i][e] = t.OnPath(op.Block, t.Ops[exSeq].Block)
+		}
+	}
+	return s
+}
+
+// intMemo reports whether the pricing memo can key on a packed uint32
+// (commit bits | exit index << 24) instead of a byte-string mask. Integer
+// hashing is markedly cheaper, and almost every tree qualifies.
+func (s *priceShape) intMemo() bool {
+	return len(s.guarded) <= 24 && len(s.exits) <= 256
+}
+
+// bitBytes returns the packed guard-commit-bit width used by trace events.
+func (s *priceShape) bitBytes() int { return (len(s.guarded) + 7) / 8 }
+
+// baseTables computes, for each plan's completion table, the per-exit
+// maximum completion cycle over the unguarded on-path ops.
+func (s *priceShape) baseTables(t *ir.Tree, comps [][]int64) [][]int64 {
+	base := make([][]int64, len(comps))
+	for pi, comp := range comps {
+		b := make([]int64, len(s.exits))
+		for e := range s.exits {
+			var max int64
+			for i, op := range t.Ops {
+				if op.Guard == ir.NoReg && s.onPath[i][e] && comp[i] > max {
+					max = comp[i]
+				}
+			}
+			b[e] = max
+		}
+		base[pi] = b
+	}
+	return base
 }
 
 // treeCtx is the per-tree execution context, built once and cached.
@@ -153,32 +231,19 @@ type Runner struct {
 // dependence graph under every latency model — no graph needs to be built
 // to execute.
 type treeCtx struct {
+	*priceShape
+
 	comp [][]int64
 	memo map[string][]int64 // (taken exit, guarded-commit mask) -> per-plan time
-	// memoInt replaces memo when the guarded-commit mask fits in 24 bits
-	// (the common case): key = commit bits | exit index << 24. Integer
-	// hashing is markedly cheaper than hashing a byte-string mask.
+	// memoInt replaces memo when the shape qualifies (priceShape.intMemo):
+	// key = commit bits | exit index << 24.
 	memoInt map[uint32][]int64
-	exits   []int // Seq indices of exits, in Seq order
-
-	// onPath[i][e] reports whether op i's block lies on the path to the
-	// tree's e-th exit: only such ops contribute to that path's time (a
-	// speculative op from an untaken path occupies an issue slot but its
-	// write-back gates nothing).
-	onPath [][]bool
-	exitOf []int // Seq index -> exit index (meaningful for exit ops only)
-
-	// guarded lists the Seq indices of guarded ops — the only ops whose
-	// commit status can vary between executions. Unguarded ops always
-	// commit, so their contribution to a path's time is the per-exit
-	// constant base[plan][exit] and the pricing memo only needs to key on
-	// the guarded ops' commit bits.
-	guarded []int
 	base    [][]int64 // [plan][exit]: max completion over unguarded on-path ops
 
 	committed []bool
 	addrs     []int64
 	mask      []byte // len(guarded) commit bits + one exit byte
+	recBits   []byte // packed commit bits scratch for trace recording
 
 	profExit []int64 // per-exit execution counts (profiling runs)
 }
@@ -188,37 +253,27 @@ func (r *Runner) ctx(t *ir.Tree) *treeCtx {
 		return c
 	}
 	c := &treeCtx{
-		exitOf:    make([]int, len(t.Ops)),
-		committed: make([]bool, len(t.Ops)),
-		addrs:     make([]int64, len(t.Ops)),
+		priceShape: shapeOf(t),
+		committed:  make([]bool, len(t.Ops)),
+		addrs:      make([]int64, len(t.Ops)),
 	}
+	// Unguarded ops commit on every execution; execTree only ever rewrites
+	// the guarded entries.
 	for _, op := range t.Ops {
-		if op.Kind == ir.OpExit {
-			c.exitOf[op.Seq] = len(c.exits)
-			c.exits = append(c.exits, op.Seq)
-		}
-		if op.Guard != ir.NoReg {
-			c.guarded = append(c.guarded, op.Seq)
-		} else {
-			// Unguarded ops commit on every execution; execTree only ever
-			// rewrites the guarded entries.
+		if op.Guard == ir.NoReg {
 			c.committed[op.Seq] = true
 		}
 	}
-	if len(c.guarded) <= 24 && len(c.exits) <= 256 {
+	if c.intMemo() {
 		c.memoInt = map[uint32][]int64{}
 	} else {
 		c.memo = map[string][]int64{}
-		c.mask = make([]byte, (len(c.guarded)+7)/8+1)
+		c.mask = make([]byte, c.bitBytes()+1)
+	}
+	if r.Rec != nil {
+		c.recBits = make([]byte, c.bitBytes())
 	}
 	c.profExit = make([]int64, len(c.exits))
-	c.onPath = make([][]bool, len(t.Ops))
-	for i, op := range t.Ops {
-		c.onPath[i] = make([]bool, len(c.exits))
-		for e, exSeq := range c.exits {
-			c.onPath[i][e] = t.OnPath(op.Block, t.Ops[exSeq].Block)
-		}
-	}
 	for pi, p := range r.Plans {
 		ent := r.planTabs[pi][t.PIdx]
 		if ent.tree != t || ent.comp == nil {
@@ -226,20 +281,7 @@ func (r *Runner) ctx(t *ir.Tree) *treeCtx {
 		}
 		c.comp = append(c.comp, ent.comp)
 	}
-	c.base = make([][]int64, len(c.comp))
-	for pi, comp := range c.comp {
-		base := make([]int64, len(c.exits))
-		for e := range c.exits {
-			var max int64
-			for i, op := range t.Ops {
-				if op.Guard == ir.NoReg && c.onPath[i][e] && comp[i] > max {
-					max = comp[i]
-				}
-			}
-			base[e] = max
-		}
-		c.base[pi] = base
-	}
+	c.base = c.baseTables(t, c.comp)
 	r.ctxes[t.PIdx] = c
 	return c
 }
@@ -263,6 +305,12 @@ func (r *Runner) Run() (*Result, error) {
 	r.planTabs = make([][]planEntry, len(r.Plans))
 	for pi, p := range r.Plans {
 		r.planTabs[pi] = p.dense(numTrees)
+	}
+	if r.Rec != nil {
+		r.fnIdx = make(map[string]int, len(r.Prog.Order))
+		for i, name := range r.Prog.Order {
+			r.fnIdx[name] = i
+		}
 	}
 
 	main := r.Prog.Funcs[r.Prog.Main]
@@ -340,6 +388,9 @@ func (r *Runner) call(fn *ir.Function, args []ir.Value) (ir.Value, error) {
 	for i, p := range fn.Params {
 		regs[p] = args[i]
 	}
+	if r.Rec != nil {
+		r.Rec.Call(r.fnIdx[fn.Name])
+	}
 	cur := fn.Entry
 	for {
 		t := fn.Trees[cur]
@@ -351,6 +402,9 @@ func (r *Runner) call(fn *ir.Function, args []ir.Value) (ir.Value, error) {
 		case ir.ExitGoto:
 			cur = exit.Target
 		case ir.ExitRet:
+			if r.Rec != nil {
+				r.Rec.Ret()
+			}
 			if len(exit.Args) > 0 {
 				return regs[exit.Args[0]], nil
 			}
@@ -465,6 +519,17 @@ func (r *Runner) execTree(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
 	}
 	r.committed += ncommit + int64(len(t.Ops)-len(c.guarded))
 
+	if r.Rec != nil {
+		for b := range c.recBits {
+			c.recBits[b] = 0
+		}
+		for k, i := range c.guarded {
+			if c.committed[i] {
+				c.recBits[k>>3] |= 1 << uint(k&7)
+			}
+		}
+		r.Rec.Tree(t.PIdx, c.exitOf[taken.Seq], c.recBits)
+	}
 	if len(r.times) > 0 {
 		r.price(t, c, c.exitOf[taken.Seq])
 	}

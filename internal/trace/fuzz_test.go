@@ -1,0 +1,271 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzReaderArbitrary feeds arbitrary bytes to the reader and histogram
+// builder: decoding must terminate without panicking, yield at most one event
+// per input byte, and fail only with errors wrapping ErrCorrupt. Whatever
+// decodes cleanly must re-encode (via a Recorder) to a stream that decodes to
+// the same events — the decoder accepts nothing a recorder couldn't have
+// meant.
+func FuzzReaderArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x03})
+	r := NewRecorder()
+	r.Call(1)
+	r.Tree(3, 1, []byte{0b101})
+	r.Tree(3, 1, []byte{0b101})
+	r.Ret()
+	f.Add(r.Finish(0, 0).Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewBytesReader(data)
+		var ev Event
+		var evs []Event
+		for {
+			ok, err := rd.Next(&ev)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("error does not wrap ErrCorrupt: %v", err)
+				}
+				if _, err2 := rd.Next(&ev); !errors.Is(err2, ErrCorrupt) {
+					t.Fatalf("error not sticky: %v", err2)
+				}
+				return
+			}
+			if !ok {
+				break
+			}
+			if len(evs) > len(data) {
+				t.Fatalf("more events than input bytes")
+			}
+			e := ev
+			e.Bits = append([]byte(nil), ev.Bits...)
+			evs = append(evs, e)
+		}
+		// Clean decode: histogram must agree, and re-encoding must round-trip.
+		if _, err := (&Trace{data: data}).Hist(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Hist error does not wrap ErrCorrupt: %v", err)
+		}
+		// Normalize as a recorder would: a decoder accepts adjacent identical
+		// tree events a recorder always merges.
+		var norm []Event
+		var total int64
+		for _, e := range evs {
+			if e.Kind == KindTree {
+				total += e.Count
+				if total > 1<<16 || total < 0 {
+					return // don't spin re-recording huge repeat counts
+				}
+				if len(norm) > 0 {
+					p := &norm[len(norm)-1]
+					if p.Kind == KindTree && p.Idx == e.Idx && p.Exit == e.Exit && bytes.Equal(p.Bits, e.Bits) {
+						p.Count += e.Count
+						continue
+					}
+				}
+			}
+			norm = append(norm, e)
+		}
+		re := NewRecorder()
+		for _, e := range norm {
+			switch e.Kind {
+			case KindTree:
+				for i := int64(0); i < e.Count; i++ {
+					re.Tree(e.Idx, e.Exit, e.Bits)
+				}
+			case KindCall:
+				re.Call(e.Idx)
+			case KindRet:
+				re.Ret()
+			}
+		}
+		rd2 := NewBytesReader(re.Finish(0, 0).Bytes())
+		for i := 0; ; i++ {
+			ok, err := rd2.Next(&ev)
+			if err != nil {
+				t.Fatalf("re-encoded stream corrupt: %v", err)
+			}
+			if !ok {
+				if i != len(norm) {
+					t.Fatalf("re-encoded stream has %d events, want %d", i, len(norm))
+				}
+				return
+			}
+			if i >= len(norm) {
+				t.Fatalf("re-encoded stream has extra events")
+			}
+			w := norm[i]
+			if ev.Kind != w.Kind || ev.Idx != w.Idx || ev.Exit != w.Exit || ev.Count != w.Count || !bytes.Equal(ev.Bits, w.Bits) {
+				t.Fatalf("re-encoded event %d = %+v, want %+v", i, ev, w)
+			}
+		}
+	})
+}
+
+// FuzzRecorderRoundTrip drives a recorder with a fuzz-derived event script
+// and checks the decoded stream reproduces it exactly, including run-length
+// counts and the Events/TreeExecs totals.
+func FuzzRecorderRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 0, 3})
+	f.Add([]byte{10, 10, 10, 10})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		r := NewRecorder()
+		type rec struct {
+			kind Kind
+			idx  int
+			exit int
+			bits []byte
+		}
+		var want []rec
+		var wantTrees int64
+		depth := 0
+		for i := 0; i+1 < len(script); i += 2 {
+			a, b := script[i], script[i+1]
+			switch a % 4 {
+			case 0, 1: // tree, bits derived from b
+				nb := int(b % 4)
+				bits := make([]byte, nb)
+				for j := range bits {
+					bits[j] = b ^ byte(j*13)
+				}
+				idx, exit := int(a)*3+int(b%7), int(b%5)
+				r.Tree(idx, exit, bits)
+				want = append(want, rec{KindTree, idx, exit, bits})
+				wantTrees++
+			case 2:
+				r.Call(int(b))
+				want = append(want, rec{kind: KindCall, idx: int(b)})
+				depth++
+			default:
+				if depth == 0 {
+					continue // keep call framing balanced: Hist rejects stray rets
+				}
+				r.Ret()
+				want = append(want, rec{kind: KindRet})
+				depth--
+			}
+		}
+		tr := r.Finish(7, 5)
+		if tr.Events != int64(len(want)) || tr.TreeExecs != wantTrees {
+			t.Fatalf("Events, TreeExecs = %d, %d, want %d, %d", tr.Events, tr.TreeExecs, len(want), wantTrees)
+		}
+
+		rd := NewReader(tr)
+		var ev Event
+		pos := 0
+		for {
+			ok, err := rd.Next(&ev)
+			if err != nil {
+				t.Fatalf("Next at event %d: %v", pos, err)
+			}
+			if !ok {
+				break
+			}
+			for n := int64(0); n < ev.Count; n++ {
+				if pos >= len(want) {
+					t.Fatalf("decoded more than %d events", len(want))
+				}
+				w := want[pos]
+				if ev.Kind != w.kind || ev.Idx != w.idx || ev.Exit != w.exit || !bytes.Equal(ev.Bits, w.bits) {
+					t.Fatalf("event %d = %+v, want %+v", pos, ev, w)
+				}
+				pos++
+			}
+		}
+		if pos != len(want) {
+			t.Fatalf("decoded %d logical events, want %d", pos, len(want))
+		}
+
+		// The histogram's counts must total the tree executions and agree
+		// with a direct tally.
+		h, err := tr.Hist()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tally := map[string]int64{}
+		var key []byte
+		for _, w := range want {
+			if w.kind != KindTree {
+				continue
+			}
+			key = binary.AppendUvarint(key[:0], uint64(w.idx))
+			key = binary.AppendUvarint(key, uint64(w.exit))
+			key = append(key, w.bits...)
+			tally[string(key)]++
+		}
+		if len(h.Entries) != len(tally) {
+			t.Fatalf("hist has %d entries, want %d", len(h.Entries), len(tally))
+		}
+		var total int64
+		for _, e := range h.Entries {
+			key = binary.AppendUvarint(key[:0], uint64(e.Idx))
+			key = binary.AppendUvarint(key, uint64(e.Exit))
+			key = append(key, e.Bits...)
+			if tally[string(key)] != e.Count {
+				t.Fatalf("entry %+v count %d, want %d", e, e.Count, tally[string(key)])
+			}
+			total += e.Count
+		}
+		if total != wantTrees {
+			t.Fatalf("hist total %d, want %d", total, wantTrees)
+		}
+	})
+}
+
+// FuzzTruncation checks every prefix of a valid stream either decodes
+// cleanly (truncation fell on an event boundary) or fails with ErrCorrupt —
+// never a panic, never garbage events beyond the prefix.
+func FuzzTruncation(f *testing.F) {
+	f.Add(int64(1), 5)
+	f.Add(int64(99), 0)
+	f.Fuzz(func(t *testing.T, seed int64, cut int) {
+		r := NewRecorder()
+		s := uint64(seed)
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(n))
+		}
+		for i := 0; i < 30; i++ {
+			switch next(4) {
+			case 0, 1:
+				bits := []byte{byte(next(256))}
+				r.Tree(next(50), next(4), bits)
+			case 2:
+				r.Call(next(10))
+			default:
+				r.Ret()
+			}
+		}
+		data := r.Finish(0, 0).Bytes()
+		if len(data) == 0 {
+			return
+		}
+		cut = int(uint(cut) % uint(len(data)))
+		rd := NewBytesReader(data[:cut])
+		var ev Event
+		for {
+			ok, err := rd.Next(&ev)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("prefix error does not wrap ErrCorrupt: %v", err)
+				}
+				return
+			}
+			if !ok {
+				return
+			}
+			if ev.Count < 1 || ev.Count > math.MaxInt64/2 {
+				t.Fatalf("implausible count %d from truncated stream", ev.Count)
+			}
+		}
+	})
+}

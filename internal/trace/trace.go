@@ -1,0 +1,429 @@
+// Package trace defines a compact execution-trace format for decision-tree
+// programs: the exact information cycle pricing consumes from an
+// interpretation — which tree executed, which exit it took, and which guarded
+// operations committed — plus call framing, and nothing else.
+//
+// A simulator records one trace per program interpretation; any number of
+// machine models can then be priced by replaying the trace against their
+// schedules, without evaluating a single operand (see sim.Replayer). The
+// format is the classic trace-driven-simulation split of a functional pass
+// from the timing passes it feeds.
+//
+// # Wire format
+//
+// A trace is a stream of varint-encoded events (encoding/binary unsigned
+// varints). Every event starts with a header varint h whose low two bits are
+// the event kind and whose remaining bits are the kind's payload:
+//
+//	kind 0 (tree)   payload = tree PIdx; followed by the taken exit index
+//	                (varint), the number of guard-commit-bit bytes (varint),
+//	                and that many raw bytes. Bit k (byte k/8, bit k%8) is the
+//	                commit bit of the tree's k-th guarded op in Seq order.
+//	kind 1 (call)   payload = callee's function index in Program.Order.
+//	kind 2 (ret)    payload must be zero.
+//	kind 3 (repeat) payload = n: the immediately preceding tree event
+//	                executed n additional times (loop framing). Recorders
+//	                emit at most one repeat per tree event; readers fold any
+//	                run of them into the event's Count.
+//
+// Consecutive identical tree executions — a loop body whose guards resolve
+// the same way every iteration, the common case — therefore cost one tree
+// event plus one repeat event regardless of trip count.
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Kind classifies a decoded event.
+type Kind uint8
+
+// Event kinds. Repeat events are folded into KindTree events by the Reader
+// and never surface.
+const (
+	KindTree Kind = iota
+	KindCall
+	KindRet
+)
+
+// Wire-format kind codes (low two bits of an event header).
+const (
+	wireTree   = 0
+	wireCall   = 1
+	wireRet    = 2
+	wireRepeat = 3
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTree:
+		return "tree"
+	case KindCall:
+		return "call"
+	case KindRet:
+		return "ret"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Trace is one recorded interpretation: the encoded event stream plus the
+// run's whole-execution totals, which replay reports without re-deriving.
+type Trace struct {
+	// Events counts logical events (tree executions, calls, returns) with
+	// repeat runs expanded — the number of events a Reader yields, weighted
+	// by Count.
+	Events int64
+	// TreeExecs counts tree executions (the priced events) out of Events.
+	TreeExecs int64
+	// Ops and Committed are the recorded run's dynamic operation totals
+	// (sim.Result.Ops / sim.Result.Committed).
+	Ops, Committed int64
+
+	data []byte
+
+	histOnce sync.Once
+	hist     *Hist
+	histErr  error
+}
+
+// Bytes returns the encoded event stream. The slice is owned by the trace
+// and must not be modified.
+func (t *Trace) Bytes() []byte { return t.data }
+
+// Size returns the encoded stream length in bytes.
+func (t *Trace) Size() int { return len(t.data) }
+
+// HistEntry is one distinct (tree, exit, commit bits) pattern of a trace and
+// the total number of times it executed.
+type HistEntry struct {
+	// Idx is the tree PIdx; Exit the taken exit index.
+	Idx, Exit int
+	// Bits are the packed guard-commit bits. The slice aliases the trace's
+	// buffer and must not be modified.
+	Bits []byte
+	// Count is the pattern's total execution count across the whole trace.
+	Count int64
+}
+
+// Hist is the aggregated view of a trace: one entry per distinct tree
+// execution pattern, in first-appearance order, plus the call-framing facts a
+// replayer validates. Because cycle pricing is a pure function of the pattern
+// and trace order never influences totals (int64 sums commute), replaying the
+// histogram prices each distinct pattern exactly once — typically thousands
+// of entries standing in for millions of events.
+type Hist struct {
+	Entries []HistEntry
+	// Calls counts call events; MaxFn is the largest function index called
+	// (-1 when Calls is zero).
+	Calls int64
+	MaxFn int
+}
+
+// Hist returns the trace's aggregated view, decoding and validating the
+// stream on first use and caching the result; safe for concurrent use. The
+// error, if any, wraps ErrCorrupt.
+func (t *Trace) Hist() (*Hist, error) {
+	t.histOnce.Do(func() { t.hist, t.histErr = buildHist(t.data) })
+	return t.hist, t.histErr
+}
+
+func buildHist(data []byte) (*Hist, error) {
+	h := &Hist{MaxFn: -1}
+	idx := map[string]int32{} // pattern key -> Entries index
+	var key []byte
+	rd := NewBytesReader(data)
+	var ev Event
+	depth := 0
+	for {
+		ok, err := rd.Next(&ev)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return h, nil
+		}
+		switch ev.Kind {
+		case KindTree:
+			// Varints are self-delimiting, so the key cannot collide across
+			// patterns with different bit lengths.
+			key = binary.AppendUvarint(key[:0], uint64(ev.Idx))
+			key = binary.AppendUvarint(key, uint64(ev.Exit))
+			key = append(key, ev.Bits...)
+			if i, ok := idx[string(key)]; ok {
+				e := &h.Entries[i]
+				if ev.Count > math.MaxInt64-e.Count {
+					return nil, fmt.Errorf("%w: pattern count overflow", ErrCorrupt)
+				}
+				e.Count += ev.Count
+			} else {
+				idx[string(key)] = int32(len(h.Entries))
+				h.Entries = append(h.Entries, HistEntry{
+					Idx: ev.Idx, Exit: ev.Exit, Bits: ev.Bits, Count: ev.Count,
+				})
+			}
+		case KindCall:
+			h.Calls++
+			if ev.Idx > h.MaxFn {
+				h.MaxFn = ev.Idx
+			}
+			depth++
+		case KindRet:
+			if depth--; depth < 0 {
+				return nil, fmt.Errorf("%w: ret event without a call", ErrCorrupt)
+			}
+		}
+	}
+}
+
+// Recorder builds a trace incrementally. The zero value is not ready;
+// use NewRecorder.
+type Recorder struct {
+	data   []byte
+	events int64
+	trees  int64
+
+	// Pending run of identical tree events, flushed lazily so consecutive
+	// repeats collapse into one repeat event.
+	havePending bool
+	pendPIdx    int
+	pendExit    int
+	pendBits    []byte
+	pendCount   int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{data: make([]byte, 0, 4096)}
+}
+
+// Tree records one tree execution: the tree's program-wide index, the taken
+// exit's index, and the packed commit bits of the tree's guarded ops (bit k
+// = k-th guarded op in Seq order; trailing bits must be zero). bits is
+// copied; the caller may reuse the buffer.
+func (r *Recorder) Tree(pidx, exit int, bits []byte) {
+	if pidx < 0 || exit < 0 {
+		panic("trace: negative tree or exit index")
+	}
+	if r.havePending && r.pendPIdx == pidx && r.pendExit == exit && bytes.Equal(r.pendBits, bits) {
+		r.pendCount++
+		r.events++
+		r.trees++
+		return
+	}
+	r.flush()
+	r.havePending = true
+	r.pendPIdx = pidx
+	r.pendExit = exit
+	r.pendBits = append(r.pendBits[:0], bits...)
+	r.pendCount = 1
+	r.events++
+	r.trees++
+}
+
+// Call records entry into the function with the given Program.Order index.
+func (r *Recorder) Call(fn int) {
+	if fn < 0 {
+		panic("trace: negative function index")
+	}
+	r.flush()
+	r.data = binary.AppendUvarint(r.data, uint64(fn)<<2|wireCall)
+	r.events++
+}
+
+// Ret records a function return.
+func (r *Recorder) Ret() {
+	r.flush()
+	r.data = append(r.data, wireRet)
+	r.events++
+}
+
+func (r *Recorder) flush() {
+	if !r.havePending {
+		return
+	}
+	// Assemble the whole event in a stack buffer when the bits fit (they
+	// always do for trees with ≤ 24·8 guarded ops) so the hot path is one
+	// append.
+	var buf [4 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(r.pendPIdx)<<2|wireTree)
+	n += binary.PutUvarint(buf[n:], uint64(r.pendExit))
+	n += binary.PutUvarint(buf[n:], uint64(len(r.pendBits)))
+	if len(r.pendBits) <= len(buf)-n {
+		n += copy(buf[n:], r.pendBits)
+		r.data = append(r.data, buf[:n]...)
+	} else {
+		r.data = append(r.data, buf[:n]...)
+		r.data = append(r.data, r.pendBits...)
+	}
+	if r.pendCount > 1 {
+		r.data = binary.AppendUvarint(r.data, uint64(r.pendCount-1)<<2|wireRepeat)
+	}
+	r.havePending = false
+}
+
+// Finish seals the recorder into a trace, attaching the recorded run's
+// dynamic operation totals. The recorder must not be used afterwards.
+func (r *Recorder) Finish(ops, committed int64) *Trace {
+	r.flush()
+	t := &Trace{
+		Events:    r.events,
+		TreeExecs: r.trees,
+		Ops:       ops,
+		Committed: committed,
+	}
+	t.data = r.data
+	r.data = nil
+	return t
+}
+
+// Event is one decoded trace event.
+type Event struct {
+	Kind Kind
+	// Idx is the tree PIdx (KindTree) or function index (KindCall).
+	Idx int
+	// Exit is the taken exit index (KindTree only).
+	Exit int
+	// Count is the run length: the event occurred Count times consecutively
+	// (KindTree only; always ≥ 1).
+	Count int64
+	// Bits are the packed guard-commit bits (KindTree only). The slice
+	// aliases the trace's buffer and is valid until the trace is released;
+	// it must not be modified.
+	Bits []byte
+}
+
+// Decoding errors. Reader errors wrap ErrCorrupt so callers can distinguish
+// a malformed stream from their own validation failures.
+var ErrCorrupt = errors.New("trace: corrupt stream")
+
+// Reader decodes a trace's event stream. Each Next call yields one event
+// with repeat runs folded into Count.
+type Reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+// NewReader returns a reader over the trace's events.
+func NewReader(t *Trace) *Reader { return NewBytesReader(t.Bytes()) }
+
+// NewBytesReader returns a reader over a raw encoded stream (as returned by
+// Trace.Bytes); used by tests and fuzzing.
+func NewBytesReader(data []byte) *Reader { return &Reader{data: data} }
+
+func (r *Reader) uvarint(what string) (uint64, bool) {
+	// Fast path: most fields (small indices, bit counts, bits ≤ 127) encode
+	// in one byte.
+	if r.pos < len(r.data) {
+		if b := r.data[r.pos]; b < 0x80 {
+			r.pos++
+			return uint64(b), true
+		}
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("%w: bad %s varint at offset %d", ErrCorrupt, what, r.pos)
+		return 0, false
+	}
+	r.pos += n
+	return v, true
+}
+
+// uintField decodes a varint that must fit in a non-negative int.
+func (r *Reader) uintField(what string) (int, bool) {
+	v, ok := r.uvarint(what)
+	if !ok {
+		return 0, false
+	}
+	if v > math.MaxInt32 {
+		r.err = fmt.Errorf("%w: %s %d out of range at offset %d", ErrCorrupt, what, v, r.pos)
+		return 0, false
+	}
+	return int(v), true
+}
+
+// Next decodes the next event into ev. It returns false with a nil error at
+// the end of the stream, and false with a non-nil error (wrapping
+// ErrCorrupt) on a malformed stream; once it fails it keeps failing.
+func (r *Reader) Next(ev *Event) (bool, error) {
+	if r.err != nil {
+		return false, r.err
+	}
+	if r.pos >= len(r.data) {
+		return false, nil
+	}
+	h, ok := r.uvarint("header")
+	if !ok {
+		return false, r.err
+	}
+	payload := h >> 2
+	switch h & 3 {
+	case wireTree:
+		if payload > math.MaxInt32 {
+			r.err = fmt.Errorf("%w: tree index %d out of range", ErrCorrupt, payload)
+			return false, r.err
+		}
+		ev.Kind = KindTree
+		ev.Idx = int(payload)
+		exit, ok := r.uintField("exit")
+		if !ok {
+			return false, r.err
+		}
+		ev.Exit = exit
+		nb, ok := r.uintField("bits length")
+		if !ok {
+			return false, r.err
+		}
+		if nb > len(r.data)-r.pos {
+			r.err = fmt.Errorf("%w: %d bit bytes but only %d left", ErrCorrupt, nb, len(r.data)-r.pos)
+			return false, r.err
+		}
+		ev.Bits = r.data[r.pos : r.pos+nb : r.pos+nb]
+		r.pos += nb
+		ev.Count = 1
+		// Fold any trailing repeat events into Count.
+		for r.pos < len(r.data) {
+			save := r.pos
+			h2, ok := r.uvarint("repeat header")
+			if !ok {
+				// Surface the truncation on the *next* call: this event is
+				// complete.
+				r.pos, r.err = save, nil
+				break
+			}
+			if h2&3 != wireRepeat {
+				r.pos = save
+				break
+			}
+			extra := h2 >> 2
+			if extra > uint64(math.MaxInt64)-uint64(ev.Count) {
+				r.err = fmt.Errorf("%w: repeat count overflow", ErrCorrupt)
+				return false, r.err
+			}
+			ev.Count += int64(extra)
+		}
+		return true, nil
+	case wireCall:
+		if payload > math.MaxInt32 {
+			r.err = fmt.Errorf("%w: function index %d out of range", ErrCorrupt, payload)
+			return false, r.err
+		}
+		*ev = Event{Kind: KindCall, Idx: int(payload), Count: 1}
+		return true, nil
+	case wireRet:
+		if payload != 0 {
+			r.err = fmt.Errorf("%w: ret event with payload %d", ErrCorrupt, payload)
+			return false, r.err
+		}
+		*ev = Event{Kind: KindRet, Count: 1}
+		return true, nil
+	default: // wireRepeat
+		r.err = fmt.Errorf("%w: repeat event without a preceding tree event", ErrCorrupt)
+		return false, r.err
+	}
+}
