@@ -211,3 +211,47 @@ func TestSpdfmt(t *testing.T) {
 		t.Error("semantic error accepted")
 	}
 }
+
+func TestSpdlint(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "cmd/spdlint")
+	src := filepath.Join(dir, "m.mc")
+	if err := os.WriteFile(src, []byte(demoProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A well-formed program is clean under every pipeline, and the summary
+	// line confirms the run was not vacuous.
+	out, err := exec.Command(bin, "-mem", "2,6", "-v", src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("clean program flagged: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1 program(s) clean") {
+		t.Fatalf("missing clean summary:\n%s", out)
+	}
+	if !strings.Contains(string(out), "cells") || strings.Contains(string(out), "0 cells") {
+		t.Fatalf("missing or vacuous stats line:\n%s", out)
+	}
+
+	// A seeded corruption makes the exit status nonzero and the diagnostic
+	// names the check, the tree, and the damaged op.
+	out, err = exec.Command(bin, "-mem", "2", "-corrupt", "seq", src).CombinedOutput()
+	if err == nil {
+		t.Fatalf("corrupted tree accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "struct/seq-order") {
+		t.Fatalf("diagnostic does not name the violated check:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-mem", "2", "-corrupt", "arc", src).CombinedOutput()
+	if err == nil {
+		t.Fatalf("dangling arc accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "struct/dangling-arc") {
+		t.Fatalf("diagnostic does not name the violated check:\n%s", out)
+	}
+
+	// Unknown corruption kinds are rejected.
+	if out, err := exec.Command(bin, "-corrupt", "wat", src).CombinedOutput(); err == nil {
+		t.Errorf("unknown -corrupt kind accepted:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@
 //	spdbench -bench fft       # restrict to one benchmark
 //	spdbench -par 4           # evaluation-cell worker pool width (0 = GOMAXPROCS)
 //	spdbench -trace interp    # interpret every timed run instead of trace replay
+//	spdbench -verify          # static verifier after every pipeline stage
 //	spdbench -json            # also write BENCH_spdbench.json with timings
 //	spdbench -cpuprofile f    # write a CPU profile of the run
 package main
@@ -80,10 +81,12 @@ func main() {
 	traceMode := flag.String("trace", "replay", "timed-simulation backend: replay (capture a trace once, price every model by replay) or interp (interpret every timed run)")
 	jsonOut := flag.Bool("json", false, "write BENCH_spdbench.json with per-experiment timings")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	verifyFlag := flag.Bool("verify", false, "run the static verifier after every pipeline stage of every cell (debug mode; see internal/verify)")
 	flag.Parse()
 
 	r := exper.New()
 	r.Par = *par
+	r.Verify = *verifyFlag
 	switch *traceMode {
 	case "replay":
 		r.TraceReplay = true

@@ -13,6 +13,7 @@ import (
 
 	"specdis/internal/ir"
 	"specdis/internal/lang"
+	"specdis/internal/verify"
 )
 
 // redZone is the number of unmapped words kept below the first global, so
@@ -24,9 +25,23 @@ const redZone = 16
 // out-of-range addresses (the interpreter clamps addresses into the memory).
 const memSlack = 4096
 
+// Options configure compilation beyond the defaults.
+type Options struct {
+	// Verify runs the full static verifier (structural, guard, exit, and
+	// arc invariants — see internal/verify) over the lowered program, on
+	// top of the always-on ir.Validate sanity pass. Debug mode: it costs a
+	// whole-program traversal per compile.
+	Verify bool
+}
+
 // Compile parses, checks, and lowers a MiniC source file into a decision-tree
 // program with conservative (NAIVE) memory-dependence arcs.
 func Compile(src string) (*ir.Program, error) {
+	return CompileOpts(src, Options{})
+}
+
+// CompileOpts is Compile with options.
+func CompileOpts(src string, o Options) (*ir.Program, error) {
 	ast, err := lang.Parse(src)
 	if err != nil {
 		return nil, err
@@ -35,7 +50,16 @@ func Compile(src string) (*ir.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Lower(checked)
+	prog, err := Lower(checked)
+	if err != nil {
+		return nil, err
+	}
+	if o.Verify {
+		if err := verify.Program(prog); err != nil {
+			return nil, fmt.Errorf("compile: lowered program failed verification: %w", err)
+		}
+	}
+	return prog, nil
 }
 
 // Lower lowers a checked program.

@@ -17,6 +17,7 @@ import (
 	"specdis/internal/sim"
 	"specdis/internal/spd"
 	"specdis/internal/trace"
+	"specdis/internal/verify"
 )
 
 // Kind selects a disambiguator pipeline.
@@ -76,6 +77,9 @@ type Prepared struct {
 	// removes arcs only, never ops). Nil otherwise; Capture materializes a
 	// trace for any prepared program.
 	Trace *trace.Trace
+	// MaxOps is Options.MaxOps, carried so Measure and Capture runs share
+	// the preparation's operation budget.
+	MaxOps int64
 }
 
 // Options configure a pipeline beyond the paper's defaults.
@@ -92,6 +96,35 @@ type Options struct {
 	// its profiling interpretation when that run is valid for the final
 	// program (see Prepared.Trace). It never adds an interpretation.
 	Record bool
+	// Verify runs the static verifier after every pipeline stage — lowering,
+	// grafting, static disambiguation, the SpD transform (including its
+	// per-application debug hook), and PERFECT's arc removal — failing the
+	// preparation on the first invariant violation. Debug mode.
+	Verify bool
+	// MaxOps bounds the dynamic operation count of every interpretation of
+	// the prepared program — the profiling run here and the later Measure
+	// and Capture runs (0 = sim.DefaultMaxOps). The fuzzers set a small
+	// budget so runaway generated programs fail fast.
+	MaxOps int64
+}
+
+// verifyStage checks the program's structural and speculation-safety
+// invariants after a pipeline stage. pairs, when non-nil, adds the
+// pair-precise mutual-exclusion check over SpD's recorded duplications.
+func verifyStage(prog *ir.Program, stage string, pairs map[*ir.Tree][]verify.SpecPair) error {
+	fs := verify.CheckProgram(prog)
+	for _, name := range prog.Order {
+		for _, t := range prog.Funcs[name].Trees {
+			fs = append(fs, verify.CheckSpecTree(t)...)
+			if pairs != nil {
+				fs = append(fs, verify.CheckSpecPairs(t, pairs[t])...)
+			}
+		}
+	}
+	if len(fs) > 0 {
+		return fmt.Errorf("verify after %s: %d finding(s), first: %s", stage, len(fs), fs[0])
+	}
+	return nil
 }
 
 // Prepare compiles src and applies the selected disambiguator. memLat is the
@@ -105,16 +138,16 @@ func Prepare(src string, kind Kind, memLat int, params spd.Params) (*Prepared, e
 // PrepareOpts is Prepare with extension options.
 func PrepareOpts(src string, o Options) (*Prepared, error) {
 	kind, memLat := o.Kind, o.MemLat
-	prog, err := compile.Compile(src)
+	prog, err := compile.CompileOpts(src, compile.Options{Verify: o.Verify})
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount()}
+	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount(), MaxOps: o.MaxOps}
 	lat := machine.Infinite(memLat).LatencyFunc()
 
 	profileRun := func(rec *trace.Recorder) error {
 		p.Profile = sim.NewProfile()
-		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec}
+		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec, MaxOps: o.MaxOps}
 		res, err := r.Run()
 		if err != nil {
 			return fmt.Errorf("%s profiling run: %w", kind, err)
@@ -146,6 +179,11 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 		}
 		// Grafting grows the pre-SpD baseline.
 		p.BaseOps = prog.OpCount()
+		if o.Verify {
+			if err := verifyStage(prog, "grafting", nil); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	switch kind {
@@ -154,6 +192,11 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 
 	case Static:
 		p.Static = alias.ResolveProgram(prog)
+		if o.Verify {
+			if err := verifyStage(prog, "static disambiguation", nil); err != nil {
+				return nil, err
+			}
+		}
 
 	case Perfect:
 		// The profiling run executes the exact stream of the final program:
@@ -167,6 +210,11 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 			return nil, err
 		}
 		removeSuperfluous(prog)
+		if o.Verify {
+			if err := verifyStage(prog, "superfluous-arc removal", nil); err != nil {
+				return nil, err
+			}
+		}
 
 	case Spec:
 		// The profiling run precedes the SpD transform, so its stream is NOT
@@ -175,9 +223,19 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 			return nil, err
 		}
 		p.Static = alias.ResolveProgram(prog)
-		p.SpD = spd.Transform(prog, p.Profile, lat, o.SpD)
+		params := o.SpD
+		params.Verify = params.Verify || o.Verify
+		p.SpD = spd.Transform(prog, p.Profile, lat, params)
+		if p.SpD.VerifyErr != nil {
+			return nil, fmt.Errorf("SPEC transform failed verification: %w", p.SpD.VerifyErr)
+		}
 		if err := prog.Validate(); err != nil {
 			return nil, fmt.Errorf("SPEC transform broke the program: %w", err)
+		}
+		if o.Verify {
+			if err := verifyStage(prog, "SpD transform", p.SpD.TreePairs()); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return p, nil
@@ -239,6 +297,7 @@ func Capture(p *Prepared) (*trace.Trace, error) {
 		Prog:   p.Prog,
 		SemLat: machine.Infinite(p.MemLat).LatencyFunc(),
 		Rec:    rec,
+		MaxOps: p.MaxOps,
 	}
 	res, err := r.Run()
 	if err != nil {
@@ -275,6 +334,7 @@ func Measure(p *Prepared, models []machine.Model) (*sim.Result, error) {
 		Prog:   p.Prog,
 		SemLat: machine.Infinite(p.MemLat).LatencyFunc(),
 		Plans:  Plans(p, models),
+		MaxOps: p.MaxOps,
 	}
 	res, err := r.Run()
 	if err != nil {

@@ -189,9 +189,12 @@ func TestRandomProgramsAgreeAcrossPipelines(t *testing.T) {
 	for _, seed := range seeds {
 		src := newProgGen(seed).generate()
 		var ref string
-		var spdApps int
 		for _, kind := range disamb.Kinds {
-			p, err := disamb.Prepare(src, kind, 2, params)
+			// Verify makes every seed double as a verifier oracle: any stage
+			// that emits an ill-formed or unsafely guarded tree fails here.
+			p, err := disamb.PrepareOpts(src, disamb.Options{
+				Kind: kind, MemLat: 2, SpD: params, Verify: true,
+			})
 			if err != nil {
 				t.Fatalf("seed %d %s: %v\n%s", seed, kind, err, src)
 			}
@@ -199,16 +202,12 @@ func TestRandomProgramsAgreeAcrossPipelines(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d %s: %v\n%s", seed, kind, err, src)
 			}
-			if p.SpD != nil {
-				spdApps += len(p.SpD.Apps)
-			}
 			if ref == "" {
 				ref = res.Output
 			} else if res.Output != ref {
 				t.Fatalf("seed %d: %s output %q, want %q\n%s", seed, kind, res.Output, ref, src)
 			}
 		}
-		_ = spdApps
 	}
 }
 

@@ -1,0 +1,260 @@
+package disamb
+
+import (
+	"fmt"
+	"sort"
+
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sched"
+	"specdis/internal/sim"
+	"specdis/internal/spd"
+	"specdis/internal/trace"
+	"specdis/internal/verify"
+)
+
+// This file is the lint engine behind cmd/spdlint: it prepares one source
+// program under every disambiguator and runs the full internal/verify
+// battery over each result — structural and speculation-safety checks
+// statically, then a fresh profiling-plus-recording interpretation whose
+// trace histogram cross-validates the arc counters and the pairwise commit
+// exclusion, an arc-lattice comparison of every refined pipeline against
+// NAIVE, a removed-arc soundness audit for the non-speculative refinements,
+// and a list-schedule validation of every tree. Unlike the Options.Verify
+// debug hook (which fails the pipeline on the first violation), the lint
+// engine collects every finding into a report.
+
+// LintOptions configure a Lint run.
+type LintOptions struct {
+	// MemLats are the memory latencies to prepare latency-sensitive
+	// pipelines for. Default {2, 6}, the paper's L1/L2 latencies.
+	// Latency-insensitive pipelines are checked once: they prepare the
+	// identical program at every latency.
+	MemLats []int
+	// SpD overrides the transform parameters (nil = spd.DefaultParams()).
+	SpD *spd.Params
+	// NumFUs is the machine width used to build and validate schedules
+	// (default 5, the width of the paper's Figure 6-2 machine).
+	NumFUs int
+	// Corrupt, when non-nil, mutates each prepared program before checking.
+	// Test hook: it lets spdlint's tests prove that a seeded violation is
+	// caught and reported. A cell whose static checks fail skips its
+	// dynamic half (an ill-formed program cannot be interpreted reliably).
+	Corrupt func(*ir.Program)
+}
+
+// LintStats counts the work a Lint run performed, so callers (and the
+// golden tests) can tell a clean report from a vacuous one.
+type LintStats struct {
+	Cells       int // pipeline × latency preparations checked
+	Trees       int // decision trees checked structurally
+	Pairs       int // SpD original/duplicate pairs checked
+	ArcsChecked int // arcs cross-validated against a trace histogram
+	ArcsAudited int // base arcs audited for unsound removal
+	Scheds      int // list schedules built and validated
+	Patterns    int // distinct trace commit patterns scanned
+}
+
+// LintReport is the result of a Lint run.
+type LintReport struct {
+	Findings []verify.Finding
+	Stats    LintStats
+}
+
+// Clean reports whether the run produced no findings.
+func (r *LintReport) Clean() bool { return len(r.Findings) == 0 }
+
+// Lint prepares src under all four disambiguators and every configured
+// memory latency and runs the full verifier battery over each result. The
+// returned error covers infrastructure failures only (the source does not
+// compile, an uncorrupted program fails to run); invariant violations are
+// Findings in the report.
+func Lint(src string, o LintOptions) (*LintReport, error) {
+	memLats := o.MemLats
+	if len(memLats) == 0 {
+		memLats = []int{2, 6}
+	}
+	params := spd.DefaultParams()
+	if o.SpD != nil {
+		params = *o.SpD
+	}
+	numFUs := o.NumFUs
+	if numFUs <= 0 {
+		numFUs = 5
+	}
+
+	rep := &LintReport{}
+	// NAIVE's checked cell doubles as the arc-lattice base for every
+	// refined pipeline: its conservative arc set must be a superset of
+	// theirs, and its profiled alias counts drive the removal audit.
+	var baseProg *ir.Program
+	var baseOutput string
+
+	for _, kind := range Kinds {
+		for i, lat := range memLats {
+			if i > 0 && !kind.LatencySensitive() {
+				break
+			}
+			cell := fmt.Sprintf("%s/mem%d", kind, lat)
+			p, err := PrepareOpts(src, Options{Kind: kind, MemLat: lat, SpD: params})
+			if err != nil {
+				return nil, fmt.Errorf("lint %s: %w", cell, err)
+			}
+			if o.Corrupt != nil {
+				o.Corrupt(p.Prog)
+			}
+			rep.Stats.Cells++
+
+			var fs []verify.Finding
+			var pairs map[*ir.Tree][]verify.SpecPair
+			if kind == Spec && p.SpD != nil {
+				pairs = p.SpD.TreePairs()
+			}
+			fs = append(fs, verify.CheckProgram(p.Prog)...)
+			forEachTree(p.Prog, func(t *ir.Tree) {
+				rep.Stats.Trees++
+				fs = append(fs, verify.CheckSpecTree(t)...)
+				if pairs != nil {
+					fs = append(fs, verify.CheckSpecPairs(t, pairs[t])...)
+					rep.Stats.Pairs += len(pairs[t])
+				}
+			})
+
+			// The dynamic half interprets the program; only run it on a
+			// structurally sound cell.
+			if len(fs) == 0 {
+				dyn, err := lintDynamic(p, lat, pairs, rep)
+				if err != nil {
+					if o.Corrupt == nil {
+						return nil, fmt.Errorf("lint %s: %w", cell, err)
+					}
+					fs = append(fs, verify.Finding{
+						Check: "lint/run-failed", Func: "-", Tree: "-",
+						Msg: err.Error(),
+					})
+				} else {
+					fs = append(fs, dyn.findings...)
+					if kind == Naive {
+						baseProg, baseOutput = p.Prog, dyn.output
+					} else if baseProg != nil {
+						// SpD adds real arcs for its duplicated ops, so the
+						// removal audit only applies to arc-only refinements.
+						audit := kind != Spec
+						fs = append(fs, verify.CompareArcPrograms(
+							baseProg, p.Prog, Naive.String(), kind.String(), audit)...)
+						if audit {
+							forEachTree(baseProg, func(t *ir.Tree) {
+								rep.Stats.ArcsAudited += len(t.Arcs)
+							})
+						}
+						if dyn.output != baseOutput {
+							fs = append(fs, verify.Finding{
+								Check: "lint/output-divergence", Func: "-", Tree: "-",
+								Msg: fmt.Sprintf("%s output differs from NAIVE", cell),
+							})
+						}
+					}
+				}
+			}
+
+			fs = append(fs, lintSchedules(p.Prog, lat, numFUs, rep)...)
+
+			for _, f := range fs {
+				f.Msg = cell + ": " + f.Msg
+				rep.Findings = append(rep.Findings, f)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// lintResult is the dynamic half's output for one cell.
+type lintResult struct {
+	findings []verify.Finding
+	output   string
+}
+
+// lintDynamic re-profiles the prepared program with trace recording
+// piggybacked on the same interpretation, then cross-validates the arc
+// counters and the pairwise commit exclusion against the trace histogram.
+// Sharing one run makes the recomputed per-arc execution counts exact, so
+// any mismatch is a profiler or recorder bug, not sampling noise.
+func lintDynamic(p *Prepared, memLat int, pairs map[*ir.Tree][]verify.SpecPair, rep *LintReport) (*lintResult, error) {
+	// Preparation may have left profile counts on the arcs (SPEC and
+	// PERFECT profile before transforming); reset so the counters and the
+	// histogram describe the same run of the same (final) program.
+	forEachTree(p.Prog, func(t *ir.Tree) {
+		for _, a := range t.Arcs {
+			a.ExecCount, a.AliasCount = 0, 0
+		}
+	})
+	rec := trace.NewRecorder()
+	r := &sim.Runner{
+		Prog:   p.Prog,
+		SemLat: machine.Infinite(memLat).LatencyFunc(),
+		Prof:   sim.NewProfile(),
+		Rec:    rec,
+	}
+	res, err := r.Run()
+	if err != nil {
+		return nil, fmt.Errorf("lint run: %w", err)
+	}
+	if p.Output != "" && res.Output != p.Output {
+		return nil, fmt.Errorf("lint run output diverged from the preparation's profiling run")
+	}
+	h, err := rec.Finish(res.Ops, res.Committed).Hist()
+	if err != nil {
+		return nil, fmt.Errorf("trace histogram: %w", err)
+	}
+	rep.Stats.Patterns += len(h.Entries)
+
+	out := &lintResult{output: res.Output}
+	forEachTree(p.Prog, func(t *ir.Tree) {
+		out.findings = append(out.findings, verify.CrossCheckArcCounts(t, h)...)
+		rep.Stats.ArcsChecked += len(t.Arcs)
+		if pairs != nil {
+			out.findings = append(out.findings, verify.CheckCommitExclusion(t, pairs[t], h)...)
+		}
+	})
+	return out, nil
+}
+
+// lintSchedules list-schedules every tree on an n-FU machine and validates
+// the result against the tree's dependence graph — the same construction
+// Plans uses for timed measurement, so a violation here means measured
+// cycle counts are untrustworthy.
+func lintSchedules(prog *ir.Program, memLat, n int, rep *LintReport) []verify.Finding {
+	var fs []verify.Finding
+	lat := machine.Infinite(memLat).LatencyFunc()
+	forEachTree(prog, func(t *ir.Tree) {
+		g := ir.BuildDepGraph(t, lat)
+		s := sched.FromGraph(g, n)
+		rep.Stats.Scheds++
+		if err := sched.Validate(g, s, n); err != nil {
+			fs = append(fs, verify.Finding{
+				Check: "sched/invalid",
+				Func:  t.Fn.Name,
+				Tree:  fmt.Sprintf("T%d(%s)", t.ID, t.Name),
+				Msg:   err.Error(),
+			})
+		}
+	})
+	return fs
+}
+
+// forEachTree visits every tree of the program in deterministic order.
+func forEachTree(prog *ir.Program, fn func(*ir.Tree)) {
+	names := prog.Order
+	if len(names) == 0 {
+		names = make([]string, 0, len(prog.Funcs))
+		for name := range prog.Funcs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		for _, t := range prog.Funcs[name].Trees {
+			fn(t)
+		}
+	}
+}

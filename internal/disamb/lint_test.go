@@ -1,0 +1,133 @@
+package disamb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"specdis/internal/bench"
+	"specdis/internal/ir"
+)
+
+// TestLintAllBenchmarksClean is the golden lint suite: every benchmark
+// program, prepared under all four disambiguators at both of the paper's
+// memory latencies, passes every static and dynamic verifier with zero
+// findings. The stats assertions pin that the run actually exercised each
+// checker class — a clean report with nothing checked would be vacuous.
+func TestLintAllBenchmarksClean(t *testing.T) {
+	var mu sync.Mutex
+	var total LintStats
+	for _, b := range bench.Everything() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Lint(b.Source, LintOptions{MemLats: []int{2, 6}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range rep.Findings {
+				t.Errorf("%s", f.String())
+			}
+			if rep.Stats.Cells == 0 || rep.Stats.Trees == 0 || rep.Stats.Scheds == 0 {
+				t.Errorf("vacuous lint run: %+v", rep.Stats)
+			}
+			mu.Lock()
+			total.Pairs += rep.Stats.Pairs
+			total.ArcsChecked += rep.Stats.ArcsChecked
+			total.ArcsAudited += rep.Stats.ArcsAudited
+			total.Patterns += rep.Stats.Patterns
+			mu.Unlock()
+		})
+	}
+	t.Cleanup(func() {
+		if total.Pairs == 0 {
+			t.Errorf("no SpD pairs checked across the whole suite")
+		}
+		if total.ArcsChecked == 0 || total.ArcsAudited == 0 {
+			t.Errorf("no arcs cross-checked or audited across the whole suite: %+v", total)
+		}
+		if total.Patterns == 0 {
+			t.Errorf("no trace commit patterns scanned across the whole suite")
+		}
+	})
+}
+
+// TestLintReportsCorruption seeds violations through the Corrupt hook and
+// checks each is caught and reported with a diagnostic naming the damage.
+func TestLintReportsCorruption(t *testing.T) {
+	src := bench.ByName("perm").Source
+	cases := []struct {
+		name    string
+		corrupt func(*ir.Program)
+		check   string
+	}{
+		{
+			name: "swapped-seq",
+			corrupt: func(p *ir.Program) {
+				for _, name := range p.Order {
+					for _, tr := range p.Funcs[name].Trees {
+						if len(tr.Ops) >= 2 {
+							tr.Ops[0], tr.Ops[1] = tr.Ops[1], tr.Ops[0]
+							return
+						}
+					}
+				}
+			},
+			check: "struct/seq-order",
+		},
+		{
+			name: "dangling-arc",
+			corrupt: func(p *ir.Program) {
+				for _, name := range p.Order {
+					for _, tr := range p.Funcs[name].Trees {
+						if len(tr.Arcs) > 0 {
+							ghost := *tr.Arcs[0].From
+							tr.Arcs[0].From = &ghost
+							return
+						}
+					}
+				}
+			},
+			check: "struct/dangling-arc",
+		},
+		{
+			name: "inflated-count",
+			corrupt: func(p *ir.Program) {
+				for _, name := range p.Order {
+					for _, tr := range p.Funcs[name].Trees {
+						if len(tr.Arcs) > 0 {
+							tr.Arcs[0].AliasCount = tr.Arcs[0].ExecCount + 1
+							return
+						}
+					}
+				}
+			},
+			check: "struct/arc-counters",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Lint(src, LintOptions{MemLats: []int{2}, Corrupt: tc.corrupt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Clean() {
+				t.Fatalf("corruption %s not detected", tc.name)
+			}
+			found := false
+			for _, f := range rep.Findings {
+				if f.Check == tc.check {
+					found = true
+					break
+				}
+			}
+			if !found {
+				var got []string
+				for _, f := range rep.Findings {
+					got = append(got, f.String())
+				}
+				t.Fatalf("no %s finding; got:\n%s", tc.check, strings.Join(got, "\n"))
+			}
+		})
+	}
+}

@@ -31,6 +31,7 @@ func TestReplayMeasureMatchesMeasure(t *testing.T) {
 			for _, kind := range disamb.Kinds {
 				p, err := disamb.PrepareOpts(bm.Source, disamb.Options{
 					Kind: kind, MemLat: 2, SpD: params, Record: kind == disamb.Perfect,
+					Verify: true, // the replay differential doubles as a verifier oracle
 				})
 				if err != nil {
 					t.Fatalf("%s: %v", kind, err)

@@ -52,6 +52,12 @@ type Runner struct {
 	// TestTraceReplayEquivalence.
 	TraceReplay bool
 
+	// Verify passes the static verifier down to every preparation
+	// (disamb.Options.Verify): each pipeline stage of each cell is checked
+	// for structural and speculation-safety violations, failing the cell on
+	// the first finding. Debug mode (`spdbench -verify`).
+	Verify bool
+
 	prep   group[prepKey, *disamb.Prepared]
 	meas   group[prepKey, *measCell]
 	traces group[prepKey, *trace.Trace]
@@ -131,6 +137,7 @@ func (r *Runner) Prepared(b *bench.Benchmark, kind disamb.Kind, memLat int) (*di
 			// the capture run for the whole latency-insensitive trace class
 			// (see traceFor) at no extra interpretation.
 			Record: r.TraceReplay && kind == disamb.Perfect,
+			Verify: r.Verify,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, memLat, err)

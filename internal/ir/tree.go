@@ -61,8 +61,10 @@ func (a *MemArc) String() string {
 }
 
 // Tree is a decision tree: the unit of scheduling and guarded execution.
-// Ops appear in sequential (Seq) order. At least one exit is present and the
-// last exit in Seq order must be unguarded (the default path).
+// Ops appear in sequential (Seq) order. At least one exit is present; every
+// exit carries its full path condition as its guard, and exactly one exit's
+// guard evaluates true on each execution (an unguarded exit is therefore
+// only legal as a tree's sole exit).
 type Tree struct {
 	ID   int
 	Fn   *Function
@@ -104,6 +106,12 @@ func (t *Tree) AllocID() int {
 	t.nextID++
 	return id
 }
+
+// IDBound returns the exclusive upper bound of the op IDs handed out so far.
+// Every op legitimately belonging to the tree has ID < IDBound(); an op at or
+// above it was allocated elsewhere (a clone or another tree) and grafted in
+// without Append/AllocID — the verifier uses this to catch foreign ops.
+func (t *Tree) IDBound() int { return t.nextID }
 
 // InsertOp allocates an op with a fresh ID and splices it immediately before
 // the op at sequential position seq, renumbering Seq fields.

@@ -349,18 +349,26 @@ func listScheduleRef(g *ir.DepGraph, numFUs int) *Schedule {
 }
 
 // Validate checks that a schedule respects all dependence delays and, for
-// n > 0, the per-cycle issue-slot limit.
+// n > 0, the per-cycle issue-slot limit. Diagnostics name ops by their
+// stable IDs (%N), not dense graph indices, so findings surfaced by the
+// verifier point at the op a tree dump shows.
 func Validate(g *ir.DepGraph, s *Schedule, n int) error {
+	name := func(i int) string {
+		if op := g.Tree.Ops[i]; op != nil {
+			return fmt.Sprintf("%s %%%d", op.Kind, op.ID)
+		}
+		return fmt.Sprintf("op #%d", i)
+	}
 	perCycle := map[int64]int{}
 	for i := range g.Tree.Ops {
 		if s.Issue[i] < 0 {
-			return fmt.Errorf("op %d unscheduled", i)
+			return fmt.Errorf("%s unscheduled", name(i))
 		}
 		perCycle[s.Issue[i]]++
 		for _, e := range g.Succ[i] {
 			if s.Issue[e.To] < s.Issue[i]+int64(e.Delay) {
-				return fmt.Errorf("op %d issues at %d, before op %d + delay %d",
-					e.To, s.Issue[e.To], i, e.Delay)
+				return fmt.Errorf("%s issues at cycle %d, before %s (cycle %d) + delay %d",
+					name(e.To), s.Issue[e.To], name(i), s.Issue[i], e.Delay)
 			}
 		}
 	}

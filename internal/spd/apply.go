@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"specdis/internal/ir"
+	"specdis/internal/verify"
 )
 
 // applyRAW transforms an ambiguous store→load arc (paper §4.3, Figure 4-4).
@@ -103,6 +104,7 @@ func (x *transformer) applyWAR(a *ir.MemArc) error {
 	l3.Ref = cloneRef(s1.Ref)
 	l3.MarkAliasSide(true)
 	x.insertAfter(l1, l3)
+	x.pairs = append(x.pairs, verify.SpecPair{Orig: l1.ID, Dup: l3.ID, Guard: g})
 
 	// L3 behaves like a load at L1's position on S1's address: it is
 	// ambiguous with exactly the stores S1 is ambiguous with, and definitely
@@ -268,6 +270,7 @@ func (x *transformer) duplicate(d map[*ir.Op]bool, g ir.Reg, aliasSide bool, reg
 		}
 		x.insertAfter(o, dup)
 		dupOf[o] = dup
+		x.pairs = append(x.pairs, verify.SpecPair{Orig: o.ID, Dup: dup.ID, Guard: g})
 		if o.Dest != ir.NoReg {
 			if needsMerge(x.fn, t, d, o.Dest, o) {
 				mv := x.newOp(ir.OpMove, []ir.Reg{dest}, o.Dest, o.Block)

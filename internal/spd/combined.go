@@ -18,15 +18,22 @@ import (
 // its negation the duplicate's side effects and merges. The duplicate loses
 // every speculated arc at once. Returns the number of operations added.
 func ApplyCombinedRAW(t *ir.Tree, arcs []*ir.MemArc, forwarding bool) (int, error) {
+	info, err := ApplyCombinedRAWInfo(t, arcs, forwarding)
+	return info.Added, err
+}
+
+// ApplyCombinedRAWInfo is ApplyCombinedRAW returning the full application
+// record (including original/duplicate pairs for the safety checker).
+func ApplyCombinedRAWInfo(t *ir.Tree, arcs []*ir.MemArc, forwarding bool) (AppInfo, error) {
 	if len(arcs) == 0 {
-		return 0, fmt.Errorf("%w: empty arc set", ErrNotApplicable)
+		return AppInfo{}, fmt.Errorf("%w: empty arc set", ErrNotApplicable)
 	}
 	if len(arcs) == 1 {
-		return Apply(t, arcs[0], forwarding)
+		return ApplyInfo(t, arcs[0], forwarding)
 	}
 	for _, a := range arcs {
 		if a.Kind != ir.DepRAW || !a.Ambiguous {
-			return 0, fmt.Errorf("%w: combined speculation handles ambiguous RAW arcs, got %s", ErrNotApplicable, a)
+			return AppInfo{}, fmt.Errorf("%w: combined speculation handles ambiguous RAW arcs, got %s", ErrNotApplicable, a)
 		}
 	}
 
@@ -54,7 +61,7 @@ func ApplyCombinedRAW(t *ir.Tree, arcs []*ir.MemArc, forwarding bool) (int, erro
 		// the compares are computable there.
 		if !defsPrecede(t, a.From.AddrReg(), anchor.Seq) ||
 			!defsPrecede(t, a.To.AddrReg(), anchor.Seq) {
-			return 0, fmt.Errorf("%w: address of %s unavailable at the earliest load", ErrNotApplicable, a)
+			return AppInfo{}, fmt.Errorf("%w: address of %s unavailable at the earliest load", ErrNotApplicable, a)
 		}
 	}
 
@@ -83,7 +90,7 @@ func ApplyCombinedRAW(t *ir.Tree, arcs []*ir.MemArc, forwarding bool) (int, erro
 	// require all seeds to share one block; mixed-path groups are rejected.
 	for _, a := range arcs {
 		if a.To.Block != anchor.Block {
-			return 0, fmt.Errorf("%w: speculated loads on different paths", ErrNotApplicable)
+			return AppInfo{}, fmt.Errorf("%w: speculated loads on different paths", ErrNotApplicable)
 		}
 	}
 	d := map[*ir.Op]bool{}
@@ -120,7 +127,7 @@ func ApplyCombinedRAW(t *ir.Tree, arcs []*ir.MemArc, forwarding bool) (int, erro
 
 	x.flush()
 	x.flushArcs()
-	return x.added, nil
+	return AppInfo{Added: x.added, Pairs: x.pairs}, nil
 }
 
 // CombinedGroups partitions a tree's eligible ambiguous RAW arcs into the
@@ -166,13 +173,16 @@ func TransformCombined(p *ir.Program, prof Profile, params Params) *Result {
 			if len(best) == 0 {
 				continue
 			}
-			added, err := ApplyCombinedRAW(t, best, params.Forwarding)
+			info, err := ApplyCombinedRAWInfo(t, best, params.Forwarding)
 			if err != nil {
 				continue
 			}
 			res.RAW += len(best)
-			res.AddedOps += added
-			res.Apps = append(res.Apps, Application{Tree: t, Kind: ir.DepRAW, Added: added})
+			res.AddedOps += info.Added
+			res.Apps = append(res.Apps, Application{Tree: t, Kind: ir.DepRAW, Added: info.Added, Pairs: info.Pairs})
+			if params.Verify {
+				verifyTree(t, info.Pairs, res)
+			}
 		}
 	}
 	return res

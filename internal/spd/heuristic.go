@@ -1,7 +1,10 @@
 package spd
 
 import (
+	"fmt"
+
 	"specdis/internal/ir"
+	"specdis/internal/verify"
 )
 
 // Params are the guidance-heuristic knobs of Figure 5-1.
@@ -23,6 +26,10 @@ type Params struct {
 	Forwarding bool
 	// MaxIterationsPerTree is a safety bound on heuristic iterations.
 	MaxIterationsPerTree int
+	// Verify runs the structural and speculation-safety checkers over every
+	// tree immediately after each applied transformation (debug mode). The
+	// first violation is recorded in Result.VerifyErr.
+	Verify bool
 }
 
 // DefaultParams returns the configuration used in the experiments.
@@ -50,6 +57,9 @@ type Application struct {
 	Kind  ir.DepKind
 	Gain  float64 // predicted per-execution gain, cycles
 	Added int     // operations added
+	// Pairs are the original/duplicate op pairs this application created,
+	// for the speculation-safety checker.
+	Pairs []verify.SpecPair
 }
 
 // Result summarizes a whole-program SpD pass.
@@ -57,6 +67,34 @@ type Result struct {
 	Apps          []Application
 	RAW, WAR, WAW int // application counts by dependence type (Table 6-3)
 	AddedOps      int
+	// VerifyErr holds the first invariant violation found by the Verify
+	// debug hook (nil when Verify was off or everything checked out).
+	VerifyErr error
+}
+
+// TreePairs collects the recorded original/duplicate pairs per tree.
+func (r *Result) TreePairs() map[*ir.Tree][]verify.SpecPair {
+	m := map[*ir.Tree][]verify.SpecPair{}
+	for _, a := range r.Apps {
+		if len(a.Pairs) > 0 {
+			m[a.Tree] = append(m[a.Tree], a.Pairs...)
+		}
+	}
+	return m
+}
+
+// verifyTree runs the post-transform checkers over one tree and folds the
+// findings into res.VerifyErr (first violation wins).
+func verifyTree(t *ir.Tree, pairs []verify.SpecPair, res *Result) {
+	if res.VerifyErr != nil {
+		return
+	}
+	fs := verify.CheckTree(t)
+	fs = append(fs, verify.CheckSpecTree(t)...)
+	fs = append(fs, verify.CheckSpecPairs(t, pairs)...)
+	if len(fs) > 0 {
+		res.VerifyErr = fmt.Errorf("spd: tree %s after transform: %s", t.Name, fs[0])
+	}
 }
 
 // Count returns the application count for one dependence kind.
@@ -140,6 +178,7 @@ func specDisambig(t *ir.Tree, prof Profile, lat ir.LatencyFunc, params Params, r
 	skip := map[*ir.MemArc]bool{}
 	probs := exitProbs(t, prof)
 	q := params.AssumedAliasProb
+	var treePairs []verify.SpecPair // cumulative, for the Verify debug hook
 
 	eligible := func(a *ir.MemArc) bool {
 		return a.Ambiguous && !skip[a] &&
@@ -233,7 +272,7 @@ func specDisambig(t *ir.Tree, prof Profile, lat ir.LatencyFunc, params Params, r
 			continue
 		}
 
-		added, err := Apply(t, best, params.Forwarding)
+		info, err := ApplyInfo(t, best, params.Forwarding)
 		if err != nil {
 			// The clone accepted this transform, so the original must too;
 			// treat a refusal defensively.
@@ -243,8 +282,12 @@ func specDisambig(t *ir.Tree, prof Profile, lat ir.LatencyFunc, params Params, r
 		// A RAW arc survives on the alias copy when forwarding is not
 		// possible; it is handled now either way, so never revisit it.
 		skip[best] = true
-		res.Apps = append(res.Apps, Application{Tree: t, Kind: best.Kind, Gain: bestGain, Added: added})
-		res.AddedOps += added
+		res.Apps = append(res.Apps, Application{Tree: t, Kind: best.Kind, Gain: bestGain, Added: info.Added, Pairs: info.Pairs})
+		res.AddedOps += info.Added
+		if params.Verify {
+			treePairs = append(treePairs, info.Pairs...)
+			verifyTree(t, treePairs, res)
+		}
 		switch best.Kind {
 		case ir.DepRAW:
 			res.RAW++

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"specdis/internal/ir"
+	"specdis/internal/verify"
 )
 
 // guardState is a (register, polarity) condition; reg == NoReg means always.
@@ -28,6 +29,11 @@ type transformer struct {
 	after  map[*ir.Op][]*ir.Op
 	added  int
 
+	// pairs records every (original, duplicate) op pair the transformation
+	// created, with the compare register separating them — the
+	// speculation-safety checker's input.
+	pairs []verify.SpecPair
+
 	pendingArcs []pendingArc
 
 	combineCache map[combineKey]guardState
@@ -45,12 +51,26 @@ type combineKey struct {
 // this arc and was skipped.
 var ErrNotApplicable = fmt.Errorf("spd: transform not applicable")
 
+// AppInfo describes one applied transformation: its code-size cost and the
+// original/duplicate pairs it created (the speculation-safety checker's
+// evidence of which ops must be mutually exclusive).
+type AppInfo struct {
+	Added int
+	Pairs []verify.SpecPair
+}
+
 // Apply performs speculative disambiguation for arc a of tree t. It returns
 // the number of operations added. ErrNotApplicable (wrapped) is returned when
 // the arc cannot be transformed safely; the tree is then unchanged.
 func Apply(t *ir.Tree, a *ir.MemArc, forwarding bool) (int, error) {
+	info, err := ApplyInfo(t, a, forwarding)
+	return info.Added, err
+}
+
+// ApplyInfo is Apply returning the full application record.
+func ApplyInfo(t *ir.Tree, a *ir.MemArc, forwarding bool) (AppInfo, error) {
 	if !a.Ambiguous {
-		return 0, fmt.Errorf("%w: arc %s is a definite dependence", ErrNotApplicable, a)
+		return AppInfo{}, fmt.Errorf("%w: arc %s is a definite dependence", ErrNotApplicable, a)
 	}
 	x := &transformer{
 		t:            t,
@@ -71,11 +91,11 @@ func Apply(t *ir.Tree, a *ir.MemArc, forwarding bool) (int, error) {
 		err = x.applyWAW(a)
 	}
 	if err != nil {
-		return 0, err
+		return AppInfo{}, err
 	}
 	x.flush()
 	x.flushArcs()
-	return x.added, nil
+	return AppInfo{Added: x.added, Pairs: x.pairs}, nil
 }
 
 // newOp builds an op with a fresh ID (position assigned at flush).
@@ -242,19 +262,14 @@ func needsMerge(fn *ir.Function, t *ir.Tree, d map[*ir.Op]bool, r ir.Reg, def *i
 
 // defsPrecede reports whether every definition of r in the tree occurs
 // strictly before position seq (so a new op at seq may read r).
+// A register with no definition in this tree at all is defined in an
+// earlier tree (or is a parameter) and is always available.
 func defsPrecede(t *ir.Tree, r ir.Reg, seq int) bool {
-	found := false
 	for _, op := range t.Ops {
-		if op.Dest == r {
-			if op.Seq >= seq {
-				return false
-			}
-			found = true
+		if op.Dest == r && op.Seq >= seq {
+			return false
 		}
 	}
-	// A register with no definition in this tree is defined in an earlier
-	// tree (or is a parameter) and is always available.
-	_ = found
 	return true
 }
 

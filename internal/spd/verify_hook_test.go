@@ -1,0 +1,41 @@
+package spd
+
+import (
+	"testing"
+
+	"specdis/internal/ir"
+	"specdis/internal/verify"
+)
+
+// TestApplyRecordsPairsAndVerifies checks that a transformed tree carries
+// the original/duplicate pair records the safety checker needs, and that
+// the transform's output satisfies every checker.
+func TestApplyRecordsPairsAndVerifies(t *testing.T) {
+	for _, fwd := range []bool{false, true} {
+		tr, arc := rawTree()
+		// The fixture's address and value registers are live-ins; declare
+		// them so the def-before-use check knows they are defined.
+		tr.Fn.Params = []ir.Reg{0, 1, 2}
+		info, err := ApplyInfo(tr, arc, fwd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(info.Pairs) == 0 {
+			t.Fatal("transform recorded no original/duplicate pairs")
+		}
+		for _, p := range info.Pairs {
+			if tr.OpByID(p.Orig) == nil || tr.OpByID(p.Dup) == nil {
+				t.Fatalf("pair (%%%d, %%%d) references missing ops", p.Orig, p.Dup)
+			}
+		}
+		if fs := verify.CheckTree(tr); len(fs) != 0 {
+			t.Fatalf("forwarding=%v: structural findings: %v", fwd, fs)
+		}
+		if fs := verify.CheckSpecTree(tr); len(fs) != 0 {
+			t.Fatalf("forwarding=%v: spec findings: %v", fwd, fs)
+		}
+		if fs := verify.CheckSpecPairs(tr, info.Pairs); len(fs) != 0 {
+			t.Fatalf("forwarding=%v: pair findings: %v", fwd, fs)
+		}
+	}
+}

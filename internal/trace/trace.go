@@ -110,6 +110,17 @@ type HistEntry struct {
 	Count int64
 }
 
+// Bit reports whether the k-th guarded op (in Seq order — the wire
+// contract for commit bits) committed in this pattern. Bits beyond the
+// recorded slice are 0: a pattern records only as many bytes as its tree
+// has guarded ops.
+func (e HistEntry) Bit(k int) bool {
+	if k < 0 || k>>3 >= len(e.Bits) {
+		return false
+	}
+	return e.Bits[k>>3]&(1<<uint(k&7)) != 0
+}
+
 // Hist is the aggregated view of a trace: one entry per distinct tree
 // execution pattern, in first-appearance order, plus the call-framing facts a
 // replayer validates. Because cycle pricing is a pure function of the pattern

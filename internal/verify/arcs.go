@@ -1,0 +1,205 @@
+package verify
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+	"specdis/internal/trace"
+)
+
+// This file audits dependence soundness across disambiguators. The paper's
+// §2 contract is that a disambiguator may only remove superfluous arcs —
+// dependences that can never occur. Three checks enforce it after the fact:
+//
+//   - Lattice: a refined program's arc set is a subset of its base's,
+//     arc-wise per tree (NAIVE ⊇ STATIC ⊇ SPEC). A refinement that *adds*
+//     an ordering between pre-existing ops invented a dependence.
+//
+//   - Removed-arc audit: any arc the base carries and the refinement
+//     dropped must never have been observed aliasing at runtime. A removed
+//     arc with a nonzero profiled alias count is a hard soundness violation
+//     (distinct from PERFECT's removals, which are justified precisely by a
+//     zero alias count over the profiled run).
+//
+//   - Count cross-check: the profiled ExecCount of every arc must equal the
+//     both-endpoints-committed count recomputed independently from the
+//     trace histogram of the same run — the profiling pass and the trace
+//     recorder must agree on what committed.
+//
+// Arcs are keyed by endpoint op IDs, which are stable across pipelines: all
+// four disambiguators compile the same source deterministically, and SpD
+// allocates strictly fresh IDs for the ops it adds.
+
+// arcKey identifies an arc by its endpoints and kind.
+type arcKey struct {
+	from, to int
+	kind     ir.DepKind
+}
+
+func arcKeys(t *ir.Tree) map[arcKey]*ir.MemArc {
+	m := make(map[arcKey]*ir.MemArc, len(t.Arcs))
+	for _, a := range t.Arcs {
+		if a != nil && a.From != nil && a.To != nil {
+			m[arcKey{a.From.ID, a.To.ID, a.Kind}] = a
+		}
+	}
+	return m
+}
+
+func treeFinding(t *ir.Tree, check, format string, args ...any) Finding {
+	return Finding{
+		Check: check,
+		Func:  t.Fn.Name,
+		Tree:  fmt.Sprintf("T%d(%s)", t.ID, t.Name),
+		Msg:   fmt.Sprintf(format, args...),
+	}
+}
+
+// CheckLattice verifies refined ⊆ base arc-wise for one tree pair: every
+// arc of the refined tree between ops that already existed in the base tree
+// must be present in the base. Arcs with at least one endpoint added by a
+// transformation (ID unknown to the base tree) are exempt — those orderings
+// are the transformation's own, inherited per §4's rules.
+func CheckLattice(base, refined *ir.Tree, baseName, refinedName string) []Finding {
+	var out []Finding
+	baseOps := map[int]bool{}
+	for _, op := range base.Ops {
+		if op != nil {
+			baseOps[op.ID] = true
+		}
+	}
+	baseArcs := arcKeys(base)
+	for _, a := range refined.Arcs {
+		if a == nil || a.From == nil || a.To == nil {
+			continue // reported by CheckTree
+		}
+		if !baseOps[a.From.ID] || !baseOps[a.To.ID] {
+			continue
+		}
+		if _, ok := baseArcs[arcKey{a.From.ID, a.To.ID, a.Kind}]; !ok {
+			out = append(out, treeFinding(refined, "arcs/lattice",
+				"%s carries arc %s between ops that exist in %s, but %s has no such arc",
+				refinedName, a, baseName, baseName))
+		}
+	}
+	return out
+}
+
+// AuditRemovedArcs flags every arc present in base but absent from refined
+// whose base-side profile observed the endpoints aliasing. Such an arc is a
+// real dependence the refinement erased — the hard violation the paper's
+// superfluous-arc rule forbids. Arcs never profiled (ExecCount == 0) or
+// never seen aliasing cannot be judged and pass.
+//
+// This audit applies to refinements that claim their removals are *proofs*
+// (static disambiguation) or *profile-justified* (the PERFECT oracle). Do
+// not run it against SpD output: SpD removes arcs precisely because it
+// guards the speculation at run time.
+func AuditRemovedArcs(base, refined *ir.Tree, baseName, refinedName string) []Finding {
+	var out []Finding
+	refinedArcs := arcKeys(refined)
+	for _, a := range base.Arcs {
+		if a == nil || a.From == nil || a.To == nil {
+			continue
+		}
+		if _, kept := refinedArcs[arcKey{a.From.ID, a.To.ID, a.Kind}]; kept {
+			continue
+		}
+		if a.AliasCount > 0 {
+			out = append(out, treeFinding(base, "arcs/unsound-removal",
+				"%s removed arc %s, but %s profiling observed its references aliasing %d of %d times",
+				refinedName, a, baseName, a.AliasCount, a.ExecCount))
+		}
+	}
+	return out
+}
+
+// CompareArcPrograms runs CheckLattice — and, when auditRemovals is set,
+// AuditRemovedArcs — over every tree pair of two programs compiled from the
+// same source. Trees are matched positionally (function order and tree IDs
+// are deterministic across pipelines).
+func CompareArcPrograms(base, refined *ir.Program, baseName, refinedName string, auditRemovals bool) []Finding {
+	var out []Finding
+	for _, name := range base.Order {
+		bf, rf := base.Funcs[name], refined.Funcs[name]
+		if rf == nil {
+			out = append(out, Finding{Check: "arcs/missing-func", Func: name,
+				Msg: fmt.Sprintf("%s lacks function %q present in %s", refinedName, name, baseName)})
+			continue
+		}
+		if len(bf.Trees) != len(rf.Trees) {
+			out = append(out, Finding{Check: "arcs/tree-count", Func: name,
+				Msg: fmt.Sprintf("%s has %d trees, %s has %d", baseName, len(bf.Trees), refinedName, len(rf.Trees))})
+			continue
+		}
+		for i := range bf.Trees {
+			out = append(out, CheckLattice(bf.Trees[i], rf.Trees[i], baseName, refinedName)...)
+			if auditRemovals {
+				out = append(out, AuditRemovedArcs(bf.Trees[i], rf.Trees[i], baseName, refinedName)...)
+			}
+		}
+	}
+	return out
+}
+
+// CrossCheckArcCounts recomputes, from a trace histogram, how often both
+// endpoints of each arc committed on the same tree execution, and compares
+// the result to the arc's profiled ExecCount. The histogram must come from
+// the same interpretation that filled the profile counters (the sim runner
+// records both in one pass); a mismatch means the profiling pass and the
+// trace recorder disagree about what committed. AliasCount cannot be
+// recomputed (the trace carries no addresses) but must never exceed the
+// recomputed execution count.
+func CrossCheckArcCounts(t *ir.Tree, h *trace.Hist) []Finding {
+	var out []Finding
+	if h == nil || len(t.Arcs) == 0 {
+		return nil
+	}
+	guardedIdx := map[int]int{} // op ID -> guarded-op bit index
+	k := 0
+	for _, op := range t.Ops {
+		if op != nil && op.IsGuarded() {
+			guardedIdx[op.ID] = k
+			k++
+		}
+	}
+	// committedCount(op) = executions on which op committed: every execution
+	// for unguarded ops, the bit-set ones for guarded ops.
+	counts := make([]int64, len(t.Arcs))
+	for _, e := range h.Entries {
+		if e.Idx != t.PIdx {
+			continue
+		}
+		for i, a := range t.Arcs {
+			if a == nil || a.From == nil || a.To == nil {
+				continue
+			}
+			fromOK, toOK := true, true
+			if k, ok := guardedIdx[a.From.ID]; ok {
+				fromOK = e.Bit(k)
+			}
+			if k, ok := guardedIdx[a.To.ID]; ok {
+				toOK = e.Bit(k)
+			}
+			if fromOK && toOK {
+				counts[i] += e.Count
+			}
+		}
+	}
+	for i, a := range t.Arcs {
+		if a == nil || a.From == nil || a.To == nil {
+			continue
+		}
+		if counts[i] != a.ExecCount {
+			out = append(out, treeFinding(t, "arcs/count-mismatch",
+				"arc %s: profile says both endpoints committed %d time(s), trace replay says %d",
+				a, a.ExecCount, counts[i]))
+		}
+		if a.AliasCount > counts[i] {
+			out = append(out, treeFinding(t, "arcs/alias-overcount",
+				"arc %s: alias count %d exceeds the %d executions on which both endpoints committed",
+				a, a.AliasCount, counts[i]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"specdis/internal/ir"
+)
+
+// boolAnalysis decides, function-wide, whether a register only ever holds a
+// boolean (0/1) value. A register is boolean iff it has at least one
+// definition and every definition is boolean-producing:
+//
+//   - a compare (integer or floating) — the machine defines these as 0/1;
+//   - boolean logic (bnot/band/bandnot) — by construction over booleans;
+//   - and/or/xor of two boolean operands (if-conversion lowers && and ||
+//     this way);
+//   - a 0/1 constant;
+//   - a move of a boolean (merge moves copy guard values between paths).
+//
+// The analysis is cycle-tolerant: a definition chain that loops back to a
+// register currently being decided (a loop-carried merge) assumes the
+// in-progress register is boolean; any non-boolean producer on the cycle
+// still poisons the whole strongly connected group.
+type boolAnalysis struct {
+	fn   *ir.Function
+	defs map[ir.Reg][]*ir.Op
+	memo map[ir.Reg]bool
+	busy map[ir.Reg]bool
+}
+
+func newBoolAnalysis(fn *ir.Function) *boolAnalysis {
+	a := &boolAnalysis{
+		fn:   fn,
+		defs: map[ir.Reg][]*ir.Op{},
+		memo: map[ir.Reg]bool{},
+		busy: map[ir.Reg]bool{},
+	}
+	for _, t := range fn.Trees {
+		for _, op := range t.Ops {
+			if op != nil && op.Dest != ir.NoReg {
+				a.defs[op.Dest] = append(a.defs[op.Dest], op)
+			}
+		}
+	}
+	return a
+}
+
+func (a *boolAnalysis) regBool(r ir.Reg) bool {
+	if v, ok := a.memo[r]; ok {
+		return v
+	}
+	if a.busy[r] {
+		return true // loop-carried: optimistic; a real violation poisons elsewhere
+	}
+	defs := a.defs[r]
+	if len(defs) == 0 {
+		return false // parameter or undefined: nothing guarantees 0/1
+	}
+	a.busy[r] = true
+	ok := true
+	for _, d := range defs {
+		if !a.opBool(d) {
+			ok = false
+			break
+		}
+	}
+	delete(a.busy, r)
+	a.memo[r] = ok
+	return ok
+}
+
+func (a *boolAnalysis) opBool(op *ir.Op) bool {
+	switch op.Kind {
+	case ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+		ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE:
+		return true
+	case ir.OpBNot:
+		return a.regBool(op.Args[0])
+	case ir.OpBAnd, ir.OpBAndNot:
+		return a.regBool(op.Args[0]) && a.regBool(op.Args[1])
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		return a.regBool(op.Args[0]) && a.regBool(op.Args[1])
+	case ir.OpConst:
+		return op.Imm.I == 0 || op.Imm.I == 1
+	case ir.OpMove:
+		return a.regBool(op.Args[0])
+	case ir.OpExit:
+		// ExitCall return value: opaque, not known boolean.
+		return false
+	}
+	return false
+}
+
+// describeDefs summarizes the kinds defining r, for diagnostics.
+func (a *boolAnalysis) describeDefs(r ir.Reg) string {
+	defs := a.defs[r]
+	if len(defs) == 0 {
+		return "none"
+	}
+	kinds := map[string]bool{}
+	for _, d := range defs {
+		kinds[d.Kind.String()] = true
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%d op(s): %s", len(defs), strings.Join(names, ","))
+}

@@ -1,0 +1,505 @@
+package verify
+
+import (
+	"fmt"
+
+	"specdis/internal/ir"
+	"specdis/internal/trace"
+)
+
+// This file checks the paper's §4 safety argument on SpD output: duplicated
+// code commits only under the matching outcome of an address compare, the
+// two copies are mutually exclusive, and no side effect escapes its guard.
+//
+// The static half works on guard *literals*: a guard register is decomposed
+// into the conjunction of (register, polarity) conditions it encodes by
+// chasing the single-definition boolean-combinator chains the transformer
+// emits (band, bandnot, bnot, mov). The dynamic half replays trace
+// histograms and confirms the two copies of a pair never committed on the
+// same tree execution.
+
+// literal is one conjunct of a guard condition: register reg holds 1
+// (neg false) or 0 (neg true).
+type literal struct {
+	reg ir.Reg
+	neg bool
+}
+
+// regDefs returns every op of the function defining r.
+func regDefs(fn *ir.Function, r ir.Reg) []*ir.Op {
+	var defs []*ir.Op
+	for _, t := range fn.Trees {
+		for _, op := range t.Ops {
+			if op != nil && op.Dest == r {
+				defs = append(defs, op)
+			}
+		}
+	}
+	return defs
+}
+
+// singleDef returns the unique defining op of r within the function, or nil
+// when r is undefined or multiply defined (decomposition must stop there:
+// the value is merge-dependent and no longer a pure combinator chain).
+func singleDef(fn *ir.Function, r ir.Reg) *ir.Op {
+	defs := regDefs(fn, r)
+	if len(defs) != 1 {
+		return nil
+	}
+	return defs[0]
+}
+
+// pathKey names an assumed path condition: register guard holds 1 (neg
+// false) or 0 (neg true). The aligned-pair analysis of complementaryMerged
+// decomposes definition values under the path on which those definitions
+// commit; nil means no assumption. A key is only ever assumed when its
+// register has a unique unconditional definition point (singleDef), so
+// every read after that point observes the same value per activation.
+type pathKey struct {
+	guard ir.Reg
+	neg   bool
+}
+
+// guardLits decomposes the condition "(r == 1) xor neg" into a conjunction
+// of literals. Conjunctions only arise positively (¬(a∧b) is not a
+// conjunction), so a negated compound is kept atomic. The depth bound stops
+// runaway chains on malformed input.
+func guardLits(fn *ir.Function, r ir.Reg, neg bool, depth int) []literal {
+	return guardLitsUnder(fn, r, neg, depth, nil)
+}
+
+// guardLitsUnder is guardLits under an assumed path condition: a guarded
+// single definition is transparent when its guard is exactly the assumed
+// key (on that path the definition commits), atomic otherwise.
+func guardLitsUnder(fn *ir.Function, r ir.Reg, neg bool, depth int, path *pathKey) []literal {
+	if depth > 64 {
+		return []literal{{r, neg}}
+	}
+	def := singleDef(fn, r)
+	if def == nil {
+		return []literal{{r, neg}}
+	}
+	if def.IsGuarded() &&
+		(path == nil || def.Guard != path.guard || def.GuardNeg != path.neg) {
+		return []literal{{r, neg}}
+	}
+	switch def.Kind {
+	case ir.OpBNot:
+		return guardLitsUnder(fn, def.Args[0], !neg, depth+1, path)
+	case ir.OpMove:
+		return guardLitsUnder(fn, def.Args[0], neg, depth+1, path)
+	case ir.OpBAnd:
+		if !neg {
+			return append(guardLitsUnder(fn, def.Args[0], false, depth+1, path),
+				guardLitsUnder(fn, def.Args[1], false, depth+1, path)...)
+		}
+	case ir.OpBAndNot:
+		if !neg {
+			return append(guardLitsUnder(fn, def.Args[0], false, depth+1, path),
+				guardLitsUnder(fn, def.Args[1], true, depth+1, path)...)
+		}
+	}
+	return []literal{{r, neg}}
+}
+
+// compareRooted reports whether r's value derives entirely from address
+// compares: an integer equality compare, or an and/or/band tree over
+// compare-rooted values (combined speculation's "some pair aliases"
+// disjunction). Chains through moves and bnot are followed. Only
+// single-definition registers qualify: a merge-defined register may be
+// redefined between two readers, so no polarity conclusion drawn from it
+// (in particular mutual exclusion) would be sound.
+func compareRooted(fn *ir.Function, r ir.Reg, depth int) bool {
+	if depth > 64 {
+		return false
+	}
+	def := singleDef(fn, r)
+	if def == nil {
+		return false
+	}
+	switch def.Kind {
+	case ir.OpCmpEQ, ir.OpCmpNE:
+		return true
+	case ir.OpMove, ir.OpBNot:
+		return compareRooted(fn, def.Args[0], depth+1)
+	case ir.OpOr, ir.OpAnd, ir.OpBAnd, ir.OpBAndNot:
+		return compareRooted(fn, def.Args[0], depth+1) &&
+			compareRooted(fn, def.Args[1], depth+1)
+	}
+	return false
+}
+
+// compareDerived reports whether every reaching definition of r
+// incorporates an address compare somewhere in its combinator chain. This
+// is the relaxed form of compareRooted for merge-defined guards: when a
+// later overlapping SpD application duplicates the region computing an
+// earlier application's guard, the guard register gains a second (guarded)
+// definition per path, its polarity becomes path-dependent, and the strict
+// single-definition decomposition stops. Each path's value must still be
+// tied to an address-compare outcome — a conjunct mixing a path condition
+// with a compare qualifies, a chain that never reaches a compare does not.
+func compareDerived(fn *ir.Function, r ir.Reg, depth int) bool {
+	if depth > 64 {
+		return false
+	}
+	defs := regDefs(fn, r)
+	if len(defs) == 0 {
+		return false
+	}
+	for _, def := range defs {
+		ok := false
+		switch def.Kind {
+		case ir.OpCmpEQ, ir.OpCmpNE:
+			ok = true
+		case ir.OpMove, ir.OpBNot:
+			ok = compareDerived(fn, def.Args[0], depth+1)
+		case ir.OpOr, ir.OpAnd, ir.OpBAnd, ir.OpBAndNot:
+			ok = compareDerived(fn, def.Args[0], depth+1) ||
+				compareDerived(fn, def.Args[1], depth+1)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckSpecTree verifies the per-op speculation-safety invariants of a tree
+// that may have been transformed by SpD:
+//
+//   - every side-effecting op classified onto an alias side (SpecSide != 0)
+//     carries a guard — an unguarded store in a duplicated region would
+//     commit on both outcomes (§4.2's guarded-commit requirement);
+//   - the guard's literal set contains a compare-rooted literal of the
+//     matching polarity: positive for the conservative copy (+1), negative
+//     for the speculative no-alias copy (−1) — so the side effect is tied to
+//     an actual address-compare outcome, not an unrelated condition;
+//   - exits never carry a SpecSide (checked structurally by CheckTree too).
+func CheckSpecTree(t *ir.Tree) []Finding {
+	var out []Finding
+	fn := t.Fn
+	fail := func(check, format string, args ...any) {
+		out = append(out, Finding{
+			Check: check,
+			Func:  fn.Name,
+			Tree:  fmt.Sprintf("T%d(%s)", t.ID, t.Name),
+			Msg:   fmt.Sprintf(format, args...),
+		})
+	}
+	for _, op := range t.Ops {
+		if op == nil || op.SpecSide == 0 || !op.Kind.HasSideEffect() {
+			continue
+		}
+		if op.Kind == ir.OpExit {
+			continue // reported as spec/speculative-exit by CheckTree
+		}
+		if !op.IsGuarded() {
+			fail("spec/unguarded-store", "%s %%%d is on alias side %+d but has no guard", op.Kind, op.ID, op.SpecSide)
+			continue
+		}
+		lits := guardLits(fn, op.Guard, op.GuardNeg, 0)
+		wantNeg := op.SpecSide < 0
+		found := false
+		for _, l := range lits {
+			if l.neg == wantNeg && compareRooted(fn, l.reg, 0) {
+				found = true
+				break
+			}
+			// A merge-defined literal (its region was re-duplicated by an
+			// overlapping application) has path-dependent polarity; accept
+			// it when every reaching definition derives from a compare.
+			if singleDef(fn, l.reg) == nil && compareDerived(fn, l.reg, 0) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			pol := "positive"
+			if wantNeg {
+				pol = "negative"
+			}
+			fail("spec/guard-mismatch",
+				"%s %%%d on alias side %+d: guard ?%s has no %s compare-rooted literal",
+				op.Kind, op.ID, op.SpecSide, guardString(op), pol)
+		}
+	}
+	return out
+}
+
+func guardString(op *ir.Op) string {
+	if op.Guard == ir.NoReg {
+		return "-"
+	}
+	neg := ""
+	if op.GuardNeg {
+		neg = "!"
+	}
+	return fmt.Sprintf("%sr%d", neg, op.Guard)
+}
+
+// SpecPair identifies one original/duplicate op pair created by an SpD
+// application, with the compare (or compare-disjunction) register whose
+// outcome separates them. The spd transformer records these so the checker
+// can verify mutual exclusion pair-precisely instead of only per-op.
+type SpecPair struct {
+	Orig, Dup int    // op IDs within the tree
+	Guard     ir.Reg // the deciding compare register (cmp dest, or anyAlias)
+}
+
+// CheckSpecPairs verifies, for each recorded original/duplicate pair:
+// both ops are still present; a duplicate that writes a register writes a
+// fresh one (never the original's destination — that would race the merge);
+// and for side-effecting pairs, the copies' guard literal sets disagree on a
+// shared compare-rooted register (mutual exclusion: one requires it 1, the
+// other 0). Mutual exclusion is a side-effect-safety property: pure copies
+// write distinct registers and may legitimately both execute (chained
+// multi-arc speculation guards copy k by "aliases store k" alone, and two
+// such compares can hold together), so only store/print pairs are tested
+// for exclusion. Pure duplicates are also legitimately unguarded.
+func CheckSpecPairs(t *ir.Tree, pairs []SpecPair) []Finding {
+	var out []Finding
+	fn := t.Fn
+	fail := func(check, format string, args ...any) {
+		out = append(out, Finding{
+			Check: check,
+			Func:  fn.Name,
+			Tree:  fmt.Sprintf("T%d(%s)", t.ID, t.Name),
+			Msg:   fmt.Sprintf(format, args...),
+		})
+	}
+	for _, p := range pairs {
+		orig, dup := t.OpByID(p.Orig), t.OpByID(p.Dup)
+		if orig == nil || dup == nil {
+			fail("spec/missing-pair-op", "pair (%%%d, %%%d): op missing from tree", p.Orig, p.Dup)
+			continue
+		}
+		if dup.Dest != ir.NoReg && dup.Dest == orig.Dest {
+			fail("spec/shared-dest", "duplicate %%%d writes r%d, the same register as original %%%d", dup.ID, dup.Dest, orig.ID)
+		}
+		for _, side := range []*ir.Op{orig, dup} {
+			if side.Kind.HasSideEffect() && !side.IsGuarded() {
+				fail("spec/unguarded-pair", "side-effecting %s %%%d of pair (%%%d, %%%d) is unguarded", side.Kind, side.ID, p.Orig, p.Dup)
+			}
+		}
+		if !orig.Kind.HasSideEffect() || !dup.Kind.HasSideEffect() {
+			continue // pure copies may both execute; nothing to exclude
+		}
+		if !orig.IsGuarded() || !dup.IsGuarded() {
+			continue // already reported as spec/unguarded-pair
+		}
+		if !mutuallyExclusive(t, orig, dup) {
+			fail("spec/not-exclusive",
+				"pair (%%%d ?%s, %%%d ?%s): guards share no same-valued register with opposite polarity",
+				orig.ID, guardString(orig), dup.ID, guardString(dup))
+		}
+	}
+	return out
+}
+
+// mutuallyExclusive reports whether the two ops' guard conditions can never
+// hold together: their literal conjunctions disagree on some shared base
+// register whose value both read identically, or contain a pair of
+// complementary merged registers (see complementaryMerged).
+func mutuallyExclusive(t *ir.Tree, a, b *ir.Op) bool {
+	fn := t.Fn
+	la := guardLits(fn, a.Guard, a.GuardNeg, 0)
+	lb := guardLits(fn, b.Guard, b.GuardNeg, 0)
+	return litsExclusive(t, la, lb, a, b, 0, nil)
+}
+
+// litsExclusive reports whether two literal conjunctions can never hold
+// together. Two witnesses qualify: a shared base register required 1 by one
+// side and 0 by the other — x ∧ ¬x is false for any boolean x, so the
+// register need not be compare-rooted (CheckSpecTree separately ties each
+// guard to an address compare), but both readers must observe the same
+// value of it (stableBetween) — or a pair of distinct positive literals
+// whose registers are complementary merged values (complementaryMerged).
+// A non-nil path restricts the analysis to executions on which that
+// condition holds (see pathKey).
+func litsExclusive(t *ir.Tree, la, lb []literal, ra, rb *ir.Op, depth int, path *pathKey) bool {
+	pol := map[ir.Reg]bool{}
+	for _, l := range la {
+		pol[l.reg] = l.neg
+	}
+	for _, l := range lb {
+		if neg, ok := pol[l.reg]; ok && neg != l.neg && stableBetween(t, l.reg, ra, rb, path) {
+			return true
+		}
+	}
+	if depth > 0 {
+		return false // complementary-merge analysis only at the top level
+	}
+	for _, x := range la {
+		if x.neg {
+			continue
+		}
+		for _, y := range lb {
+			if y.neg || x.reg == y.reg {
+				continue
+			}
+			if complementaryMerged(t, x.reg, y.reg, ra, rb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// complementaryMerged reports whether two registers provably never hold 1
+// together because every execution path writes an exclusive pair of values
+// into them. This is the shape overlapping SpD applications leave behind:
+// re-duplicating the region that computes an earlier application's guards
+// makes each guard register merge-defined — one definition per copy of the
+// region, the original combinator under one outcome of the new deciding
+// compare and a guarded write-back mov under the other. The registers are
+// complementary when their definitions align index-wise in Seq order under
+// identical defining guard conditions (so on any execution the last
+// committed definition of both registers belongs to the same region copy)
+// and each aligned pair's values decompose to literal sets that disagree on
+// a shared same-valued register. All definitions must live in the readers'
+// tree, and each register's definitions must precede its own reader.
+func complementaryMerged(t *ir.Tree, x, y ir.Reg, ra, rb *ir.Op) bool {
+	fn := t.Fn
+	dx, dy := regDefs(fn, x), regDefs(fn, y)
+	if len(dx) == 0 || len(dx) != len(dy) {
+		return false
+	}
+	inT := map[*ir.Op]bool{}
+	for _, op := range t.Ops {
+		inT[op] = true
+	}
+	// Each reader observes the last committed definition of its own
+	// register, so x's definitions must precede ra and y's rb (the other
+	// register's definitions may legitimately come later in Seq order).
+	for _, d := range dx {
+		if !inT[d] || d.Seq >= ra.Seq {
+			return false
+		}
+	}
+	for _, d := range dy {
+		if !inT[d] || d.Seq >= rb.Seq {
+			return false
+		}
+	}
+	for i := range dx {
+		a, b := dx[i], dy[i]
+		if a.Guard != b.Guard || a.GuardNeg != b.GuardNeg {
+			return false // paths do not align
+		}
+		// The aligned definitions commit exactly when their shared guard
+		// holds, so their values may be compared under that assumption —
+		// but only when the guard register has a single unconditional
+		// definition point, so every read of it in the activation agrees.
+		var path *pathKey
+		if a.Guard != ir.NoReg {
+			if kd := singleDef(fn, a.Guard); kd != nil && !kd.IsGuarded() {
+				path = &pathKey{a.Guard, a.GuardNeg}
+			}
+		}
+		if !litsExclusive(t, defValueLits(fn, a, path), defValueLits(fn, b, path), a, b, 1, path) {
+			return false
+		}
+	}
+	return true
+}
+
+// stableBetween reports whether reg holds the same value at both readers:
+// no op of their tree redefines reg strictly between them in Seq order.
+// (Trees execute their whole Seq per activation, so Seq order is execution
+// order; ops of other trees cannot interleave.) Under a non-nil path
+// assumption, a redefinition guarded by the complement of the assumed key
+// cannot commit and is ignored.
+func stableBetween(t *ir.Tree, reg ir.Reg, ra, rb *ir.Op, path *pathKey) bool {
+	lo, hi := ra.Seq, rb.Seq
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for _, op := range t.Ops {
+		if op == nil || op.Dest != reg || op.Seq <= lo || op.Seq >= hi {
+			continue
+		}
+		if path != nil && op.Guard == path.guard && op.GuardNeg == !path.neg {
+			continue // guarded by the complement of the assumed path
+		}
+		return false
+	}
+	return true
+}
+
+// defValueLits decomposes the value a definition op computes into
+// conjunction literals, regardless of the op's own guard (the guard decides
+// whether the definition reaches the merge, which complementaryMerged
+// matches separately via the aligned path key, passed here as path).
+func defValueLits(fn *ir.Function, op *ir.Op, path *pathKey) []literal {
+	switch op.Kind {
+	case ir.OpMove:
+		return guardLitsUnder(fn, op.Args[0], false, 1, path)
+	case ir.OpBNot:
+		return guardLitsUnder(fn, op.Args[0], true, 1, path)
+	case ir.OpBAnd:
+		return append(guardLitsUnder(fn, op.Args[0], false, 1, path),
+			guardLitsUnder(fn, op.Args[1], false, 1, path)...)
+	case ir.OpBAndNot:
+		return append(guardLitsUnder(fn, op.Args[0], false, 1, path),
+			guardLitsUnder(fn, op.Args[1], true, 1, path)...)
+	}
+	return []literal{{op.Dest, false}}
+}
+
+// CheckCommitExclusion is the dynamic counterpart of CheckSpecPairs: it
+// scans a trace histogram and flags any execution pattern in which both
+// copies of a side-effecting guarded pair committed. Commit bit k of a
+// pattern is the k-th guarded op in Seq order (the trace wire contract), so
+// the check maps each pair to its guarded-op indices and tests the two
+// bits. Pure pairs are skipped for the same reason as in CheckSpecPairs.
+// The program must have been indexed (Tree.PIdx) by the run that recorded h.
+func CheckCommitExclusion(t *ir.Tree, pairs []SpecPair, h *trace.Hist) []Finding {
+	var out []Finding
+	if len(pairs) == 0 || h == nil {
+		return nil
+	}
+	guardedIdx := map[int]int{} // op ID -> guarded-op index
+	k := 0
+	for _, op := range t.Ops {
+		if op != nil && op.IsGuarded() {
+			guardedIdx[op.ID] = k
+			k++
+		}
+	}
+	type bitPair struct{ a, b int }
+	var bps []bitPair
+	var ids []SpecPair
+	for _, p := range pairs {
+		orig, dup := t.OpByID(p.Orig), t.OpByID(p.Dup)
+		if orig == nil || dup == nil ||
+			!orig.Kind.HasSideEffect() || !dup.Kind.HasSideEffect() {
+			continue
+		}
+		ka, okA := guardedIdx[p.Orig]
+		kb, okB := guardedIdx[p.Dup]
+		if okA && okB {
+			bps = append(bps, bitPair{ka, kb})
+			ids = append(ids, p)
+		}
+	}
+	if len(bps) == 0 {
+		return nil
+	}
+	for _, e := range h.Entries {
+		if e.Idx != t.PIdx {
+			continue
+		}
+		for i, bp := range bps {
+			if e.Bit(bp.a) && e.Bit(bp.b) {
+				out = append(out, Finding{
+					Check: "spec/double-commit",
+					Func:  t.Fn.Name,
+					Tree:  fmt.Sprintf("T%d(%s)", t.ID, t.Name),
+					Msg: fmt.Sprintf("pair (%%%d, %%%d) committed together %d time(s) on exit %d",
+						ids[i].Orig, ids[i].Dup, e.Count, e.Exit),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,506 @@
+// Package verify is the static correctness backstop for the decision-tree
+// IR and the speculative-disambiguation transform: a structural verifier
+// over trees and programs, a speculation-safety checker for SpD output, and
+// a dependence-soundness auditor over the arc lattice and runtime profiles.
+//
+// The paper's safety argument (§4) rests on two invariants this package
+// machine-checks after the fact:
+//
+//   - Guarded commit: duplicated code may execute speculatively only if the
+//     alias and no-alias copies are guarded by mutually exclusive outcomes of
+//     the same address compare, and every side-effecting operation commits on
+//     exactly the matching outcome.
+//
+//   - Superfluous arcs only: a disambiguator may delete a dependence arc only
+//     if the dependence it represents can never occur; an arc whose endpoints
+//     were observed aliasing at runtime must never be removed by a static
+//     proof.
+//
+// Checks report Findings instead of stopping at the first violation, so a
+// lint pass over a whole benchmark suite surfaces every problem at once. See
+// docs/VERIFIER.md for the invariant catalogue.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"specdis/internal/ir"
+)
+
+// Finding is one invariant violation, with enough context to locate it.
+type Finding struct {
+	// Check is the short invariant identifier, e.g. "struct/seq-order" or
+	// "spec/unguarded-store".
+	Check string
+	// Func and Tree locate the violation ("" when program-wide).
+	Func string
+	Tree string
+	// Msg names the offending op or arc and states the violation.
+	Msg string
+}
+
+func (f Finding) String() string {
+	loc := f.Func
+	if f.Tree != "" {
+		loc += "/" + f.Tree
+	}
+	if loc != "" {
+		loc = " " + loc
+	}
+	return fmt.Sprintf("[%s]%s: %s", f.Check, loc, f.Msg)
+}
+
+// asError folds findings into one error, or nil.
+func asError(fs []Finding) error {
+	if len(fs) == 0 {
+		return nil
+	}
+	lines := make([]string, len(fs))
+	for i, f := range fs {
+		lines[i] = f.String()
+	}
+	return fmt.Errorf("verify: %d finding(s):\n  %s", len(fs), strings.Join(lines, "\n  "))
+}
+
+// Tree runs the structural checks over one tree and returns the violations
+// as a single error, or nil. This is the oracle form used by transform
+// debug hooks and fuzzers.
+func Tree(t *ir.Tree) error { return asError(CheckTree(t)) }
+
+// Program runs the structural checks over a whole program.
+func Program(p *ir.Program) error { return asError(CheckProgram(p)) }
+
+// CheckTree verifies the structural invariants of one decision tree:
+// sequence and ID consistency, block shape, operand arity and register
+// ranges, exit well-formedness, def-before-use, boolean guards, and arc
+// sanity. Program-level facts (exit targets, callee signatures) are checked
+// by CheckProgram.
+func CheckTree(t *ir.Tree) []Finding {
+	c := &treeChecker{t: t, fn: t.Fn}
+	c.fail = func(check, format string, args ...any) {
+		c.out = append(c.out, Finding{
+			Check: check,
+			Func:  c.fn.Name,
+			Tree:  fmt.Sprintf("T%d(%s)", t.ID, t.Name),
+			Msg:   fmt.Sprintf(format, args...),
+		})
+	}
+	c.run()
+	return c.out
+}
+
+type treeChecker struct {
+	t    *ir.Tree
+	fn   *ir.Function
+	out  []Finding
+	fail func(check, format string, args ...any)
+}
+
+// opArity gives the expected operand count per kind; -1 means "not fixed
+// here" (exits vary by exit kind and are checked separately).
+func opArity(k ir.OpKind) int {
+	switch k {
+	case ir.OpNop, ir.OpConst:
+		return 0
+	case ir.OpMove, ir.OpNeg, ir.OpNot, ir.OpBNot, ir.OpFNeg,
+		ir.OpCvtIF, ir.OpCvtFI, ir.OpSqrt, ir.OpFAbs, ir.OpSin, ir.OpCos,
+		ir.OpExp, ir.OpLog, ir.OpLoad, ir.OpPrint:
+		return 1
+	case ir.OpExit:
+		return -1
+	}
+	return 2 // ALU, boolean, compare, store
+}
+
+func (c *treeChecker) run() {
+	t, fn := c.t, c.fn
+	if len(t.Ops) == 0 {
+		c.fail("struct/empty", "tree has no operations")
+		return
+	}
+	c.checkBlocks()
+
+	seen := map[int]bool{}
+	var exits []*ir.Op
+	inTree := make(map[*ir.Op]bool, len(t.Ops))
+	for i, op := range t.Ops {
+		if op == nil {
+			c.fail("struct/nil-op", "op slot %d is nil", i)
+			return
+		}
+		inTree[op] = true
+		if op.Seq != i {
+			c.fail("struct/seq-order", "op %%%d has Seq %d at index %d", op.ID, op.Seq, i)
+		}
+		if seen[op.ID] {
+			c.fail("struct/dup-id", "op ID %d appears twice", op.ID)
+		}
+		seen[op.ID] = true
+		if op.ID < 0 || op.ID >= t.IDBound() {
+			c.fail("struct/foreign-op", "op %%%d outside the tree's ID range [0,%d)", op.ID, t.IDBound())
+		}
+		if op.Kind == ir.OpExit {
+			exits = append(exits, op)
+		}
+		c.checkOperands(op)
+	}
+	c.checkExits(exits)
+	c.checkDefBeforeUse()
+	c.checkGuards()
+	c.checkArcs(inTree)
+	_ = fn
+}
+
+func (c *treeChecker) checkBlocks() {
+	t := c.t
+	if len(t.Blocks) == 0 {
+		c.fail("struct/no-blocks", "tree has no blocks")
+		return
+	}
+	if t.Blocks[0].Parent != -1 {
+		c.fail("struct/block-root", "block 0 has parent %d, want -1", t.Blocks[0].Parent)
+	}
+	for i, b := range t.Blocks {
+		if b.ID != i {
+			c.fail("struct/block-id", "block at index %d has ID %d", i, b.ID)
+		}
+		if i > 0 && (b.Parent < 0 || b.Parent >= i) {
+			c.fail("struct/block-parent", "block %d has parent %d (must be an earlier block)", i, b.Parent)
+		}
+		if b.Guard != ir.NoReg && !c.regOK(b.Guard) {
+			c.fail("struct/block-guard", "block %d guard r%d outside the register file", i, b.Guard)
+		}
+	}
+	for _, op := range t.Ops {
+		if op != nil && (op.Block < 0 || op.Block >= len(t.Blocks)) {
+			c.fail("struct/orphan-block", "op %%%d placed in missing block %d", op.ID, op.Block)
+		}
+	}
+}
+
+func (c *treeChecker) regOK(r ir.Reg) bool {
+	return r >= 0 && int(r) < c.fn.NumRegs
+}
+
+func (c *treeChecker) checkOperands(op *ir.Op) {
+	for i, a := range op.Args {
+		if a == ir.NoReg {
+			c.fail("struct/dangling-arg", "op %%%d arg %d is NoReg", op.ID, i)
+		} else if !c.regOK(a) {
+			c.fail("struct/reg-range", "op %%%d arg %d reads r%d outside the register file (%d regs)", op.ID, i, a, c.fn.NumRegs)
+		}
+	}
+	for i, a := range op.CallArg {
+		if a == ir.NoReg || !c.regOK(a) {
+			c.fail("struct/reg-range", "op %%%d call arg %d is r%d, outside the register file", op.ID, i, a)
+		}
+	}
+	if op.Dest != ir.NoReg && !c.regOK(op.Dest) {
+		c.fail("struct/reg-range", "op %%%d writes r%d outside the register file (%d regs)", op.ID, op.Dest, c.fn.NumRegs)
+	}
+	if op.Guard != ir.NoReg && !c.regOK(op.Guard) {
+		c.fail("struct/reg-range", "op %%%d guard r%d outside the register file", op.ID, op.Guard)
+	}
+	if want := opArity(op.Kind); want >= 0 && len(op.Args) != want {
+		c.fail("struct/arity", "op %%%d (%s) has %d args, want %d", op.ID, op.Kind, len(op.Args), want)
+	}
+	if op.Kind == ir.OpLoad && op.Dest == ir.NoReg {
+		c.fail("struct/arity", "load %%%d has no destination", op.ID)
+	}
+	if op.Kind == ir.OpStore && op.Dest != ir.NoReg {
+		c.fail("struct/arity", "store %%%d has destination r%d", op.ID, op.Dest)
+	}
+	if op.Kind == ir.OpExit {
+		switch op.Exit {
+		case ir.ExitGoto:
+			if len(op.Args) != 0 {
+				c.fail("struct/arity", "goto exit %%%d carries %d args", op.ID, len(op.Args))
+			}
+		case ir.ExitRet:
+			if len(op.Args) > 1 {
+				c.fail("struct/arity", "ret exit %%%d carries %d args, want at most 1", op.ID, len(op.Args))
+			}
+		case ir.ExitCall:
+		default:
+			c.fail("struct/exit-kind", "exit %%%d has unknown exit kind %d", op.ID, int(op.Exit))
+		}
+	} else if len(op.CallArg) != 0 {
+		c.fail("struct/arity", "non-exit op %%%d carries call args", op.ID)
+	}
+}
+
+// checkExits verifies the exit discipline. Every exit carries its full path
+// condition as its guard, and the interpreter demands that exactly one exit
+// commits per execution. An unguarded exit commits unconditionally, so it is
+// only legal as the tree's sole exit: next to any other exit it would
+// double-commit the moment that exit's condition held.
+func (c *treeChecker) checkExits(exits []*ir.Op) {
+	if len(exits) == 0 {
+		c.fail("struct/no-exit", "tree has no exit")
+		return
+	}
+	if len(exits) > 1 {
+		for _, e := range exits {
+			if e.Guard == ir.NoReg {
+				c.fail("struct/ambiguous-exit", "exit %%%d is unguarded yet the tree has %d exits; it would commit alongside any other taken exit", e.ID, len(exits))
+			}
+		}
+	}
+	for _, e := range exits {
+		if e.SpecSide != 0 {
+			c.fail("spec/speculative-exit", "exit %%%d is marked SpecSide %+d; exits must never be duplicated", e.ID, e.SpecSide)
+		}
+	}
+}
+
+// selfReachable reports whether tree t can execute again before the function
+// returns: some chain of goto/call-continuation exits leads from t back to t.
+// Registers defined only later in such a tree may legitimately be read
+// earlier (a loop-carried value from the previous execution).
+func selfReachable(fn *ir.Function, t *ir.Tree) bool {
+	seen := make([]bool, len(fn.Trees))
+	stack := []int{}
+	push := func(tree *ir.Tree) {
+		for _, op := range tree.Ops {
+			if op == nil || op.Kind != ir.OpExit {
+				continue
+			}
+			switch op.Exit {
+			case ir.ExitGoto, ir.ExitCall:
+				if op.Target >= 0 && op.Target < len(fn.Trees) && !seen[op.Target] {
+					seen[op.Target] = true
+					stack = append(stack, op.Target)
+				}
+			}
+		}
+	}
+	push(t)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fn.Trees[id] == t {
+			return true
+		}
+		push(fn.Trees[id])
+	}
+	return false
+}
+
+// checkDefBeforeUse verifies that every register an op reads has a
+// definition that can precede the read: an earlier op of this tree, a
+// definition in another tree of the function, a function parameter — or,
+// when the tree is reachable from itself, a later op of this tree (a
+// loop-carried value). A register with no definition anywhere is a dangling
+// operand left behind by a buggy clone or graft.
+func (c *treeChecker) checkDefBeforeUse() {
+	t, fn := c.t, c.fn
+	isParam := map[ir.Reg]bool{}
+	for _, p := range fn.Params {
+		isParam[p] = true
+	}
+	// definedBefore[r] for the current scan position; elsewhere[r] counts
+	// definitions outside this tree.
+	elsewhere := map[ir.Reg]bool{}
+	inTreeDef := map[ir.Reg]bool{}
+	for _, tr := range fn.Trees {
+		for _, op := range tr.Ops {
+			if op == nil || op.Dest == ir.NoReg {
+				continue
+			}
+			if tr == t {
+				inTreeDef[op.Dest] = true
+			} else {
+				elsewhere[op.Dest] = true
+			}
+		}
+	}
+	loopCarried := selfReachable(fn, t)
+
+	definedBefore := map[ir.Reg]bool{}
+	checkRead := func(op *ir.Op, r ir.Reg, what string) {
+		if r == ir.NoReg || !c.regOK(r) {
+			return // reported by checkOperands
+		}
+		if definedBefore[r] || isParam[r] || elsewhere[r] {
+			return
+		}
+		if inTreeDef[r] {
+			if !loopCarried {
+				c.fail("struct/use-before-def", "op %%%d reads %s r%d before its only definition (tree is not self-reaching)", op.ID, what, r)
+			}
+			return
+		}
+		c.fail("struct/undefined-reg", "op %%%d reads %s r%d, which no op or parameter defines", op.ID, what, r)
+	}
+	for _, op := range t.Ops {
+		if op == nil {
+			continue
+		}
+		for _, a := range op.Args {
+			checkRead(op, a, "operand")
+		}
+		for _, a := range op.CallArg {
+			checkRead(op, a, "call operand")
+		}
+		if op.Guard != ir.NoReg {
+			checkRead(op, op.Guard, "guard")
+		}
+		if op.Dest != ir.NoReg {
+			definedBefore[op.Dest] = true
+		}
+	}
+}
+
+// checkGuards verifies that every guard operand — op guards and block
+// selection conditions — is produced exclusively by boolean-producing
+// operations (compares, boolean logic over booleans, 0/1 constants, moves
+// of booleans). A guard fed by arbitrary arithmetic would commit on any
+// nonzero bit pattern, which the masking hardware model does not define.
+func (c *treeChecker) checkGuards() {
+	ba := newBoolAnalysis(c.fn)
+	for _, op := range c.t.Ops {
+		if op == nil || op.Guard == ir.NoReg || !c.regOK(op.Guard) {
+			continue
+		}
+		if !ba.regBool(op.Guard) {
+			c.fail("struct/non-boolean-guard", "op %%%d guard r%d is not produced by a boolean op (defs: %s)", op.ID, op.Guard, ba.describeDefs(op.Guard))
+		}
+	}
+	for i, b := range c.t.Blocks {
+		if b.Guard == ir.NoReg || !c.regOK(b.Guard) {
+			continue
+		}
+		if !ba.regBool(b.Guard) {
+			c.fail("struct/non-boolean-guard", "block %d condition r%d is not produced by a boolean op (defs: %s)", i, b.Guard, ba.describeDefs(b.Guard))
+		}
+	}
+}
+
+func (c *treeChecker) checkArcs(inTree map[*ir.Op]bool) {
+	t := c.t
+	type arcKey struct {
+		from, to int
+		kind     ir.DepKind
+	}
+	seen := map[arcKey]bool{}
+	for _, a := range t.Arcs {
+		if a == nil || a.From == nil || a.To == nil {
+			c.fail("struct/nil-arc", "arc with nil endpoint")
+			continue
+		}
+		if !inTree[a.From] || !inTree[a.To] {
+			c.fail("struct/dangling-arc", "arc %s references an op no longer in the tree", a)
+			continue
+		}
+		if a.From == a.To {
+			c.fail("struct/self-arc", "arc %s joins an op to itself", a)
+		}
+		if a.From.Seq >= a.To.Seq {
+			c.fail("struct/arc-order", "arc %s is not in Seq order (%d >= %d)", a, a.From.Seq, a.To.Seq)
+		}
+		if !a.From.Kind.IsMem() || !a.To.Kind.IsMem() {
+			c.fail("struct/arc-endpoint", "arc %s endpoint is not a memory op (%s -> %s)", a, a.From.Kind, a.To.Kind)
+			continue
+		}
+		if kind, ok := classifyPair(a.From, a.To); !ok || kind != a.Kind {
+			c.fail("struct/arc-kind", "arc %s is labelled %s but its endpoints form a %v pair", a, a.Kind, kindName(a.From, a.To))
+		}
+		k := arcKey{a.From.ID, a.To.ID, a.Kind}
+		if seen[k] {
+			c.fail("struct/dup-arc", "arc %s appears twice", a)
+		}
+		seen[k] = true
+		if a.AliasCount > a.ExecCount || a.AliasCount < 0 || a.ExecCount < 0 {
+			c.fail("struct/arc-counters", "arc %s has alias count %d of %d executions", a, a.AliasCount, a.ExecCount)
+		}
+	}
+}
+
+func classifyPair(from, to *ir.Op) (ir.DepKind, bool) {
+	switch {
+	case from.Kind == ir.OpStore && to.Kind == ir.OpLoad:
+		return ir.DepRAW, true
+	case from.Kind == ir.OpLoad && to.Kind == ir.OpStore:
+		return ir.DepWAR, true
+	case from.Kind == ir.OpStore && to.Kind == ir.OpStore:
+		return ir.DepWAW, true
+	}
+	return 0, false
+}
+
+func kindName(from, to *ir.Op) string {
+	if k, ok := classifyPair(from, to); ok {
+		return k.String()
+	}
+	return fmt.Sprintf("%s/%s", from.Kind, to.Kind)
+}
+
+// CheckProgram verifies program-wide invariants on top of CheckTree: the
+// main function and exit targets exist, callee signatures match call sites,
+// tree IDs index their slice, and the global memory layout is coherent.
+func CheckProgram(p *ir.Program) []Finding {
+	var out []Finding
+	fail := func(fn, tree, check, format string, args ...any) {
+		out = append(out, Finding{Check: check, Func: fn, Tree: tree, Msg: fmt.Sprintf(format, args...)})
+	}
+	if _, ok := p.Funcs[p.Main]; !ok {
+		fail("", "", "prog/no-main", "main function %q missing", p.Main)
+	}
+	if len(p.Order) != len(p.Funcs) {
+		fail("", "", "prog/order", "Order lists %d functions, Funcs holds %d", len(p.Order), len(p.Funcs))
+	}
+	var end int64
+	for _, g := range p.Globals {
+		if g.Base < 0 || g.Size < 0 || g.Base+g.Size > p.MemSize {
+			fail("", "", "prog/global-bounds", "global %s [%d,%d) outside memory of %d words", g.Name, g.Base, g.Base+g.Size, p.MemSize)
+		}
+		if g.Base < end {
+			fail("", "", "prog/global-overlap", "global %s at base %d overlaps the previous global ending at %d", g.Name, g.Base, end)
+		}
+		if int64(len(g.Init)) > g.Size {
+			fail("", "", "prog/global-init", "global %s has %d initializers for %d words", g.Name, len(g.Init), g.Size)
+		}
+		end = g.Base + g.Size
+	}
+	for _, name := range p.Order {
+		f, ok := p.Funcs[name]
+		if !ok {
+			fail(name, "", "prog/order", "Order names %q but Funcs lacks it", name)
+			continue
+		}
+		if f.Entry < 0 || f.Entry >= len(f.Trees) {
+			fail(name, "", "prog/entry", "entry tree %d out of range [0,%d)", f.Entry, len(f.Trees))
+		}
+		for i, t := range f.Trees {
+			if t.ID != i {
+				fail(name, "", "prog/tree-id", "tree at index %d has ID %d", i, t.ID)
+			}
+			if t.Fn != f {
+				fail(name, fmt.Sprintf("T%d(%s)", t.ID, t.Name), "prog/tree-fn", "tree's Fn pointer is not its owning function")
+			}
+			out = append(out, CheckTree(t)...)
+			treeLbl := fmt.Sprintf("T%d(%s)", t.ID, t.Name)
+			for _, op := range t.Ops {
+				if op == nil || op.Kind != ir.OpExit {
+					continue
+				}
+				switch op.Exit {
+				case ir.ExitGoto, ir.ExitCall:
+					if op.Target < 0 || op.Target >= len(f.Trees) {
+						fail(name, treeLbl, "prog/exit-target", "exit %%%d targets missing tree %d", op.ID, op.Target)
+					}
+				}
+				if op.Exit == ir.ExitCall {
+					callee, ok := p.Funcs[op.Callee]
+					if !ok {
+						fail(name, treeLbl, "prog/missing-callee", "exit %%%d calls missing function %q", op.ID, op.Callee)
+					} else if len(op.CallArg) != len(callee.Params) {
+						fail(name, treeLbl, "prog/call-arity", "exit %%%d passes %d args to %s, which takes %d", op.ID, len(op.CallArg), op.Callee, len(callee.Params))
+					}
+				}
+			}
+		}
+	}
+	return out
+}

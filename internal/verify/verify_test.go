@@ -1,0 +1,526 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"specdis/internal/compile"
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+	"specdis/internal/spd"
+	"specdis/internal/trace"
+	"specdis/internal/verify"
+)
+
+// testSrc has an ambiguous cross-parameter RAW (static disambiguation cannot
+// separate a[] from b[]), a guarded store inside an if, and an aliasing call
+// so profiling observes real aliases.
+const testSrc = `
+int A[16];
+int B[16];
+
+int kernel(int a[], int b[], int i, int j) {
+	a[i] = a[i] + 3;
+	int v = b[j];
+	if (v > 8) {
+		a[j] = v;
+	}
+	return v * 2;
+}
+
+void main() {
+	for (int k = 0; k < 16; k = k + 1) {
+		A[k] = k;
+		B[k] = 2 * k;
+	}
+	int s = 0;
+	for (int k = 0; k < 8; k = k + 1) {
+		s = s + kernel(A, B, k, k + 1);
+		s = s + kernel(A, A, k, k);
+	}
+	print(s);
+}
+`
+
+func mustCompile(t *testing.T) *ir.Program {
+	t.Helper()
+	p, err := compile.Compile(testSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// wantFinding asserts that some finding carries the check ID and mentions
+// substr (the op or arc the diagnostic must name).
+func wantFinding(t *testing.T, fs []verify.Finding, check, substr string) {
+	t.Helper()
+	for _, f := range fs {
+		if f.Check == check && strings.Contains(f.Msg, substr) {
+			return
+		}
+	}
+	t.Errorf("no finding [%s] mentioning %q; got %v", check, substr, fs)
+}
+
+func wantClean(t *testing.T, fs []verify.Finding) {
+	t.Helper()
+	if len(fs) != 0 {
+		t.Errorf("expected no findings, got %d:\n%v", len(fs), fs)
+	}
+}
+
+// anyTree returns a tree of the program containing at least one memory arc.
+func anyTree(t *testing.T, p *ir.Program) *ir.Tree {
+	t.Helper()
+	for _, name := range p.Order {
+		for _, tr := range p.Funcs[name].Trees {
+			if len(tr.Arcs) > 0 {
+				return tr
+			}
+		}
+	}
+	t.Fatal("no tree with arcs")
+	return nil
+}
+
+func TestCompiledProgramIsClean(t *testing.T) {
+	p := mustCompile(t)
+	wantClean(t, verify.CheckProgram(p))
+	for _, name := range p.Order {
+		for _, tr := range p.Funcs[name].Trees {
+			wantClean(t, verify.CheckSpecTree(tr))
+		}
+	}
+}
+
+func TestStructuralRejectsSeededViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, p *ir.Program) *ir.Tree
+		check   string
+		mention string
+	}{
+		{"seq-order", func(t *testing.T, p *ir.Program) *ir.Tree {
+			tr := anyTree(t, p)
+			tr.Ops[0], tr.Ops[1] = tr.Ops[1], tr.Ops[0] // no Renumber
+			return tr
+		}, "struct/seq-order", "Seq"},
+		{"foreign-op", func(t *testing.T, p *ir.Program) *ir.Tree {
+			tr := anyTree(t, p)
+			op := &ir.Op{ID: tr.IDBound() + 7, Kind: ir.OpNop, Dest: ir.NoReg,
+				Guard: ir.NoReg, Seq: len(tr.Ops)}
+			tr.Ops = append(tr.Ops, op)
+			return tr
+		}, "struct/foreign-op", "ID range"},
+		{"reg-range", func(t *testing.T, p *ir.Program) *ir.Tree {
+			tr := anyTree(t, p)
+			for _, op := range tr.Ops {
+				if len(op.Args) > 0 {
+					op.Args[0] = 9999
+					return tr
+				}
+			}
+			t.Fatal("no op with args")
+			return nil
+		}, "struct/reg-range", "r9999"},
+		{"arity", func(t *testing.T, p *ir.Program) *ir.Tree {
+			tr := anyTree(t, p)
+			for _, op := range tr.Ops {
+				if op.Kind == ir.OpStore {
+					op.Args = op.Args[:1]
+					return tr
+				}
+			}
+			t.Fatal("no store")
+			return nil
+		}, "struct/arity", "store"},
+		{"undefined-reg", func(t *testing.T, p *ir.Program) *ir.Tree {
+			tr := anyTree(t, p)
+			fresh := tr.Fn.NewReg()
+			for _, op := range tr.Ops {
+				if len(op.Args) > 0 {
+					op.Args[0] = fresh
+					return tr
+				}
+			}
+			t.Fatal("no op with args")
+			return nil
+		}, "struct/undefined-reg", "no op or parameter defines"},
+		{"non-boolean-guard", func(t *testing.T, p *ir.Program) *ir.Tree {
+			tr := anyTree(t, p)
+			var add *ir.Op
+			for _, op := range tr.Ops {
+				if op.Kind == ir.OpAdd && op.Dest != ir.NoReg {
+					add = op
+					break
+				}
+			}
+			if add == nil {
+				t.Fatal("no add")
+			}
+			for _, op := range tr.Ops {
+				if op.Kind == ir.OpStore && op.Seq > add.Seq {
+					op.Guard = add.Dest
+					return tr
+				}
+			}
+			t.Fatal("no store after add")
+			return nil
+		}, "struct/non-boolean-guard", "not produced by a boolean op"},
+		{"ambiguous-exit", func(t *testing.T, p *ir.Program) *ir.Tree {
+			for _, name := range p.Order {
+				for _, tr := range p.Funcs[name].Trees {
+					if exits := tr.Exits(); len(exits) > 1 {
+						exits[0].Guard = ir.NoReg
+						return tr
+					}
+				}
+			}
+			t.Fatal("no multi-exit tree")
+			return nil
+		}, "struct/ambiguous-exit", "unguarded"},
+		{"dangling-arc", func(t *testing.T, p *ir.Program) *ir.Tree {
+			tr := anyTree(t, p)
+			ghost := &ir.Op{ID: 0, Kind: ir.OpLoad, Args: []ir.Reg{0},
+				Dest: 0, Guard: ir.NoReg, Seq: -1}
+			tr.Arcs = append(tr.Arcs, &ir.MemArc{From: ghost, To: tr.Arcs[0].To, Kind: ir.DepRAW})
+			return tr
+		}, "struct/dangling-arc", "no longer in the tree"},
+		{"dup-arc", func(t *testing.T, p *ir.Program) *ir.Tree {
+			tr := anyTree(t, p)
+			tr.Arcs = append(tr.Arcs, tr.Arcs[0])
+			return tr
+		}, "struct/dup-arc", "twice"},
+		{"arc-kind", func(t *testing.T, p *ir.Program) *ir.Tree {
+			tr := anyTree(t, p)
+			a := tr.Arcs[0]
+			a.Kind = (a.Kind + 1) % 3
+			return tr
+		}, "struct/arc-kind", "labelled"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mustCompile(t)
+			tr := tc.corrupt(t, p)
+			wantFinding(t, verify.CheckTree(tr), tc.check, tc.mention)
+		})
+	}
+}
+
+// pairTree hand-builds the canonical SpD output shape: an address compare
+// with the conservative copy guarded on "alias" and the speculative copy on
+// "no alias", via a band/bandnot combine chain over a pre-existing guard.
+func pairTree() (*ir.Tree, *ir.Op, *ir.Op, *ir.Op) {
+	fn := &ir.Function{Name: "h"}
+	t := &ir.Tree{Fn: fn, Name: "h.t0"}
+	t.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{t}
+	a0, a1, v := fn.NewReg(), fn.NewReg(), fn.NewReg()
+	fn.Params = []ir.Reg{a0, a1, v}
+	pre := t.NewOp(ir.OpCmpLT, []ir.Reg{v, a0}, fn.NewReg())
+	cmp := t.NewOp(ir.OpCmpEQ, []ir.Reg{a0, a1}, fn.NewReg())
+	orig := t.NewOp(ir.OpStore, []ir.Reg{a0, v}, ir.NoReg)
+	gAlias := t.InsertOp(ir.OpBAnd, []ir.Reg{pre.Dest, cmp.Dest}, fn.NewReg(), orig.Seq)
+	orig.Guard = gAlias.Dest
+	orig.SpecSide = 1
+	dup := t.NewOp(ir.OpStore, []ir.Reg{a1, v}, ir.NoReg)
+	gNoAlias := t.InsertOp(ir.OpBAndNot, []ir.Reg{pre.Dest, cmp.Dest}, fn.NewReg(), dup.Seq)
+	dup.Guard = gNoAlias.Dest
+	dup.SpecSide = -1
+	ex := t.NewOp(ir.OpExit, nil, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	t.BuildMemArcs()
+	return t, orig, dup, cmp
+}
+
+func TestSpecCheckerAcceptsWellFormedPair(t *testing.T) {
+	tr, orig, dup, cmp := pairTree()
+	wantClean(t, verify.CheckTree(tr))
+	wantClean(t, verify.CheckSpecTree(tr))
+	pairs := []verify.SpecPair{{Orig: orig.ID, Dup: dup.ID, Guard: cmp.Dest}}
+	wantClean(t, verify.CheckSpecPairs(tr, pairs))
+}
+
+func TestSpecCheckerRejectsUnguardedStore(t *testing.T) {
+	tr, orig, dup, cmp := pairTree()
+	dup.Guard = ir.NoReg
+	wantFinding(t, verify.CheckSpecTree(tr), "spec/unguarded-store", "store")
+	pairs := []verify.SpecPair{{Orig: orig.ID, Dup: dup.ID, Guard: cmp.Dest}}
+	wantFinding(t, verify.CheckSpecPairs(tr, pairs), "spec/unguarded-pair", "store")
+}
+
+func TestSpecCheckerRejectsSamePolarityGuards(t *testing.T) {
+	tr, orig, dup, cmp := pairTree()
+	// Point the duplicate at the conservative copy's guard: both now commit
+	// on the alias outcome.
+	dup.Guard = orig.Guard
+	dup.SpecSide = 1
+	pairs := []verify.SpecPair{{Orig: orig.ID, Dup: dup.ID, Guard: cmp.Dest}}
+	wantFinding(t, verify.CheckSpecPairs(tr, pairs), "spec/not-exclusive", "opposite polarity")
+}
+
+func TestSpecCheckerRejectsWrongPolarity(t *testing.T) {
+	tr, _, dup, _ := pairTree()
+	// The speculative copy claims side −1 but its guard requires the alias
+	// outcome.
+	dup.SpecSide = -1
+	dup.Guard = ir.NoReg
+	for _, op := range tr.Ops {
+		if op.Kind == ir.OpBAnd {
+			dup.Guard = op.Dest // the alias-side guard
+		}
+	}
+	wantFinding(t, verify.CheckSpecTree(tr), "spec/guard-mismatch", "negative compare-rooted literal")
+}
+
+// mergedPairTree hand-builds the guard shape a later overlapping SpD
+// application leaves behind: the earlier application's guard registers g
+// (conservative store) and h (its ¬g-rooted partner) become merge-defined —
+// one definition per copy of the re-duplicated region, keyed by the new
+// deciding compare c0: the original combinator under c0 and a guarded
+// write-back mov of the duplicate path's recomputation under ¬c0. With
+// complementary true the two paths compute complementary values (h entails
+// ¬g on both), as the transformer emits; with false the ¬c0 path's value
+// for h is rebuilt from g2 positively, so on that path both stores could
+// commit.
+func mergedPairTree(complementary bool) (*ir.Tree, *ir.Op, *ir.Op, *ir.Op) {
+	fn := &ir.Function{Name: "m"}
+	t := &ir.Tree{Fn: fn, Name: "m.t0"}
+	t.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{t}
+	x, y, z, w, v := fn.NewReg(), fn.NewReg(), fn.NewReg(), fn.NewReg(), fn.NewReg()
+	fn.Params = []ir.Reg{x, y, z, w, v}
+
+	c0 := t.NewOp(ir.OpCmpEQ, []ir.Reg{x, y}, fn.NewReg()) // later app's compare
+	g := t.NewOp(ir.OpCmpEQ, []ir.Reg{x, z}, fn.NewReg())  // d0: original compare
+	g.Guard, g.SpecSide = c0.Dest, 1
+	g2 := t.NewOp(ir.OpCmpEQ, []ir.Reg{w, z}, fn.NewReg()) // duplicate-path recompute
+	g2.SpecSide = -1
+	wb := t.NewOp(ir.OpMove, []ir.Reg{g2.Dest}, g.Dest) // d1: write-back merge
+	wb.Guard, wb.GuardNeg, wb.SpecSide = c0.Dest, true, -1
+	orig := t.NewOp(ir.OpStore, []ir.Reg{z, v}, ir.NoReg)
+	orig.Guard, orig.SpecSide = g.Dest, 1
+
+	k := t.NewOp(ir.OpCmpEQ, []ir.Reg{x, w}, fn.NewReg()) // earlier app's other compare
+	n0 := t.NewOp(ir.OpBNot, []ir.Reg{g.Dest}, fn.NewReg())
+	n0.Guard, n0.SpecSide = c0.Dest, 1
+	h := t.NewOp(ir.OpBAnd, []ir.Reg{n0.Dest, k.Dest}, fn.NewReg()) // e0
+	h.Guard, h.SpecSide = c0.Dest, 1
+	src1 := g2.Dest // non-complementary: h2 entails g2, not ¬g2
+	if complementary {
+		n1 := t.NewOp(ir.OpBNot, []ir.Reg{g2.Dest}, fn.NewReg())
+		n1.SpecSide = -1
+		src1 = n1.Dest
+	}
+	h2 := t.NewOp(ir.OpBAnd, []ir.Reg{src1, k.Dest}, fn.NewReg())
+	h2.SpecSide = -1
+	wb2 := t.NewOp(ir.OpMove, []ir.Reg{h2.Dest}, h.Dest) // e1: write-back merge
+	wb2.Guard, wb2.GuardNeg, wb2.SpecSide = c0.Dest, true, -1
+	dup := t.NewOp(ir.OpStore, []ir.Reg{w, v}, ir.NoReg)
+	dup.Guard, dup.SpecSide = h.Dest, 1
+
+	ex := t.NewOp(ir.OpExit, nil, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	t.BuildMemArcs()
+	return t, orig, dup, c0
+}
+
+// TestSpecCheckerAcceptsMergedGuards pins the path-sensitive half of the
+// exclusion analysis: merge-defined guards from overlapping applications are
+// accepted when the aligned per-path values are complementary.
+func TestSpecCheckerAcceptsMergedGuards(t *testing.T) {
+	tr, orig, dup, c0 := mergedPairTree(true)
+	wantClean(t, verify.CheckTree(tr))
+	wantClean(t, verify.CheckSpecTree(tr))
+	pairs := []verify.SpecPair{{Orig: orig.ID, Dup: dup.ID, Guard: c0.Dest}}
+	wantClean(t, verify.CheckSpecPairs(tr, pairs))
+}
+
+// TestSpecCheckerRejectsNonComplementaryMerge seeds the same shape with a
+// broken duplicate path — its value for the partner guard entails the
+// recomputed compare positively instead of negatively — and the exclusion
+// checker must refuse it.
+func TestSpecCheckerRejectsNonComplementaryMerge(t *testing.T) {
+	tr, orig, dup, c0 := mergedPairTree(false)
+	pairs := []verify.SpecPair{{Orig: orig.ID, Dup: dup.ID, Guard: c0.Dest}}
+	wantFinding(t, verify.CheckSpecPairs(tr, pairs), "spec/not-exclusive", "opposite polarity")
+}
+
+// TestSpecCheckerRejectsMisalignedMerge breaks the path alignment instead:
+// the partner guard's write-back fires on the same outcome as the original
+// combinator, so the two registers' last committed definitions need not
+// belong to the same region copy and no exclusion conclusion is sound.
+func TestSpecCheckerRejectsMisalignedMerge(t *testing.T) {
+	tr, orig, dup, c0 := mergedPairTree(true)
+	for _, op := range tr.Ops {
+		if op.Kind == ir.OpMove && op.Dest == dup.Guard {
+			op.GuardNeg = false
+		}
+	}
+	pairs := []verify.SpecPair{{Orig: orig.ID, Dup: dup.ID, Guard: c0.Dest}}
+	wantFinding(t, verify.CheckSpecPairs(tr, pairs), "spec/not-exclusive", "opposite polarity")
+}
+
+func TestCommitExclusionFromTrace(t *testing.T) {
+	tr, orig, dup, cmp := pairTree()
+	pairs := []verify.SpecPair{{Orig: orig.ID, Dup: dup.ID, Guard: cmp.Dest}}
+
+	record := func(bits byte) *trace.Hist {
+		rec := trace.NewRecorder()
+		rec.Tree(tr.PIdx, 0, []byte{bits})
+		h, err := rec.Finish(0, 0).Hist()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	// Guarded ops in Seq order: orig (bit 0), dup (bit 1).
+	wantClean(t, verify.CheckCommitExclusion(tr, pairs, record(0b01)))
+	wantClean(t, verify.CheckCommitExclusion(tr, pairs, record(0b10)))
+	wantFinding(t, verify.CheckCommitExclusion(tr, pairs, record(0b11)),
+		"spec/double-commit", "committed together")
+}
+
+// profileAndRecord runs one interpretation that both fills the program's arc
+// profile counters and records a trace.
+func profileAndRecord(t *testing.T, p *ir.Program) *trace.Hist {
+	t.Helper()
+	rec := trace.NewRecorder()
+	r := &sim.Runner{
+		Prog:   p,
+		SemLat: machine.Infinite(3).LatencyFunc(),
+		Prof:   sim.NewProfile(),
+		Rec:    rec,
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	h, err := rec.Finish(res.Ops, res.Committed).Hist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestArcAuditorFlagsUnsoundRemoval(t *testing.T) {
+	base := mustCompile(t)
+	refined := mustCompile(t)
+	h := profileAndRecord(t, base)
+	_ = h
+
+	// Find a profiled arc that actually aliased, and delete its twin from
+	// the refined program.
+	var victim *ir.MemArc
+	var fname string
+	var tid int
+	for _, name := range base.Order {
+		for _, tr := range base.Funcs[name].Trees {
+			for _, a := range tr.Arcs {
+				if a.AliasCount > 0 {
+					victim, fname, tid = a, name, tr.ID
+				}
+			}
+		}
+	}
+	if victim == nil {
+		t.Fatal("profiling observed no aliasing arc; test program is wrong")
+	}
+	rt := refined.Funcs[fname].Trees[tid]
+	for _, a := range rt.Arcs {
+		if a.From.ID == victim.From.ID && a.To.ID == victim.To.ID && a.Kind == victim.Kind {
+			rt.RemoveArc(a)
+			break
+		}
+	}
+
+	fs := verify.CompareArcPrograms(base, refined, "NAIVE", "STATIC", true)
+	wantFinding(t, fs, "arcs/unsound-removal", victim.String())
+
+	// Without the removal audit (SPEC mode) the lattice alone is still fine.
+	wantClean(t, verify.CompareArcPrograms(base, refined, "NAIVE", "SPEC", false))
+}
+
+func TestLatticeFlagsInventedArc(t *testing.T) {
+	base := mustCompile(t)
+	refined := mustCompile(t)
+	bt := anyTree(t, base)
+	// Delete from the base the twin of an arc the refinement carries: the
+	// refinement now orders two pre-existing ops the base never did.
+	rt := refined.Funcs[bt.Fn.Name].Trees[bt.ID]
+	invented := rt.Arcs[0]
+	bt.RemoveArc(bt.Arcs[0])
+	wantFinding(t, verify.CompareArcPrograms(base, refined, "NAIVE", "STATIC", false),
+		"arcs/lattice", invented.String())
+}
+
+func TestCrossCheckArcCounts(t *testing.T) {
+	p := mustCompile(t)
+	h := profileAndRecord(t, p)
+	var checked *ir.MemArc
+	for _, name := range p.Order {
+		for _, tr := range p.Funcs[name].Trees {
+			wantClean(t, verify.CrossCheckArcCounts(tr, h))
+			for _, a := range tr.Arcs {
+				if a.ExecCount > 0 && checked == nil {
+					checked = a
+				}
+			}
+		}
+	}
+	if checked == nil {
+		t.Fatal("no arc executed")
+	}
+	checked.ExecCount++
+	var fs []verify.Finding
+	for _, name := range p.Order {
+		for _, tr := range p.Funcs[name].Trees {
+			fs = append(fs, verify.CrossCheckArcCounts(tr, h)...)
+		}
+	}
+	wantFinding(t, fs, "arcs/count-mismatch", checked.String())
+}
+
+// TestSpecTransformOutputIsClean is the end-to-end gate: the real SpD
+// transform's output must satisfy every structural and speculation-safety
+// invariant, and corrupting it must be caught.
+func TestSpecTransformOutputIsClean(t *testing.T) {
+	p := mustCompile(t)
+	prof := sim.NewProfile()
+	lat := machine.Infinite(3).LatencyFunc()
+	r := &sim.Runner{Prog: p, SemLat: lat, Prof: prof}
+	if _, err := r.Run(); err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	params := spd.DefaultParams()
+	params.MinGain = 0.01
+	res := spd.Transform(p, prof, lat, params)
+	if len(res.Apps) == 0 {
+		t.Fatal("SpD applied nothing; test program is wrong")
+	}
+	wantClean(t, verify.CheckProgram(p))
+	var specStore *ir.Op
+	for _, name := range p.Order {
+		for _, tr := range p.Funcs[name].Trees {
+			wantClean(t, verify.CheckSpecTree(tr))
+			for _, op := range tr.Ops {
+				if op.SpecSide != 0 && op.Kind.HasSideEffect() && op.IsGuarded() {
+					specStore = op
+				}
+			}
+		}
+	}
+	if specStore == nil {
+		t.Fatal("no guarded side effect on an alias side after SpD")
+	}
+	specStore.Guard = ir.NoReg
+	var fs []verify.Finding
+	for _, name := range p.Order {
+		for _, tr := range p.Funcs[name].Trees {
+			fs = append(fs, verify.CheckSpecTree(tr)...)
+		}
+	}
+	wantFinding(t, fs, "spec/unguarded-store", "no guard")
+}
