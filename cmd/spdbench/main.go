@@ -12,6 +12,7 @@
 //	spdbench -bench fft       # restrict to one benchmark
 //	spdbench -par 4           # evaluation-cell worker pool width (0 = GOMAXPROCS)
 //	spdbench -trace interp    # interpret every timed run instead of trace replay
+//	spdbench -exec tree       # interpret on the reference tree walker instead of bytecode
 //	spdbench -verify          # static verifier after every pipeline stage
 //	spdbench -json            # also write BENCH_spdbench.json with timings
 //	spdbench -cpuprofile f    # write a CPU profile of the run
@@ -23,11 +24,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/debug"
 	"runtime/pprof"
 	"time"
 
 	"specdis/internal/bench"
 	"specdis/internal/exper"
+	"specdis/internal/sim"
 )
 
 // benchReport is the schema of BENCH_spdbench.json: per-experiment wall
@@ -50,6 +53,8 @@ type benchReport struct {
 	SimOps int64 `json:"sim_ops"`
 	// Trace describes the trace-capture & replay backend's work.
 	Trace traceReport `json:"trace"`
+	// Exec describes the execution backend's work.
+	Exec execReport `json:"exec"`
 }
 
 // traceReport is the "trace" section of BENCH_spdbench.json.
@@ -70,17 +75,37 @@ type traceReport struct {
 	InterpCells int64 `json:"interp_cells"`
 }
 
+// execReport is the "exec" section of BENCH_spdbench.json.
+type execReport struct {
+	// Mode is the execution backend the run used: "bcode" or "tree".
+	Mode string `json:"mode"`
+	// TreesCompiled counts decision trees lowered to bytecode; Instrs their
+	// total instruction words; CacheHits the compiled-program lookups served
+	// from a prepared program's cache.
+	TreesCompiled int64 `json:"trees_compiled"`
+	Instrs        int64 `json:"instrs"`
+	CacheHits     int64 `json:"cache_hits"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spdbench: ")
+	// A short-lived batch process with a small live heap: let the heap grow
+	// further between collections instead of spending wall time on GC.
+	// GOGC still overrides when set.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 	only := flag.String("only", "", "run a single experiment: table61|table62|table63|fig62|fig63|fig64|ext|overhead")
 	benchName := flag.String("bench", "", "restrict to one benchmark")
 	maxExpansion := flag.Float64("maxexpansion", 0, "override SpD MaxExpansion")
 	minGain := flag.Float64("mingain", -1, "override SpD MinGain")
 	par := flag.Int("par", 0, "evaluation-cell worker pool width (0 = GOMAXPROCS, 1 = sequential)")
 	traceMode := flag.String("trace", "replay", "timed-simulation backend: replay (capture a trace once, price every model by replay) or interp (interpret every timed run)")
+	execMode := flag.String("exec", "bcode", "execution backend: bcode (compile trees to register-machine bytecode) or tree (reference tree-walking interpreter)")
 	jsonOut := flag.Bool("json", false, "write BENCH_spdbench.json with per-experiment timings")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	verifyFlag := flag.Bool("verify", false, "run the static verifier after every pipeline stage of every cell (debug mode; see internal/verify)")
 	flag.Parse()
 
@@ -94,6 +119,14 @@ func main() {
 		r.TraceReplay = false
 	default:
 		log.Fatalf("unknown -trace mode %q (want replay or interp)", *traceMode)
+	}
+	switch *execMode {
+	case "bcode":
+		r.Exec = sim.ExecBytecode
+	case "tree":
+		r.Exec = sim.ExecTree
+	default:
+		log.Fatalf("unknown -exec mode %q (want bcode or tree)", *execMode)
 	}
 	if *benchName != "" {
 		b := bench.ByName(*benchName)
@@ -119,6 +152,18 @@ func main() {
 			log.Fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}()
 	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
@@ -227,6 +272,12 @@ func main() {
 			Bytes:       st.TraceBytes,
 			ReplayCells: st.ReplayCells,
 			InterpCells: st.InterpCells,
+		}
+		report.Exec = execReport{
+			Mode:          *execMode,
+			TreesCompiled: st.BCodeCompiled,
+			Instrs:        st.BCodeInstrs,
+			CacheHits:     st.BCodeCacheHits,
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -13,6 +13,7 @@
 //
 //	-mem 2,6      memory latencies to lint the SPEC pipeline at
 //	-fus 5        machine width for schedule validation
+//	-exec bcode   execution backend for the dynamic checks: bcode | tree
 //	-v            per-program checker statistics
 //	-corrupt KIND seed a violation before checking (debug: proves the
 //	              checkers catch it): seq | arc
@@ -35,6 +36,7 @@ import (
 	"specdis/internal/compile"
 	"specdis/internal/disamb"
 	"specdis/internal/ir"
+	"specdis/internal/sim"
 )
 
 // target is one MiniC program to lint.
@@ -48,6 +50,7 @@ func main() {
 	log.SetPrefix("spdlint: ")
 	memFlag := flag.String("mem", "2,6", "comma-separated memory latencies to lint the SPEC pipeline at")
 	fus := flag.Int("fus", 5, "machine width for schedule validation")
+	execMode := flag.String("exec", "bcode", "execution backend for the dynamic checks: bcode or tree")
 	verbose := flag.Bool("v", false, "print per-program checker statistics")
 	corrupt := flag.String("corrupt", "", "seed a violation before checking: seq | arc")
 	flag.Parse()
@@ -62,6 +65,14 @@ func main() {
 	}
 
 	opts := disamb.LintOptions{MemLats: memLats, NumFUs: *fus}
+	switch *execMode {
+	case "bcode":
+		opts.Exec = sim.ExecBytecode
+	case "tree":
+		opts.Exec = sim.ExecTree
+	default:
+		log.Fatalf("unknown -exec mode %q (want bcode or tree)", *execMode)
+	}
 	switch *corrupt {
 	case "":
 	case "seq":

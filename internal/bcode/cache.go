@@ -1,0 +1,79 @@
+package bcode
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"specdis/internal/ir"
+)
+
+// Counters accumulate compilation and cache statistics, shared across every
+// cache a benchmark sweep creates (one counter set per exper.Runner). All
+// fields are atomics; a Counters value must not be copied after first use.
+type Counters struct {
+	// Compiled counts trees lowered to bytecode; Instrs their total
+	// instruction words.
+	Compiled, Instrs atomic.Int64
+	// Hits counts Get calls served from the cache without compiling.
+	Hits atomic.Int64
+}
+
+// Cache memoizes compiled trees by program-wide tree index (ir.Tree.PIdx),
+// so each (tree, disambiguator) pair compiles exactly once no matter how
+// many profiling, capture and measurement runs interpret it. Entries are
+// validated against the tree pointer, so a PIdx collision from a different
+// program recompiles instead of mis-executing.
+//
+// A cache must be created after the program's final op-level transformation:
+// it cannot detect in-place mutation of a tree it already compiled (arc-only
+// changes are fine — bytecode never reads arcs). Safe for concurrent use.
+type Cache struct {
+	mu   sync.Mutex
+	ctrs *Counters
+	ents []cacheEnt
+}
+
+type cacheEnt struct {
+	tree *ir.Tree
+	prog *Prog // nil if Compile failed (tree runs on the reference walker)
+	done bool
+}
+
+// NewCache returns an empty cache. ctrs may be nil.
+func NewCache(ctrs *Counters) *Cache { return &Cache{ctrs: ctrs} }
+
+// Get returns the tree's compiled program, compiling on first use. A nil
+// result means the tree is outside the bytecode repertoire and must run on
+// the reference tree walker; that outcome is cached too.
+func (c *Cache) Get(t *ir.Tree) *Prog {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := t.PIdx
+	if i < 0 {
+		return c.compile(t)
+	}
+	if i >= len(c.ents) {
+		c.ents = append(c.ents, make([]cacheEnt, i+1-len(c.ents))...)
+	}
+	e := &c.ents[i]
+	if e.done && e.tree == t {
+		if c.ctrs != nil {
+			c.ctrs.Hits.Add(1)
+		}
+		return e.prog
+	}
+	*e = cacheEnt{tree: t, prog: c.compile(t), done: true}
+	return e.prog
+}
+
+func (c *Cache) compile(t *ir.Tree) *Prog {
+	p, err := Compile(t)
+	if err != nil {
+		return nil
+	}
+	if c.ctrs != nil {
+		c.ctrs.Compiled.Add(1)
+		c.ctrs.Instrs.Add(int64(len(p.Code)))
+	}
+	return p
+}

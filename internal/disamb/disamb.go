@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"specdis/internal/alias"
+	"specdis/internal/bcode"
 	"specdis/internal/compile"
 	"specdis/internal/graft"
 	"specdis/internal/ir"
@@ -80,6 +81,14 @@ type Prepared struct {
 	// MaxOps is Options.MaxOps, carried so Measure and Capture runs share
 	// the preparation's operation budget.
 	MaxOps int64
+	// Exec is the execution backend every interpretation of this preparation
+	// uses (Options.Exec).
+	Exec sim.ExecMode
+	// BCode caches the program's compiled bytecode, created once the final
+	// op-level transformation has run, so every later interpretation of this
+	// preparation — Capture, Measure, verification reruns — shares one
+	// compilation of each tree.
+	BCode *bcode.Cache
 }
 
 // Options configure a pipeline beyond the paper's defaults.
@@ -87,6 +96,12 @@ type Options struct {
 	Kind   Kind
 	MemLat int
 	SpD    spd.Params
+	// Prog, when non-nil, is a pre-compiled program the pipeline takes
+	// ownership of and mutates in place; the source string is then ignored.
+	// Callers preparing several pipelines from one source compile it once and
+	// hand each preparation a private ir.Program.Clone, skipping the repeated
+	// lexing and lowering.
+	Prog *ir.Program
 	// Graft, when non-nil, enlarges decision trees by tail duplication
 	// before disambiguation (the paper's §7 "grafting" extension), for
 	// GraftRounds rounds (default 1).
@@ -106,6 +121,12 @@ type Options struct {
 	// and Capture runs (0 = sim.DefaultMaxOps). The fuzzers set a small
 	// budget so runaway generated programs fail fast.
 	MaxOps int64
+	// Exec selects the execution backend for every interpretation of the
+	// prepared program (zero value: the bytecode engine).
+	Exec sim.ExecMode
+	// ExecCounters, when non-nil, accumulates bytecode compilation and cache
+	// statistics across the preparation and everything derived from it.
+	ExecCounters *bcode.Counters
 }
 
 // verifyStage checks the program's structural and speculation-safety
@@ -138,16 +159,27 @@ func Prepare(src string, kind Kind, memLat int, params spd.Params) (*Prepared, e
 // PrepareOpts is Prepare with extension options.
 func PrepareOpts(src string, o Options) (*Prepared, error) {
 	kind, memLat := o.Kind, o.MemLat
-	prog, err := compile.CompileOpts(src, compile.Options{Verify: o.Verify})
-	if err != nil {
-		return nil, err
+	prog := o.Prog
+	if prog == nil {
+		var err error
+		prog, err = compile.CompileOpts(src, compile.Options{Verify: o.Verify})
+		if err != nil {
+			return nil, err
+		}
 	}
-	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount(), MaxOps: o.MaxOps}
+	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount(), MaxOps: o.MaxOps, Exec: o.Exec}
 	lat := machine.Infinite(memLat).LatencyFunc()
 
 	profileRun := func(rec *trace.Recorder) error {
+		// A profiling run that precedes an op-level transformation (grafting
+		// rounds, SPEC's pre-SpD profile) interprets a program the shared
+		// cache must never see; it compiles into a run-private cache instead.
+		bc := p.BCode
+		if bc == nil {
+			bc = bcode.NewCache(o.ExecCounters)
+		}
 		p.Profile = sim.NewProfile()
-		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec, MaxOps: o.MaxOps}
+		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec, MaxOps: o.MaxOps, Exec: o.Exec, BCode: bc}
 		res, err := r.Run()
 		if err != nil {
 			return fmt.Errorf("%s profiling run: %w", kind, err)
@@ -184,6 +216,14 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 				return nil, err
 			}
 		}
+	}
+
+	// NAIVE, STATIC and PERFECT never change ops past this point (their
+	// transforms are arc-only, and bytecode never reads arcs), so the shared
+	// cache can already serve PERFECT's profiling run. SPEC rewrites ops, so
+	// its cache is created after the transform.
+	if kind != Spec {
+		p.BCode = bcode.NewCache(o.ExecCounters)
 	}
 
 	switch kind {
@@ -237,6 +277,7 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 				return nil, err
 			}
 		}
+		p.BCode = bcode.NewCache(o.ExecCounters)
 	}
 	return p, nil
 }
@@ -298,6 +339,8 @@ func Capture(p *Prepared) (*trace.Trace, error) {
 		SemLat: machine.Infinite(p.MemLat).LatencyFunc(),
 		Rec:    rec,
 		MaxOps: p.MaxOps,
+		Exec:   p.Exec,
+		BCode:  p.BCode,
 	}
 	res, err := r.Run()
 	if err != nil {
@@ -335,6 +378,8 @@ func Measure(p *Prepared, models []machine.Model) (*sim.Result, error) {
 		SemLat: machine.Infinite(p.MemLat).LatencyFunc(),
 		Plans:  Plans(p, models),
 		MaxOps: p.MaxOps,
+		Exec:   p.Exec,
+		BCode:  p.BCode,
 	}
 	res, err := r.Run()
 	if err != nil {

@@ -41,6 +41,10 @@ type LintOptions struct {
 	// caught and reported. A cell whose static checks fail skips its
 	// dynamic half (an ill-formed program cannot be interpreted reliably).
 	Corrupt func(*ir.Program)
+	// Exec selects the execution backend of every dynamic lint
+	// interpretation (zero value: the bytecode engine), so the battery can
+	// be pointed at either engine.
+	Exec sim.ExecMode
 }
 
 // LintStats counts the work a Lint run performed, so callers (and the
@@ -96,7 +100,7 @@ func Lint(src string, o LintOptions) (*LintReport, error) {
 				break
 			}
 			cell := fmt.Sprintf("%s/mem%d", kind, lat)
-			p, err := PrepareOpts(src, Options{Kind: kind, MemLat: lat, SpD: params})
+			p, err := PrepareOpts(src, Options{Kind: kind, MemLat: lat, SpD: params, Exec: o.Exec})
 			if err != nil {
 				return nil, fmt.Errorf("lint %s: %w", cell, err)
 			}

@@ -70,6 +70,11 @@ type Stats struct {
 	TraceEvents, TraceBytes int64
 	// ReplayCells and InterpCells split Measures by simulation backend.
 	ReplayCells, InterpCells int64
+	// BCodeCompiled counts decision trees lowered to bytecode across every
+	// preparation (bytecode backend only); BCodeInstrs their total
+	// instruction words; BCodeCacheHits the tree executions' compiled-program
+	// lookups served from a prepared program's shared cache.
+	BCodeCompiled, BCodeInstrs, BCodeCacheHits int64
 }
 
 // Stats returns a snapshot of the runner's work counters. Safe to call
@@ -88,8 +93,11 @@ func (r *Runner) Stats() Stats {
 		TraceHits:     reqs - captures,
 		TraceEvents:   r.nTraceEvents.Load(),
 		TraceBytes:    r.nTraceBytes.Load(),
-		ReplayCells:   r.nReplayCells.Load(),
-		InterpCells:   r.nInterpCells.Load(),
+		ReplayCells:    r.nReplayCells.Load(),
+		InterpCells:    r.nInterpCells.Load(),
+		BCodeCompiled:  r.bcodeCtrs.Compiled.Load(),
+		BCodeInstrs:    r.bcodeCtrs.Instrs.Load(),
+		BCodeCacheHits: r.bcodeCtrs.Hits.Load(),
 	}
 }
 

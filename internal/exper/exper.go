@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"specdis/internal/bcode"
 	"specdis/internal/bench"
+	"specdis/internal/compile"
 	"specdis/internal/disamb"
+	"specdis/internal/ir"
 	"specdis/internal/machine"
 	"specdis/internal/sim"
 	"specdis/internal/spd"
@@ -58,6 +61,12 @@ type Runner struct {
 	// the first finding. Debug mode (`spdbench -verify`).
 	Verify bool
 
+	// Exec selects the execution backend every interpretation uses (zero
+	// value: the bytecode engine; `spdbench -exec=tree` forces the reference
+	// tree walker). Reports are byte-identical under both backends.
+	Exec sim.ExecMode
+
+	base   group[string, *ir.Program]
 	prep   group[prepKey, *disamb.Prepared]
 	meas   group[prepKey, *measCell]
 	traces group[prepKey, *trace.Trace]
@@ -71,6 +80,7 @@ type Runner struct {
 	nTraceBytes    atomic.Int64
 	nReplayCells   atomic.Int64
 	nInterpCells   atomic.Int64
+	bcodeCtrs      bcode.Counters
 }
 
 type prepKey struct {
@@ -130,17 +140,38 @@ func (r *Runner) Prepared(b *bench.Benchmark, kind disamb.Kind, memLat int) (*di
 		memLat = MemLats[0]
 	}
 	return r.prep.Do(key, func() (*disamb.Prepared, error) {
+		base, err := r.compiled(b)
+		if err != nil {
+			return nil, err
+		}
 		r.nPrepares.Add(1)
 		p, err := disamb.PrepareOpts(b.Source, disamb.Options{
 			Kind: kind, MemLat: memLat, SpD: r.Params,
+			// All of a benchmark's cells start from private clones of one
+			// compilation; each pipeline mutates only its own clone.
+			Prog: base.Clone(),
 			// Under the replay backend, PERFECT's profiling run doubles as
 			// the capture run for the whole latency-insensitive trace class
 			// (see traceFor) at no extra interpretation.
 			Record: r.TraceReplay && kind == disamb.Perfect,
 			Verify: r.Verify,
+			Exec:   r.Exec, ExecCounters: &r.bcodeCtrs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, memLat, err)
+		}
+		return p, nil
+	})
+}
+
+// compiled returns (compiling and caching) a benchmark's base program. Every
+// preparation cell of the benchmark starts from a private Clone of it, so the
+// source is lexed and lowered once per benchmark instead of once per cell.
+func (r *Runner) compiled(b *bench.Benchmark) (*ir.Program, error) {
+	return r.base.Do(b.Name, func() (*ir.Program, error) {
+		p, err := compile.CompileOpts(b.Source, compile.Options{Verify: r.Verify})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
 		return p, nil
 	})

@@ -1,29 +1,16 @@
 package ir
 
-// Clone deep-copies the tree: ops (including argument slices and memory
-// references), arcs (remapped to the cloned ops), and blocks. The clone gets
-// a private shallow copy of the parent Function (own register counter, own
-// stable-register set, and a Trees slice in which the clone replaces the
-// original), so transformations applied to the clone never disturb the
-// original tree or the function's bookkeeping. Intended for tentative
-// ("what if") transformation during heuristic search.
-func (t *Tree) Clone() *Tree {
-	fnCopy := *t.Fn
-	fnCopy.Trees = append([]*Tree(nil), t.Fn.Trees...)
-	fnCopy.stableRegs = make(map[Reg]bool, len(t.Fn.stableRegs))
-	for r := range t.Fn.stableRegs {
-		fnCopy.stableRegs[r] = true
-	}
+// cloneInto deep-copies the tree's ops (including argument slices and memory
+// references), arcs (remapped to the cloned ops), and blocks into a new tree
+// owned by fn. The caller decides how fn relates to the original function.
+func (t *Tree) cloneInto(fn *Function) *Tree {
 	c := &Tree{
 		ID:     t.ID,
-		Fn:     &fnCopy,
+		Fn:     fn,
 		Name:   t.Name,
 		PIdx:   t.PIdx,
 		Blocks: append([]Block(nil), t.Blocks...),
 		nextID: t.nextID,
-	}
-	if t.ID >= 0 && t.ID < len(fnCopy.Trees) {
-		fnCopy.Trees[t.ID] = c
 	}
 	byOld := make(map[*Op]*Op, len(t.Ops))
 	c.Ops = make([]*Op, len(t.Ops))
@@ -46,4 +33,63 @@ func (t *Tree) Clone() *Tree {
 		c.Arcs[i] = &n
 	}
 	return c
+}
+
+// Clone deep-copies the tree: ops (including argument slices and memory
+// references), arcs (remapped to the cloned ops), and blocks. The clone gets
+// a private shallow copy of the parent Function (own register counter, own
+// stable-register set, and a Trees slice in which the clone replaces the
+// original), so transformations applied to the clone never disturb the
+// original tree or the function's bookkeeping. Intended for tentative
+// ("what if") transformation during heuristic search.
+func (t *Tree) Clone() *Tree {
+	fnCopy := *t.Fn
+	fnCopy.Trees = append([]*Tree(nil), t.Fn.Trees...)
+	fnCopy.stableRegs = make(map[Reg]bool, len(t.Fn.stableRegs))
+	for r := range t.Fn.stableRegs {
+		fnCopy.stableRegs[r] = true
+	}
+	c := t.cloneInto(&fnCopy)
+	if t.ID >= 0 && t.ID < len(fnCopy.Trees) {
+		fnCopy.Trees[t.ID] = c
+	}
+	return c
+}
+
+// Clone deep-copies the whole program: every function (with its trees, ops,
+// arcs, and stable-register set) and every global's init image. The clone is
+// structurally identical — same op IDs, Seq positions, tree IDs, and PIdx
+// assignments — so pipelines that mutate a program in place (arc resolution,
+// SpD) can each start from a private copy of one compilation instead of
+// recompiling the source.
+func (p *Program) Clone() *Program {
+	np := &Program{
+		Funcs:   make(map[string]*Function, len(p.Funcs)),
+		Order:   append([]string(nil), p.Order...),
+		MemSize: p.MemSize,
+		Main:    p.Main,
+	}
+	np.Globals = make([]*GlobalArray, len(p.Globals))
+	for i, g := range p.Globals {
+		ng := *g
+		ng.Init = append([]Value(nil), g.Init...)
+		np.Globals[i] = &ng
+	}
+	for _, name := range p.SortedFuncNames() {
+		fn := p.Funcs[name]
+		nf := *fn
+		nf.Params = append([]Reg(nil), fn.Params...)
+		if fn.stableRegs != nil {
+			nf.stableRegs = make(map[Reg]bool, len(fn.stableRegs))
+			for r := range fn.stableRegs {
+				nf.stableRegs[r] = true
+			}
+		}
+		nf.Trees = make([]*Tree, len(fn.Trees))
+		for i, t := range fn.Trees {
+			nf.Trees[i] = t.cloneInto(&nf)
+		}
+		np.Funcs[name] = &nf
+	}
+	return np
 }

@@ -99,6 +99,16 @@ func opReads(o *Op, buf []Reg) []Reg {
 //     the two writes (delay 1);
 //   - output stream: OpPrint ops are ordered among themselves.
 func BuildDepGraph(t *Tree, lat LatencyFunc) *DepGraph {
+	return BuildRegDepGraph(t, lat).WithArcs()
+}
+
+// BuildRegDepGraph constructs the arc-independent skeleton of the dependence
+// graph: every edge class of BuildDepGraph except the memory-dependence
+// arcs. The register scan is quadratic in tree size while the arc overlay is
+// linear in the arc count, so callers that evaluate many arc-set variations
+// of one tree (the SpD heuristic's candidate loop) build the skeleton once
+// and call WithArcs per variation.
+func BuildRegDepGraph(t *Tree, lat LatencyFunc) *DepGraph {
 	n := len(t.Ops)
 	g := &DepGraph{
 		Tree: t,
@@ -183,8 +193,39 @@ func BuildDepGraph(t *Tree, lat LatencyFunc) *DepGraph {
 			lastPrint = i
 		}
 	}
+	return g
+}
 
-	// Memory-dependence arcs.
+// WithArcs returns the full dependence graph: the receiver skeleton plus one
+// edge per current memory arc of the tree (edge order matches a monolithic
+// BuildDepGraph exactly, so downstream schedules are identical). The
+// receiver is never modified — adjacency lists an arc would extend are
+// cloned first — so one skeleton serves any number of arc-set variations.
+func (g *DepGraph) WithArcs() *DepGraph {
+	t := g.Tree
+	if len(t.Arcs) == 0 {
+		return g
+	}
+	n := len(t.Ops)
+	ng := &DepGraph{Tree: t, Lat: g.Lat, Succ: make([][]DepEdge, n), Pred: make([][]DepEdge, n), lat: g.lat}
+	copy(ng.Succ, g.Succ)
+	copy(ng.Pred, g.Pred)
+	// Appending into a list still shared with the skeleton could write into
+	// the skeleton's backing array; clone each touched list once.
+	ownSucc := make([]bool, n)
+	ownPred := make([]bool, n)
+	addEdge := func(from, to, delay int) {
+		if !ownSucc[from] {
+			ng.Succ[from] = append(make([]DepEdge, 0, len(ng.Succ[from])+2), ng.Succ[from]...)
+			ownSucc[from] = true
+		}
+		if !ownPred[to] {
+			ng.Pred[to] = append(make([]DepEdge, 0, len(ng.Pred[to])+2), ng.Pred[to]...)
+			ownPred[to] = true
+		}
+		ng.Succ[from] = append(ng.Succ[from], DepEdge{To: to, Delay: delay})
+		ng.Pred[to] = append(ng.Pred[to], DepEdge{To: from, Delay: delay})
+	}
 	for _, a := range t.Arcs {
 		from, to := a.From.Seq, a.To.Seq
 		switch a.Kind {
@@ -196,7 +237,7 @@ func BuildDepGraph(t *Tree, lat LatencyFunc) *DepGraph {
 			addEdge(from, to, 1)
 		}
 	}
-	return g
+	return ng
 }
 
 // ASAP returns the earliest legal issue cycle of each op on an unconstrained
@@ -225,6 +266,38 @@ func (g *DepGraph) ASAP() []int {
 // the true dynamic time.
 func (g *DepGraph) PathTime(issue []int) map[*Op]int {
 	return g.PathTimeFiltered(issue, false)
+}
+
+// PathTimesBoth computes the completion time of every exit path under both
+// scenarios of PathTimeFiltered — the fully conservative one (all ops) and
+// the all-no-alias one (SpecSide > 0 ops excluded) — in a single scan. The
+// results are indexed by exit order (Tree.Exits order); the per-exit op scan
+// dominates PathTime's cost, so fusing the two estimates halves the SpD
+// heuristic's per-candidate work.
+func (g *DepGraph) PathTimesBoth(issue []int) (full, likely []int) {
+	t := g.Tree
+	for _, ex := range t.Ops {
+		if ex.Kind != OpExit {
+			continue
+		}
+		bf := issue[ex.Seq] + g.lat[ex.Seq]
+		bl := bf
+		for i, op := range t.Ops {
+			if op.Kind == OpExit || !t.OnPath(op.Block, ex.Block) {
+				continue
+			}
+			c := issue[i] + g.lat[i]
+			if c > bf {
+				bf = c
+			}
+			if op.SpecSide <= 0 && c > bl {
+				bl = c
+			}
+		}
+		full = append(full, bf)
+		likely = append(likely, bl)
+	}
+	return full, likely
 }
 
 // PathTimeFiltered is PathTime with an optional scenario restriction: when

@@ -1,0 +1,54 @@
+package sim_test
+
+import (
+	"testing"
+
+	"specdis/internal/compile"
+	"specdis/internal/machine"
+	"specdis/internal/sim"
+)
+
+// callLoopSrc makes a few thousand dynamic calls per run. If the runner
+// allocated a fresh frame or argument slice per call, the steady-state
+// allocation count below would be in the thousands.
+const callLoopSrc = `
+int a[8];
+int f(int x, int y) {
+	a[x % 8] = a[x % 8] + y;
+	return a[(x + y) % 8] + 1;
+}
+void main() {
+	int s = 0;
+	for (int k = 0; k < 3000; k = k + 1) { s = (s + f(k, k % 5)) % 1000003; }
+	print(s);
+}`
+
+// TestCallLoopAllocs pins the frame-churn fix in Runner.call: the frame and
+// argument pools are sized to the program's maximum frame size and call arity
+// at the start of Run, so the steady-state call loop reuses pooled storage
+// instead of allocating per dynamic call (see BenchmarkCallSteadyState).
+func TestCallLoopAllocs(t *testing.T) {
+	prog, err := compile.Compile(callLoopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range execModes {
+		r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc(), Exec: mode}
+		// Warm the pools (and the bytecode cache) to steady state.
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// A steady-state run still has a fixed per-run allocation cost
+		// (output builder, result struct, commit-bit scratch — ~90 objects,
+		// independent of the call count) but nothing per dynamic call: frame
+		// churn across 3000 calls would put this in the thousands.
+		if allocs > 200 {
+			t.Errorf("%v: steady-state run allocates %.0f objects; the call loop is churning frames", mode, allocs)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+
+	"specdis/internal/bcode"
+	"specdis/internal/ir"
+)
+
+// ExecMode selects the Runner's execution backend.
+type ExecMode uint8
+
+// Execution backends. The bytecode engine is the default: every tree is
+// lowered once to a flat register-machine program (internal/bcode) and run
+// by a tight dispatch loop. The tree walker is the reference interpreter the
+// bytecode engine is differentially tested against; it also serves as the
+// automatic fallback for any tree the bytecode compiler declines.
+const (
+	ExecBytecode ExecMode = iota
+	ExecTree
+)
+
+func (m ExecMode) String() string {
+	switch m {
+	case ExecBytecode:
+		return "bcode"
+	case ExecTree:
+		return "tree"
+	}
+	return fmt.Sprintf("execmode(%d)", int(m))
+}
+
+// execBC executes one tree through its compiled bytecode, mirroring execTree
+// exactly: same operation accounting, commit bits, trace events, pricing and
+// profiling. Trees the compiler declined fall back to the tree walker.
+func (r *Runner) execBC(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
+	c := r.ctx(t)
+	if c.bc == nil {
+		return r.execTree(t, regs)
+	}
+	maxOps := r.MaxOps
+	if maxOps == 0 {
+		maxOps = DefaultMaxOps
+	}
+	r.ops += int64(len(t.Ops))
+	if r.ops > maxOps {
+		return nil, fmt.Errorf("sim: operation budget exceeded (%d)", maxOps)
+	}
+
+	bits := c.bits
+	for i := range bits {
+		bits[i] = 0
+	}
+	profiling := r.Prof != nil
+	r.benv.Regs = regs
+	r.benv.Bits = bits
+	r.benv.Profiling = profiling
+	if profiling {
+		r.benv.Committed = c.committed
+		r.benv.Addrs = c.addrs
+	}
+	takenSeq, dupSeq, ncommit := c.bc.Exec(&r.benv)
+	if dupSeq >= 0 {
+		return nil, fmt.Errorf("tree %s: two exits taken (%%%d and %%%d)",
+			t.Name, t.Ops[takenSeq].ID, t.Ops[dupSeq].ID)
+	}
+	if takenSeq < 0 {
+		return nil, fmt.Errorf("tree %s: no exit taken", t.Name)
+	}
+	taken := t.Ops[takenSeq]
+	r.committed += ncommit + int64(len(t.Ops)-len(c.guarded))
+
+	if r.Rec != nil {
+		r.Rec.Tree(t.PIdx, c.exitOf[takenSeq], bits)
+	}
+	if len(r.times) > 0 {
+		r.priceBits(c, c.exitOf[takenSeq])
+	}
+	if profiling {
+		r.profTree[t.PIdx]++
+		c.profExit[c.exitOf[takenSeq]]++
+		for _, a := range t.Arcs {
+			if c.committed[a.From.Seq] && c.committed[a.To.Seq] {
+				a.ExecCount++
+				if c.addrs[a.From.Seq] == c.addrs[a.To.Seq] {
+					a.AliasCount++
+				}
+			}
+		}
+	}
+	return taken, nil
+}
+
+// priceBits is the bytecode counterpart of price: the commit pattern arrives
+// already packed (the executor maintains the bits), so the memo key is
+// assembled straight from the bit bytes. Keys and priced times are identical
+// to the tree walker's — bit k is the k-th guarded op in Seq order on both
+// paths.
+func (r *Runner) priceBits(c *treeCtx, exitIdx int) {
+	bits := c.bits
+	var times []int64
+	if c.memoInt != nil {
+		var b uint32
+		switch len(bits) {
+		case 0:
+		case 1:
+			b = uint32(bits[0])
+		case 2:
+			b = uint32(bits[0]) | uint32(bits[1])<<8
+		default:
+			b = uint32(bits[0]) | uint32(bits[1])<<8 | uint32(bits[2])<<16
+		}
+		key := b | uint32(exitIdx)<<24
+		var ok bool
+		times, ok = c.memoInt[key]
+		if !ok {
+			times = priceBitsTables(c.priceShape, c.comp, c.base, bits, exitIdx)
+			c.memoInt[key] = times
+		}
+	} else {
+		copy(c.mask, bits)
+		c.mask[len(c.mask)-1] = byte(exitIdx)
+		var ok bool
+		times, ok = c.memo[string(c.mask)]
+		if !ok {
+			times = priceBitsTables(c.priceShape, c.comp, c.base, bits, exitIdx)
+			c.memo[string(c.mask)] = times
+		}
+	}
+	for pi, dt := range times {
+		r.times[pi] += dt
+	}
+}
+
+// priceBitsTables computes the per-plan time of one packed commit pattern:
+// the maximum completion cycle over the committed on-path ops, floored by
+// the per-exit base over the always-committing ops. Shared by the bytecode
+// executor's memo misses and the trace Replayer.
+func priceBitsTables(s *priceShape, comp, base [][]int64, bits []byte, exitIdx int) []int64 {
+	times := make([]int64, len(comp))
+	for pi, cp := range comp {
+		max := base[pi][exitIdx]
+		for k, i := range s.guarded {
+			if bits[k>>3]&(1<<uint(k&7)) != 0 && s.onPath[i][exitIdx] && cp[i] > max {
+				max = cp[i]
+			}
+		}
+		times[pi] = max
+	}
+	return times
+}
+
+// bcodeProg resolves the tree's compiled bytecode through the Runner's cache
+// (creating a private cache on first use when the caller supplied none).
+func (r *Runner) bcodeProg(t *ir.Tree) *bcode.Prog {
+	if r.BCode == nil {
+		r.BCode = bcode.NewCache(nil)
+	}
+	return r.BCode.Get(t)
+}

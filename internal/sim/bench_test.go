@@ -3,6 +3,7 @@ package sim_test
 import (
 	"testing"
 
+	"specdis/internal/bcode"
 	"specdis/internal/bench"
 	"specdis/internal/compile"
 	"specdis/internal/ir"
@@ -11,10 +12,10 @@ import (
 	"specdis/internal/sim"
 )
 
-// BenchmarkExecTree times the simulator's execution hot path: a full timed
-// run of the fft benchmark priced under the nine standard machine models,
-// dominated by execTree / evalPure / price.
-func BenchmarkExecTree(b *testing.B) {
+// benchSetup compiles the fft benchmark and builds its nine standard pricing
+// plans, the shared fixture of the execution benchmarks.
+func benchSetup(b *testing.B) (*ir.Program, []*sim.Plan) {
+	b.Helper()
 	bm := bench.ByName("fft")
 	prog, err := compile.Compile(bm.Source)
 	if err != nil {
@@ -36,13 +37,73 @@ func BenchmarkExecTree(b *testing.B) {
 			}
 		}
 	}
+	return prog, plans
+}
+
+// benchRun times full timed runs of the fixture program on one backend.
+func benchRun(b *testing.B, mode sim.ExecMode) {
+	prog, plans := benchSetup(b)
+	cache := bcode.NewCache(nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := &sim.Runner{
 			Prog:   prog,
 			SemLat: machine.Infinite(2).LatencyFunc(),
 			Plans:  plans,
+			Exec:   mode,
+			BCode:  cache,
 		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecTree times the simulator's execution hot path on the reference
+// tree walker: a full timed run of the fft benchmark priced under the nine
+// standard machine models, dominated by execTree / evalPure / price.
+func BenchmarkExecTree(b *testing.B) { benchRun(b, sim.ExecTree) }
+
+// BenchmarkExecTreeBytecode is BenchmarkExecTree on the bytecode engine: the
+// same timed fft run dominated by bcode.Exec / priceBits.
+func BenchmarkExecTreeBytecode(b *testing.B) { benchRun(b, sim.ExecBytecode) }
+
+// BenchmarkBytecodeCompile times lowering every tree of the fft benchmark to
+// bytecode (one whole-program compile per iteration).
+func BenchmarkBytecodeCompile(b *testing.B) {
+	bm := bench.ByName("fft")
+	prog, err := compile.Compile(bm.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog.IndexTrees()
+	var trees []*ir.Tree
+	for _, name := range prog.Order {
+		trees = append(trees, prog.Funcs[name].Trees...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range trees {
+			if _, err := bcode.Compile(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCallSteadyState pins the allocation behavior of the steady-state
+// call loop: after the first run warms the frame/arg pools to the program's
+// peak call depth, further runs of the recursive fixture must not allocate
+// frames at all (see TestCallLoopAllocs).
+func BenchmarkCallSteadyState(b *testing.B) {
+	prog, _ := benchSetup(b)
+	r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc()}
+	if _, err := r.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		if _, err := r.Run(); err != nil {
 			b.Fatal(err)
 		}

@@ -106,15 +106,5 @@ func (rp *Replayer) ctx(t *ir.Tree, planTabs [][]planEntry) *replayCtx {
 // priceBits computes the per-plan time of one commit pattern from packed
 // bits, the replay counterpart of Runner.priceMiss.
 func (c *replayCtx) priceBits(bits []byte, exitIdx int) []int64 {
-	times := make([]int64, len(c.comp))
-	for pi, comp := range c.comp {
-		max := c.base[pi][exitIdx]
-		for k, i := range c.guarded {
-			if bits[k>>3]&(1<<uint(k&7)) != 0 && c.onPath[i][exitIdx] && comp[i] > max {
-				max = comp[i]
-			}
-		}
-		times[pi] = max
-	}
-	return times
+	return priceBitsTables(c.priceShape, c.comp, c.base, bits, exitIdx)
 }

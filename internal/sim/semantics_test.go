@@ -11,10 +11,14 @@ import (
 	"specdis/internal/sim"
 )
 
-// evalOp builds a one-op program (const inputs → op → print) and runs it,
-// returning the printed line. It exercises the interpreter's evalPure for
-// every operation kind end to end.
-func evalOp(t *testing.T, kind ir.OpKind, isFloat bool, a, b ir.Value, nargs int) string {
+// execModes are the two execution backends every semantics case runs on:
+// the bytecode engine and the reference tree walker must agree op for op.
+var execModes = []sim.ExecMode{sim.ExecBytecode, sim.ExecTree}
+
+// evalOp builds a one-op program (const inputs → op → print) and runs it on
+// the given backend, returning the printed line. It exercises the execution
+// semantics of every operation kind end to end.
+func evalOp(t *testing.T, mode sim.ExecMode, kind ir.OpKind, isFloat bool, a, b ir.Value, nargs int) string {
 	t.Helper()
 	fn := &ir.Function{Name: "main"}
 	tr := &ir.Tree{Fn: fn, Name: "main.t0"}
@@ -42,7 +46,7 @@ func evalOp(t *testing.T, kind ir.OpKind, isFloat bool, a, b ir.Value, nargs int
 		Funcs: map[string]*ir.Function{"main": fn}, Order: []string{"main"},
 		Main: "main", MemSize: 64,
 	}
-	r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc()}
+	r := &sim.Runner{Prog: prog, SemLat: machine.Infinite(2).LatencyFunc(), Exec: mode}
 	res, err := r.Run()
 	if err != nil {
 		t.Fatalf("%v: %v", kind, err)
@@ -92,10 +96,12 @@ func TestIntegerOpSemantics(t *testing.T) {
 		{ir.OpCmpGE, 3, 4, 2, 0},
 		{ir.OpCvtFI, 0, 0, 1, 0},
 	}
-	for _, c := range cases {
-		got := evalOp(t, c.kind, false, iv(c.a), iv(c.b), c.nargs)
-		if got != strconv.FormatInt(c.want, 10) {
-			t.Errorf("%v(%d,%d) = %s, want %d", c.kind, c.a, c.b, got, c.want)
+	for _, mode := range execModes {
+		for _, c := range cases {
+			got := evalOp(t, mode, c.kind, false, iv(c.a), iv(c.b), c.nargs)
+			if got != strconv.FormatInt(c.want, 10) {
+				t.Errorf("%v: %v(%d,%d) = %s, want %d", mode, c.kind, c.a, c.b, got, c.want)
+			}
 		}
 	}
 }
@@ -125,31 +131,35 @@ func TestFloatOpSemantics(t *testing.T) {
 		{ir.OpExp, 0, 0, 1, "1"},
 		{ir.OpLog, 1, 0, 1, "0"},
 	}
-	for _, c := range cases {
-		isFloat := c.kind != ir.OpFCmpEQ && c.kind != ir.OpFCmpNE &&
-			c.kind != ir.OpFCmpLT && c.kind != ir.OpFCmpLE &&
-			c.kind != ir.OpFCmpGT && c.kind != ir.OpFCmpGE
-		got := evalOp(t, c.kind, isFloat, fv(c.a), fv(c.b), c.nargs)
-		if got != c.want {
-			t.Errorf("%v(%g,%g) = %s, want %s", c.kind, c.a, c.b, got, c.want)
+	for _, mode := range execModes {
+		for _, c := range cases {
+			isFloat := c.kind != ir.OpFCmpEQ && c.kind != ir.OpFCmpNE &&
+				c.kind != ir.OpFCmpLT && c.kind != ir.OpFCmpLE &&
+				c.kind != ir.OpFCmpGT && c.kind != ir.OpFCmpGE
+			got := evalOp(t, mode, c.kind, isFloat, fv(c.a), fv(c.b), c.nargs)
+			if got != c.want {
+				t.Errorf("%v: %v(%g,%g) = %s, want %s", mode, c.kind, c.a, c.b, got, c.want)
+			}
 		}
 	}
 }
 
 func TestCvtSemantics(t *testing.T) {
-	if got := evalOp(t, ir.OpCvtIF, true, iv(5), iv(0), 1); got != "5" {
-		t.Errorf("cvtif(5) = %s", got)
-	}
-	if got := evalOp(t, ir.OpCvtFI, false, fv(-2.9), fv(0), 1); got != "-2" {
-		t.Errorf("cvtfi(-2.9) = %s", got)
-	}
-	if got := evalOp(t, ir.OpCvtFI, false, fv(math.NaN()), fv(0), 1); got != "0" {
-		t.Errorf("cvtfi(NaN) = %s", got)
-	}
-	if got := evalOp(t, ir.OpCvtFI, false, fv(math.Inf(1)), fv(0), 1); got != strconv.FormatInt(math.MaxInt64, 10) {
-		t.Errorf("cvtfi(+Inf) = %s", got)
-	}
-	if got := evalOp(t, ir.OpCvtFI, false, fv(math.Inf(-1)), fv(0), 1); got != strconv.FormatInt(math.MinInt64, 10) {
-		t.Errorf("cvtfi(-Inf) = %s", got)
+	for _, mode := range execModes {
+		if got := evalOp(t, mode, ir.OpCvtIF, true, iv(5), iv(0), 1); got != "5" {
+			t.Errorf("%v: cvtif(5) = %s", mode, got)
+		}
+		if got := evalOp(t, mode, ir.OpCvtFI, false, fv(-2.9), fv(0), 1); got != "-2" {
+			t.Errorf("%v: cvtfi(-2.9) = %s", mode, got)
+		}
+		if got := evalOp(t, mode, ir.OpCvtFI, false, fv(math.NaN()), fv(0), 1); got != "0" {
+			t.Errorf("%v: cvtfi(NaN) = %s", mode, got)
+		}
+		if got := evalOp(t, mode, ir.OpCvtFI, false, fv(math.Inf(1)), fv(0), 1); got != strconv.FormatInt(math.MaxInt64, 10) {
+			t.Errorf("%v: cvtfi(+Inf) = %s", mode, got)
+		}
+		if got := evalOp(t, mode, ir.OpCvtFI, false, fv(math.Inf(-1)), fv(0), 1); got != strconv.FormatInt(math.MinInt64, 10) {
+			t.Errorf("%v: cvtfi(-Inf) = %s", mode, got)
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"math"
 	"strconv"
 
+	"specdis/internal/bcode"
 	"specdis/internal/ir"
 	"specdis/internal/trace"
 )
@@ -138,6 +139,13 @@ type Runner struct {
 	Rec *trace.Recorder
 	// MaxOps guards against runaway programs (0 = DefaultMaxOps).
 	MaxOps int64
+	// Exec selects the execution backend; the zero value is the bytecode
+	// engine (ExecBytecode). ExecTree forces the reference tree walker.
+	Exec ExecMode
+	// BCode caches compiled bytecode by tree. Callers that run the same
+	// program many times (or share it across Runners) should supply one;
+	// left nil, the Runner creates a private cache on first use.
+	BCode *bcode.Cache
 
 	mem       []ir.Value
 	out       bytes.Buffer
@@ -148,8 +156,12 @@ type Runner struct {
 	planTabs  [][]planEntry // per plan: dense comp tables by tree PIdx
 	profTree  []int64       // per-tree execution counts, flushed into Prof
 	fnIdx     map[string]int
+	mainIdx   int // Program.Order index of main, for trace call framing
+	benv      bcode.Env
 	framePool [][]ir.Value
 	argPool   [][]ir.Value
+	maxFrame  int // widest register frame in the program (see Run)
+	maxArgs   int // widest call-argument list in the program
 }
 
 // priceShape is the schedule-independent pricing skeleton of one tree,
@@ -245,6 +257,15 @@ type treeCtx struct {
 	mask      []byte // len(guarded) commit bits + one exit byte
 	recBits   []byte // packed commit bits scratch for trace recording
 
+	bc   *bcode.Prog // compiled bytecode (nil: tree runs on the walker)
+	bits []byte      // packed commit bits maintained by the bytecode executor
+
+	// callee / calleeIdx resolve each ExitCall op (by Seq) to its target
+	// function and the target's Program.Order index, so the call loop never
+	// hashes a function name. nil when the tree makes no calls.
+	callee    []*ir.Function
+	calleeIdx []int
+
 	profExit []int64 // per-exit execution counts (profiling runs)
 }
 
@@ -272,6 +293,21 @@ func (r *Runner) ctx(t *ir.Tree) *treeCtx {
 	}
 	if r.Rec != nil {
 		c.recBits = make([]byte, c.bitBytes())
+	}
+	if r.Exec == ExecBytecode {
+		if c.bc = r.bcodeProg(t); c.bc != nil {
+			c.bits = make([]byte, c.bitBytes())
+		}
+	}
+	for _, op := range t.Ops {
+		if op.Kind == ir.OpExit && op.Exit == ir.ExitCall {
+			if c.callee == nil {
+				c.callee = make([]*ir.Function, len(t.Ops))
+				c.calleeIdx = make([]int, len(t.Ops))
+			}
+			c.callee[op.Seq] = r.Prog.Funcs[op.Callee]
+			c.calleeIdx[op.Seq] = r.fnIdx[op.Callee]
+		}
 	}
 	c.profExit = make([]int64, len(c.exits))
 	for pi, p := range r.Plans {
@@ -306,15 +342,32 @@ func (r *Runner) Run() (*Result, error) {
 	for pi, p := range r.Plans {
 		r.planTabs[pi] = p.dense(numTrees)
 	}
-	if r.Rec != nil {
-		r.fnIdx = make(map[string]int, len(r.Prog.Order))
-		for i, name := range r.Prog.Order {
-			r.fnIdx[name] = i
+	r.fnIdx = make(map[string]int, len(r.Prog.Order))
+	for i, name := range r.Prog.Order {
+		r.fnIdx[name] = i
+	}
+	r.mainIdx = r.fnIdx[r.Prog.Main]
+	r.benv.Mem = r.mem
+	r.benv.Print = r.printVal
+	// Size the frame/arg pools by the widest frame and call in the program,
+	// so every pooled buffer fits every function and the steady-state call
+	// loop never allocates.
+	r.maxFrame, r.maxArgs = 1, 1
+	for _, fn := range r.Prog.Funcs {
+		if fn.NumRegs > r.maxFrame {
+			r.maxFrame = fn.NumRegs
+		}
+		for _, t := range fn.Trees {
+			for _, op := range t.Ops {
+				if op.Kind == ir.OpExit && op.Exit == ir.ExitCall && len(op.CallArg) > r.maxArgs {
+					r.maxArgs = len(op.CallArg)
+				}
+			}
 		}
 	}
 
 	main := r.Prog.Funcs[r.Prog.Main]
-	exit, err := r.call(main, nil)
+	exit, err := r.call(main, r.mainIdx, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +407,14 @@ func (r *Runner) getFrame(n int) []ir.Value {
 		}
 		return f
 	}
-	return make([]ir.Value, n)
+	// Allocate at the program's widest frame so the pooled buffer fits every
+	// function: after the warm-up to peak call depth, the loop is allocation
+	// free.
+	c := n
+	if r.maxFrame > c {
+		c = r.maxFrame
+	}
+	return make([]ir.Value, n, c)
 }
 
 func (r *Runner) putFrame(f []ir.Value) {
@@ -372,7 +432,11 @@ func (r *Runner) getArgs(n int) []ir.Value {
 		r.argPool = r.argPool[:k-1]
 		return a
 	}
-	return make([]ir.Value, n)
+	c := n
+	if r.maxArgs > c {
+		c = r.maxArgs
+	}
+	return make([]ir.Value, n, c)
 }
 
 func (r *Runner) putArgs(a []ir.Value) {
@@ -381,20 +445,29 @@ func (r *Runner) putArgs(a []ir.Value) {
 	}
 }
 
-// call runs one function invocation.
-func (r *Runner) call(fn *ir.Function, args []ir.Value) (ir.Value, error) {
+// call runs one function invocation. fnOrd is fn's Program.Order index,
+// resolved by the caller (treeCtx.calleeIdx) so call framing never hashes a
+// function name.
+func (r *Runner) call(fn *ir.Function, fnOrd int, args []ir.Value) (ir.Value, error) {
 	regs := r.getFrame(fn.NumRegs)
 	defer r.putFrame(regs)
 	for i, p := range fn.Params {
 		regs[p] = args[i]
 	}
 	if r.Rec != nil {
-		r.Rec.Call(r.fnIdx[fn.Name])
+		r.Rec.Call(fnOrd)
 	}
 	cur := fn.Entry
+	tree := r.Exec == ExecTree
 	for {
 		t := fn.Trees[cur]
-		exit, err := r.execTree(t, regs)
+		var exit *ir.Op
+		var err error
+		if tree {
+			exit, err = r.execTree(t, regs)
+		} else {
+			exit, err = r.execBC(t, regs)
+		}
 		if err != nil {
 			return ir.Value{}, err
 		}
@@ -410,12 +483,12 @@ func (r *Runner) call(fn *ir.Function, args []ir.Value) (ir.Value, error) {
 			}
 			return ir.Value{}, nil
 		case ir.ExitCall:
-			callee := r.Prog.Funcs[exit.Callee]
+			c := r.ctxes[t.PIdx] // built by the exec above
 			cargs := r.getArgs(len(exit.CallArg))
 			for i, a := range exit.CallArg {
 				cargs[i] = regs[a]
 			}
-			rv, err := r.call(callee, cargs)
+			rv, err := r.call(c.callee[exit.Seq], c.calleeIdx[exit.Seq], cargs)
 			r.putArgs(cargs)
 			if err != nil {
 				return ir.Value{}, err

@@ -140,13 +140,17 @@ func exitProbs(t *ir.Tree, prof Profile) []float64 {
 // mixing the likely all-no-alias scenario (conservative SpD copies excluded)
 // with the fully conservative one, at the assumed alias probability.
 func treeTime(t *ir.Tree, probs []float64, lat ir.LatencyFunc, q float64) float64 {
-	g := ir.BuildDepGraph(t, lat)
-	asap := g.ASAP()
-	full := g.PathTimeFiltered(asap, false)
-	likely := g.PathTimeFiltered(asap, true)
+	return graphTime(ir.BuildDepGraph(t, lat), probs, q)
+}
+
+// graphTime is treeTime over a prebuilt dependence graph of t, letting the
+// candidate loop amortize the quadratic register-dependence scan across many
+// arc-set variations (see ir.BuildRegDepGraph / DepGraph.WithArcs).
+func graphTime(g *ir.DepGraph, probs []float64, q float64) float64 {
+	full, likely := g.PathTimesBoth(g.ASAP())
 	var e float64
-	for i, ex := range t.Exits() {
-		e += probs[i] * ((1-q)*float64(likely[ex]) + q*float64(full[ex]))
+	for i := range full {
+		e += probs[i] * ((1-q)*float64(likely[i]) + q*float64(full[i]))
 	}
 	return e
 }
@@ -190,8 +194,12 @@ func specDisambig(t *ir.Tree, prof Profile, lat ir.LatencyFunc, params Params, r
 		if t.Size() >= maxSize {
 			return
 		}
-		cur := treeTime(t, probs, lat, q)
-		g := ir.BuildDepGraph(t, lat)
+		// The tree's ops are fixed for the whole iteration (only its arc set
+		// varies below), so the quadratic register-dependence skeleton is
+		// built once and every arc-set variation overlays it.
+		skel := ir.BuildRegDepGraph(t, lat)
+		g := skel.WithArcs()
+		cur := graphTime(g, probs, q)
 		asap := g.ASAP()
 
 		// Ceiling: the expected time if every remaining eligible ambiguous
@@ -210,7 +218,7 @@ func specDisambig(t *ir.Tree, prof Profile, lat ir.LatencyFunc, params Params, r
 			}
 		}
 		t.Arcs = kept
-		ideal := treeTime(t, probs, lat, q)
+		ideal := graphTime(skel.WithArcs(), probs, q)
 		t.Arcs = append(t.Arcs, removed...)
 		ceiling := cur - ideal
 		if ceiling < params.MinGain {
@@ -238,7 +246,7 @@ func specDisambig(t *ir.Tree, prof Profile, lat ir.LatencyFunc, params Params, r
 			for _, b := range group {
 				t.RemoveArc(b)
 			}
-			without := treeTime(t, probs, lat, q)
+			without := graphTime(skel.WithArcs(), probs, q)
 			t.Arcs = append(t.Arcs, group...)
 			gn := (1 - p) * (cur - without)
 			if gn > bestGain ||

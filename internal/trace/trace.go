@@ -145,7 +145,13 @@ func (t *Trace) Hist() (*Hist, error) {
 
 func buildHist(data []byte) (*Hist, error) {
 	h := &Hist{MaxFn: -1}
-	idx := map[string]int32{} // pattern key -> Entries index
+	// Patterns are looked up once per encoded tree event, so the key
+	// representation is hot. Small patterns — bits ≤ 48 and a 16-bit exit,
+	// i.e. essentially all of them — pack into a uint64 keyed per tree
+	// (integer hashing is several times cheaper than hashing a byte string);
+	// anything larger falls back to a byte-string key.
+	var fast []map[uint64]int32 // by tree idx: packed pattern -> Entries index
+	var idx map[string]int32    // oversized patterns -> Entries index
 	var key []byte
 	rd := NewBytesReader(data)
 	var ev Event
@@ -160,19 +166,46 @@ func buildHist(data []byte) (*Hist, error) {
 		}
 		switch ev.Kind {
 		case KindTree:
-			// Varints are self-delimiting, so the key cannot collide across
-			// patterns with different bit lengths.
-			key = binary.AppendUvarint(key[:0], uint64(ev.Idx))
-			key = binary.AppendUvarint(key, uint64(ev.Exit))
-			key = append(key, ev.Bits...)
-			if i, ok := idx[string(key)]; ok {
-				e := &h.Entries[i]
-				if ev.Count > math.MaxInt64-e.Count {
+			var slot *HistEntry
+			if ev.Idx < 1<<16 && ev.Exit < 1<<16 && len(ev.Bits) <= 6 {
+				k := uint64(ev.Exit) << 48
+				for i, b := range ev.Bits {
+					k |= uint64(b) << (8 * i)
+				}
+				for ev.Idx >= len(fast) {
+					fast = append(fast, nil)
+				}
+				m := fast[ev.Idx]
+				if m == nil {
+					m = map[uint64]int32{}
+					fast[ev.Idx] = m
+				}
+				if i, ok := m[k]; ok {
+					slot = &h.Entries[i]
+				} else {
+					m[k] = int32(len(h.Entries))
+				}
+			} else {
+				// Varints are self-delimiting, so the key cannot collide
+				// across patterns with different bit lengths.
+				key = binary.AppendUvarint(key[:0], uint64(ev.Idx))
+				key = binary.AppendUvarint(key, uint64(ev.Exit))
+				key = append(key, ev.Bits...)
+				if idx == nil {
+					idx = map[string]int32{}
+				}
+				if i, ok := idx[string(key)]; ok {
+					slot = &h.Entries[i]
+				} else {
+					idx[string(key)] = int32(len(h.Entries))
+				}
+			}
+			if slot != nil {
+				if ev.Count > math.MaxInt64-slot.Count {
 					return nil, fmt.Errorf("%w: pattern count overflow", ErrCorrupt)
 				}
-				e.Count += ev.Count
+				slot.Count += ev.Count
 			} else {
-				idx[string(key)] = int32(len(h.Entries))
 				h.Entries = append(h.Entries, HistEntry{
 					Idx: ev.Idx, Exit: ev.Exit, Bits: ev.Bits, Count: ev.Count,
 				})
