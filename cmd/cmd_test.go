@@ -255,3 +255,158 @@ func TestSpdlint(t *testing.T) {
 		t.Errorf("unknown -corrupt kind accepted:\n%s", out)
 	}
 }
+
+// loopProgram never terminates: only a fuel budget or deadline can stop it.
+const loopProgram = `
+void main() {
+	int i = 0;
+	while (1) { i = i + 1; }
+}
+`
+
+// busyProgram terminates but runs long enough (hundreds of thousands of
+// dynamic ops) to trip the -chaos panic trigger in every dynamic lint cell.
+const busyProgram = `
+int a[64];
+void main() {
+	int s = 0;
+	for (int r = 0; r < 500; r = r + 1) {
+		for (int k = 0; k < 64; k = k + 1) { a[k] = k + r; s = s + a[(k + 7) % 64]; }
+	}
+	print(s);
+}
+`
+
+// run executes bin and returns stdout, stderr, and the exit code.
+func run(t *testing.T, bin string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestSpdbenchResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := build(t, dir, "cmd/spdbench")
+
+	cleanOut, cleanErr, code := run(t, bin, "-bench", "fft")
+	if code != 0 || cleanErr != "" {
+		t.Fatalf("clean run: exit %d, stderr %q", code, cleanErr)
+	}
+
+	// An injected panic fails its cells: FAIL rows on stdout, the failure
+	// table on stderr, exit status 2.
+	out, errOut, code := run(t, bin, "-bench", "fft", "-inject", "seed=42,rate=1,kinds=panic")
+	if code != 2 {
+		t.Fatalf("injected panic: exit %d, want 2\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "FAIL(panic)") {
+		t.Fatalf("report lacks FAIL rows:\n%s", out)
+	}
+	if !strings.Contains(errOut, "cell(s) failed") || !strings.Contains(errOut, "injected panic") {
+		t.Fatalf("stderr lacks the failure table:\n%s", errOut)
+	}
+
+	// A bytecode-only injected panic is recovered by the tree-walker rung:
+	// stdout is byte-identical to the clean run, stderr reports the
+	// degradation, exit status 1.
+	out, errOut, code = run(t, bin, "-bench", "fft", "-inject", "seed=7,rate=1,kinds=bpanic")
+	if code != 1 {
+		t.Fatalf("recovered bpanic: exit %d, want 1\n%s", code, errOut)
+	}
+	if out != cleanOut {
+		t.Fatalf("degraded stdout differs from clean run:\n%s", out)
+	}
+	if !strings.Contains(errOut, "degraded but complete") {
+		t.Fatalf("stderr lacks the degradation summary:\n%s", errOut)
+	}
+
+	// Trace corruption walks recapture (times=1) and interp fallback
+	// (times=2); both recover with identical reports.
+	for _, plan := range []string{"seed=7,rate=1,kinds=flip", "seed=7,rate=1,kinds=flip,times=2"} {
+		out, errOut, code = run(t, bin, "-bench", "fft", "-inject", plan)
+		if code != 1 || out != cleanOut {
+			t.Fatalf("%s: exit %d, identical %v\n%s", plan, code, out == cleanOut, errOut)
+		}
+	}
+
+	// A starved fuel budget fails cells with the typed class.
+	_, errOut, code = run(t, bin, "-bench", "fft", "-fuel", "1000")
+	if code != 2 || !strings.Contains(errOut, "fuel") {
+		t.Fatalf("-fuel 1000: exit %d\n%s", code, errOut)
+	}
+
+	// An expired deadline fails cells with the typed class.
+	_, errOut, code = run(t, bin, "-bench", "fft", "-deadline", "1ns")
+	if code != 2 || !strings.Contains(errOut, "deadline") {
+		t.Fatalf("-deadline 1ns: exit %d\n%s", code, errOut)
+	}
+
+	// Malformed fault plans are rejected.
+	if _, _, code := run(t, bin, "-inject", "wat"); code != 1 {
+		t.Errorf("malformed -inject accepted (exit %d)", code)
+	}
+}
+
+func TestSpdlintChaosAndFuel(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "cmd/spdlint")
+	src := filepath.Join(dir, "m.mc")
+	if err := os.WriteFile(src, []byte(demoProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loop := filepath.Join(dir, "loop.mc")
+	if err := os.WriteFile(loop, []byte(loopProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A nonterminating program is skipped on fuel exhaustion — a notice and
+	// a clean exit, not a hang and not a finding.
+	out, _, code := run(t, bin, "-mem", "2", "-fuel", "100000", loop)
+	if code != 0 {
+		t.Fatalf("nonterminating program failed lint: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "SKIP") || !strings.Contains(out, "[fuel]") {
+		t.Fatalf("missing fuel-skip notice:\n%s", out)
+	}
+
+	// -chaos panic: the injected crash must surface as a finding in every
+	// dynamic cell, never kill the process. The busy program runs long
+	// enough for the trigger to fire in each cell.
+	busy := filepath.Join(dir, "busy.mc")
+	if err := os.WriteFile(busy, []byte(busyProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code = run(t, bin, "-mem", "2", "-chaos", "panic", "-v", busy)
+	if code == 0 {
+		t.Fatalf("-chaos panic reported clean:\n%s", out)
+	}
+	if !strings.Contains(out, "lint/run-failed") || !strings.Contains(out, "injected panic") {
+		t.Fatalf("chaos panic not surfaced as a finding:\n%s", out)
+	}
+
+	// -chaos fuel on the tiny demo: its dynamic cells finish under even the
+	// chaos budget, so the run stays clean — the point is the budget is
+	// honored without breaking well-behaved programs.
+	if out, _, code := run(t, bin, "-mem", "2", "-chaos", "fuel", src); code != 0 {
+		t.Fatalf("-chaos fuel broke a terminating program: exit %d\n%s", code, out)
+	}
+
+	// Unknown chaos kinds are rejected.
+	if _, _, code := run(t, bin, "-chaos", "wat", src); code == 0 {
+		t.Error("unknown -chaos kind accepted")
+	}
+}

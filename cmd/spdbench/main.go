@@ -14,11 +14,21 @@
 //	spdbench -trace interp    # interpret every timed run instead of trace replay
 //	spdbench -exec tree       # interpret on the reference tree walker instead of bytecode
 //	spdbench -verify          # static verifier after every pipeline stage
+//	spdbench -fuel N          # dynamic-op budget per interpretation
+//	spdbench -deadline 30s    # wall-clock deadline for the whole evaluation
+//	spdbench -inject PLAN     # seeded fault injection, e.g. seed=42,rate=0.3
 //	spdbench -json            # also write BENCH_spdbench.json with timings
 //	spdbench -cpuprofile f    # write a CPU profile of the run
+//
+// A cell failure never kills the run: the failed cell's rows are marked
+// FAIL in the report, a failure table goes to stderr, and the exit status
+// is 2. Exit status 1 means every cell was recovered by a degradation rung
+// (bcode→tree retry, trace recapture, interp fallback) — the report is
+// complete but the run was not pristine. Exit status 0 is a clean run.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,8 +40,15 @@ import (
 
 	"specdis/internal/bench"
 	"specdis/internal/exper"
+	"specdis/internal/resilience"
 	"specdis/internal/sim"
 )
+
+// defaultFuel is the default per-interpretation dynamic-op budget: ten times
+// the full evaluation's pinned sim_ops total (46,553,404), so no legitimate
+// cell can come near it while a runaway interpretation still dies in
+// seconds rather than hanging the grid.
+const defaultFuel = 465_534_040
 
 // benchReport is the schema of BENCH_spdbench.json: per-experiment wall
 // times plus the runner's deduplicated work counters.
@@ -55,6 +72,10 @@ type benchReport struct {
 	Trace traceReport `json:"trace"`
 	// Exec describes the execution backend's work.
 	Exec execReport `json:"exec"`
+	// Resilience describes the fault-tolerance layer's work: failures,
+	// degradation rungs taken, and faults injected. All-zero on a clean
+	// uninjected run.
+	Resilience resilienceReport `json:"resilience"`
 }
 
 // traceReport is the "trace" section of BENCH_spdbench.json.
@@ -87,7 +108,33 @@ type execReport struct {
 	CacheHits     int64 `json:"cache_hits"`
 }
 
+// resilienceReport is the "resilience" section of BENCH_spdbench.json; see
+// docs/RESILIENCE.md for the counter semantics.
+type resilienceReport struct {
+	// Inject echoes the fault plan dealt to the run ("" = none).
+	Inject string `json:"inject,omitempty"`
+	// CellFailures counts distinct cells that failed after exhausting the
+	// degradation ladder; the next three split them by class.
+	CellFailures     int64 `json:"cell_failures"`
+	CellPanics       int64 `json:"cell_panics"`
+	FuelExhausted    int64 `json:"fuel_exhausted"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// BCodeFallbacks, TraceRecaptures and InterpFallbacks count degradation
+	// rungs taken (whether or not the rung then recovered the cell).
+	BCodeFallbacks  int64 `json:"bcode_fallbacks"`
+	TraceRecaptures int64 `json:"trace_recaptures"`
+	InterpFallbacks int64 `json:"interp_fallbacks"`
+	// FaultsInjected counts cells the -inject plan armed.
+	FaultsInjected int64 `json:"faults_injected"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+// run is the whole program; keeping it out of main lets the profile and
+// deadline defers fire before the process exits with a status code.
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("spdbench: ")
 	// A short-lived batch process with a small live heap: let the heap grow
@@ -103,6 +150,9 @@ func main() {
 	par := flag.Int("par", 0, "evaluation-cell worker pool width (0 = GOMAXPROCS, 1 = sequential)")
 	traceMode := flag.String("trace", "replay", "timed-simulation backend: replay (capture a trace once, price every model by replay) or interp (interpret every timed run)")
 	execMode := flag.String("exec", "bcode", "execution backend: bcode (compile trees to register-machine bytecode) or tree (reference tree-walking interpreter)")
+	fuel := flag.Int64("fuel", defaultFuel, "dynamic-operation budget per interpretation; an exceeding cell fails typed instead of hanging")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole evaluation (0 = none); expiry fails in-flight cells typed")
+	inject := flag.String("inject", "", "seeded fault-injection plan, e.g. seed=42,rate=0.3,kinds=panic+fuel+flip+drop,times=1 (chaos mode)")
 	jsonOut := flag.Bool("json", false, "write BENCH_spdbench.json with per-experiment timings")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -112,6 +162,7 @@ func main() {
 	r := exper.New()
 	r.Par = *par
 	r.Verify = *verifyFlag
+	r.Fuel = *fuel
 	switch *traceMode {
 	case "replay":
 		r.TraceReplay = true
@@ -127,6 +178,18 @@ func main() {
 		r.Exec = sim.ExecTree
 	default:
 		log.Fatalf("unknown -exec mode %q (want bcode or tree)", *execMode)
+	}
+	if *deadline > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+		defer cancel()
+		r.Ctx = ctx
+	}
+	if *inject != "" {
+		plan, err := resilience.ParsePlan(*inject)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Inject = plan
 	}
 	if *benchName != "" {
 		b := bench.ByName(*benchName)
@@ -173,6 +236,8 @@ func main() {
 	timed := func(name string, fn func() error) {
 		t0 := time.Now()
 		if err := fn(); err != nil {
+			// Cell failures are recorded in the rows, never returned; an
+			// error here is infrastructure (a benchmark fails to compile).
 			log.Fatal(err)
 		}
 		report.WallMS[name] = float64(time.Since(t0).Microseconds()) / 1000
@@ -255,9 +320,9 @@ func main() {
 		})
 	}
 
+	st := r.Stats()
 	if *jsonOut {
 		total := time.Since(start)
-		st := r.Stats()
 		report.TotalMS = float64(total.Microseconds()) / 1000
 		report.Cells = st.Prepares + st.Measures
 		if s := total.Seconds(); s > 0 {
@@ -279,6 +344,17 @@ func main() {
 			Instrs:        st.BCodeInstrs,
 			CacheHits:     st.BCodeCacheHits,
 		}
+		report.Resilience = resilienceReport{
+			Inject:           *inject,
+			CellFailures:     st.CellFailures,
+			CellPanics:       st.CellPanics,
+			FuelExhausted:    st.FuelExhausted,
+			DeadlineExceeded: st.DeadlineExceeded,
+			BCodeFallbacks:   st.BCodeFallbacks,
+			TraceRecaptures:  st.TraceRecaptures,
+			InterpFallbacks:  st.InterpFallbacks,
+			FaultsInjected:   st.FaultsInjected,
+		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatal(err)
@@ -287,4 +363,21 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+
+	// The failure table and degradation summary go to stderr: stdout stays
+	// byte-identical across backends whether or not a run degraded.
+	if fails := r.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "spdbench: %d cell(s) failed:\n", len(fails))
+		fmt.Fprintf(os.Stderr, "  %-24s %-10s %-18s %s\n", "CELL", "STAGE", "CLASS", "ERROR")
+		for _, ce := range fails {
+			fmt.Fprintf(os.Stderr, "  %-24s %-10s %-18s %v\n", ce.Cell(), ce.Stage, ce.Class, ce.Err)
+		}
+		return 2
+	}
+	if n := st.BCodeFallbacks + st.TraceRecaptures + st.InterpFallbacks; n > 0 {
+		fmt.Fprintf(os.Stderr, "spdbench: degraded but complete: %d bcode fallback(s), %d trace recapture(s), %d interp fallback(s); every cell recovered\n",
+			st.BCodeFallbacks, st.TraceRecaptures, st.InterpFallbacks)
+		return 1
+	}
+	return 0
 }

@@ -14,9 +14,16 @@
 //	-mem 2,6      memory latencies to lint the SPEC pipeline at
 //	-fus 5        machine width for schedule validation
 //	-exec bcode   execution backend for the dynamic checks: bcode | tree
+//	-fuel N       dynamic-op budget per lint interpretation; a cell that
+//	              exhausts it (a nonterminating example, say) is skipped
+//	              with a notice, not failed
 //	-v            per-program checker statistics
 //	-corrupt KIND seed a violation before checking (debug: proves the
 //	              checkers catch it): seq | arc
+//	-chaos KIND   self-test the lint engine's fault tolerance: panic (an
+//	              injected crash in every dynamic check must surface as a
+//	              lint/run-failed finding, never kill the process) | fuel
+//	              (a tiny budget must skip every dynamic check cleanly)
 package main
 
 import (
@@ -51,8 +58,10 @@ func main() {
 	memFlag := flag.String("mem", "2,6", "comma-separated memory latencies to lint the SPEC pipeline at")
 	fus := flag.Int("fus", 5, "machine width for schedule validation")
 	execMode := flag.String("exec", "bcode", "execution backend for the dynamic checks: bcode or tree")
+	fuel := flag.Int64("fuel", 0, "dynamic-op budget per lint interpretation (0 = the engine default); exhausting cells are skipped, not failed")
 	verbose := flag.Bool("v", false, "print per-program checker statistics")
 	corrupt := flag.String("corrupt", "", "seed a violation before checking: seq | arc")
+	chaos := flag.String("chaos", "", "fault-tolerance self-test: panic (injected crash must become a finding) | fuel (tiny budget must skip cleanly)")
 	flag.Parse()
 
 	var memLats []int
@@ -64,7 +73,7 @@ func main() {
 		memLats = append(memLats, n)
 	}
 
-	opts := disamb.LintOptions{MemLats: memLats, NumFUs: *fus}
+	opts := disamb.LintOptions{MemLats: memLats, NumFUs: *fus, MaxOps: *fuel}
 	switch *execMode {
 	case "bcode":
 		opts.Exec = sim.ExecBytecode
@@ -81,6 +90,17 @@ func main() {
 		opts.Corrupt = corruptArc
 	default:
 		log.Fatalf("unknown -corrupt kind %q (want seq or arc)", *corrupt)
+	}
+	switch *chaos {
+	case "":
+	case "panic":
+		// Early enough to fire inside every benchmark's dynamic check.
+		opts.ChaosPanicAt = 10_000
+	case "fuel":
+		// Too small for any real program: every dynamic check must skip.
+		opts.MaxOps = 1_000
+	default:
+		log.Fatalf("unknown -chaos kind %q (want panic or fuel)", *chaos)
 	}
 
 	var targets []target
@@ -109,12 +129,16 @@ func main() {
 		for _, f := range rep.Findings {
 			fmt.Printf("%s: %s\n", tg.name, f.String())
 		}
+		// Skips are notices, not findings: a clean report may carry them.
+		for _, s := range rep.Skips {
+			fmt.Printf("%s: SKIP %s\n", tg.name, s)
+		}
 		if !rep.Clean() {
 			failed++
 		} else if *verbose {
 			st := rep.Stats
-			fmt.Printf("%s: ok (%d cells, %d trees, %d pairs, %d arcs checked, %d audited, %d schedules, %d patterns)\n",
-				tg.name, st.Cells, st.Trees, st.Pairs, st.ArcsChecked, st.ArcsAudited, st.Scheds, st.Patterns)
+			fmt.Printf("%s: ok (%d cells, %d trees, %d pairs, %d arcs checked, %d audited, %d schedules, %d patterns, %d skipped)\n",
+				tg.name, st.Cells, st.Trees, st.Pairs, st.ArcsChecked, st.ArcsAudited, st.Scheds, st.Patterns, st.Skipped)
 		}
 	}
 	if failed > 0 {

@@ -1,0 +1,79 @@
+// Nonterm: what happens when a program never halts. The simulator bounds
+// every interpretation with a fuel budget (a hard dynamic-operation count)
+// and an optional wall-clock deadline, so a nonterminating program — here a
+// bare while(1) loop — fails with a typed error on every execution engine
+// instead of hanging: the reference tree walker, the bytecode engine, and
+// the bytecode engine under trace capture.
+//
+//	go run ./examples/nonterm
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"specdis/internal/compile"
+	"specdis/internal/machine"
+	"specdis/internal/resilience"
+	"specdis/internal/sim"
+	"specdis/internal/trace"
+)
+
+// The simplest nonterminating MiniC program: no exit, no print — only the
+// fuel budget or a deadline can stop it. (spdlint skips its dynamic checks
+// with a fuel notice for the same reason; see docs/RESILIENCE.md.)
+const src = `
+void main() {
+	int i = 0;
+	while (1) {
+		i = i + 1;
+	}
+}
+`
+
+func main() {
+	prog, err := compile.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat := machine.Infinite(2).LatencyFunc()
+
+	fmt.Println("a while(1) loop under a 100,000-op fuel budget:")
+	engines := []struct {
+		name string
+		mode sim.ExecMode
+		rec  bool
+	}{
+		{"tree walker     ", sim.ExecTree, false},
+		{"bytecode        ", sim.ExecBytecode, false},
+		{"trace capture   ", sim.ExecBytecode, true},
+	}
+	for _, e := range engines {
+		r := &sim.Runner{Prog: prog, SemLat: lat, MaxOps: 100_000, Exec: e.mode}
+		if e.rec {
+			r.Rec = trace.NewRecorder()
+		}
+		_, err := r.Run()
+		fmt.Printf("  %s %v\n", e.name, err)
+		if !errors.Is(err, resilience.ErrFuelExhausted) {
+			log.Fatalf("expected a typed fuel error, got %v", err)
+		}
+	}
+
+	fmt.Println("\nthe same loop under a 50ms wall-clock deadline (unbounded fuel):")
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	r := &sim.Runner{Prog: prog, SemLat: lat, Ctx: ctx, Exec: sim.ExecBytecode}
+	start := time.Now()
+	_, err = r.Run()
+	fmt.Printf("  after %v: %v\n", time.Since(start).Round(time.Millisecond), err)
+	if !errors.Is(err, resilience.ErrDeadline) {
+		log.Fatalf("expected a typed deadline error, got %v", err)
+	}
+
+	fmt.Println("\nboth failures are matchable with errors.Is:")
+	fmt.Printf("  errors.Is(err, resilience.ErrDeadline) = %v\n", errors.Is(err, resilience.ErrDeadline))
+}

@@ -6,6 +6,7 @@
 package disamb
 
 import (
+	"context"
 	"fmt"
 
 	"specdis/internal/alias"
@@ -81,6 +82,9 @@ type Prepared struct {
 	// MaxOps is Options.MaxOps, carried so Measure and Capture runs share
 	// the preparation's operation budget.
 	MaxOps int64
+	// Ctx is Options.Ctx, carried so Measure and Capture runs share the
+	// preparation's cancellation scope.
+	Ctx context.Context
 	// Exec is the execution backend every interpretation of this preparation
 	// uses (Options.Exec).
 	Exec sim.ExecMode
@@ -121,6 +125,10 @@ type Options struct {
 	// and Capture runs (0 = sim.DefaultMaxOps). The fuzzers set a small
 	// budget so runaway generated programs fail fast.
 	MaxOps int64
+	// Ctx, when non-nil, cancels every interpretation of the prepared
+	// program — the profiling run and the later Measure and Capture runs —
+	// with a typed deadline error (see sim.Runner.Ctx).
+	Ctx context.Context
 	// Exec selects the execution backend for every interpretation of the
 	// prepared program (zero value: the bytecode engine).
 	Exec sim.ExecMode
@@ -167,7 +175,7 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 			return nil, err
 		}
 	}
-	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount(), MaxOps: o.MaxOps, Exec: o.Exec}
+	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount(), MaxOps: o.MaxOps, Ctx: o.Ctx, Exec: o.Exec}
 	lat := machine.Infinite(memLat).LatencyFunc()
 
 	profileRun := func(rec *trace.Recorder) error {
@@ -179,7 +187,7 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 			bc = bcode.NewCache(o.ExecCounters)
 		}
 		p.Profile = sim.NewProfile()
-		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec, MaxOps: o.MaxOps, Exec: o.Exec, BCode: bc}
+		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec, MaxOps: o.MaxOps, Ctx: o.Ctx, Exec: o.Exec, BCode: bc}
 		res, err := r.Run()
 		if err != nil {
 			return fmt.Errorf("%s profiling run: %w", kind, err)
@@ -325,6 +333,50 @@ func Plans(p *Prepared, models []machine.Model) []*sim.Plan {
 	return plans
 }
 
+// MeasureOpt adjusts one measurement, capture or replay run without touching
+// the preparation it runs against. The zero value changes nothing; the
+// degradation ladder (internal/exper) and the fault-injection harness are the
+// intended users.
+type MeasureOpt struct {
+	// Ctx overrides the preparation's context when non-nil.
+	Ctx context.Context
+	// MaxOps overrides the preparation's fuel budget when positive — the
+	// fuel-exhaustion fault shrinks one run's budget without touching the
+	// shared preparation.
+	MaxOps int64
+	// Exec overrides the preparation's execution backend when ExecSet — the
+	// bcode→tree retry rung sets it after a bytecode-side failure.
+	Exec    sim.ExecMode
+	ExecSet bool
+	// ChaosPanicAt, when positive, arms the run's injected-panic hook (see
+	// sim.Runner.ChaosPanicAt).
+	ChaosPanicAt int64
+	// ChaosPlans, when non-nil, mutates the freshly built pricing plans
+	// before the run — the schedule-dropping fault uses it.
+	ChaosPlans func([]*sim.Plan)
+}
+
+func (o MeasureOpt) exec(p *Prepared) sim.ExecMode {
+	if o.ExecSet {
+		return o.Exec
+	}
+	return p.Exec
+}
+
+func (o MeasureOpt) ctx(p *Prepared) context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return p.Ctx
+}
+
+func (o MeasureOpt) maxOps(p *Prepared) int64 {
+	if o.MaxOps > 0 {
+		return o.MaxOps
+	}
+	return p.MaxOps
+}
+
 // Capture returns an execution trace of the prepared program for replay
 // pricing: the trace piggybacked on the profiling run when one is valid
 // (see Options.Record), otherwise one fresh recording interpretation. The
@@ -333,14 +385,23 @@ func Capture(p *Prepared) (*trace.Trace, error) {
 	if p.Trace != nil {
 		return p.Trace, nil
 	}
+	return Recapture(p, MeasureOpt{})
+}
+
+// Recapture records a fresh execution trace of the prepared program, ignoring
+// any trace the preparation already carries — the replay→recapture recovery
+// rung for a trace that failed its integrity check.
+func Recapture(p *Prepared, opt MeasureOpt) (*trace.Trace, error) {
 	rec := trace.NewRecorder()
 	r := &sim.Runner{
-		Prog:   p.Prog,
-		SemLat: machine.Infinite(p.MemLat).LatencyFunc(),
-		Rec:    rec,
-		MaxOps: p.MaxOps,
-		Exec:   p.Exec,
-		BCode:  p.BCode,
+		Prog:         p.Prog,
+		SemLat:       machine.Infinite(p.MemLat).LatencyFunc(),
+		Rec:          rec,
+		MaxOps:       opt.maxOps(p),
+		Ctx:          opt.ctx(p),
+		ChaosPanicAt: opt.ChaosPanicAt,
+		Exec:         opt.exec(p),
+		BCode:        p.BCode,
 	}
 	res, err := r.Run()
 	if err != nil {
@@ -362,7 +423,17 @@ func Capture(p *Prepared) (*trace.Trace, error) {
 // execution). NAIVE, STATIC and PERFECT preparations of one source satisfy
 // this mutually; SPEC needs a trace of its own transformed program.
 func ReplayMeasure(p *Prepared, models []machine.Model, tr *trace.Trace) (*sim.Result, error) {
-	rp := &sim.Replayer{Prog: p.Prog, Plans: Plans(p, models)}
+	return ReplayMeasureWith(p, models, tr, MeasureOpt{})
+}
+
+// ReplayMeasureWith is ReplayMeasure with per-run options (replay evaluates
+// no operand, so only ChaosPlans applies).
+func ReplayMeasureWith(p *Prepared, models []machine.Model, tr *trace.Trace, opt MeasureOpt) (*sim.Result, error) {
+	plans := Plans(p, models)
+	if opt.ChaosPlans != nil {
+		opt.ChaosPlans(plans)
+	}
+	rp := &sim.Replayer{Prog: p.Prog, Plans: plans}
 	res, err := rp.Replay(tr)
 	if err != nil {
 		return nil, fmt.Errorf("%s replay: %w", p.Kind, err)
@@ -373,13 +444,24 @@ func ReplayMeasure(p *Prepared, models []machine.Model, tr *trace.Trace) (*sim.R
 // Measure executes the prepared program once, pricing it under every model.
 // The returned Times slice parallels models.
 func Measure(p *Prepared, models []machine.Model) (*sim.Result, error) {
+	return MeasureWith(p, models, MeasureOpt{})
+}
+
+// MeasureWith is Measure with per-run options.
+func MeasureWith(p *Prepared, models []machine.Model, opt MeasureOpt) (*sim.Result, error) {
+	plans := Plans(p, models)
+	if opt.ChaosPlans != nil {
+		opt.ChaosPlans(plans)
+	}
 	r := &sim.Runner{
-		Prog:   p.Prog,
-		SemLat: machine.Infinite(p.MemLat).LatencyFunc(),
-		Plans:  Plans(p, models),
-		MaxOps: p.MaxOps,
-		Exec:   p.Exec,
-		BCode:  p.BCode,
+		Prog:         p.Prog,
+		SemLat:       machine.Infinite(p.MemLat).LatencyFunc(),
+		Plans:        plans,
+		MaxOps:       opt.maxOps(p),
+		Ctx:          opt.ctx(p),
+		ChaosPanicAt: opt.ChaosPanicAt,
+		Exec:         opt.exec(p),
+		BCode:        p.BCode,
 	}
 	res, err := r.Run()
 	if err != nil {

@@ -67,6 +67,13 @@ void main() {
 	for (int k = 0; k < 8; k = k + 1) { s = s * 13 + a[k] - b[k]; }
 	print(s);
 }`,
+	// Fuel path: terminates, but far beyond the fuzzers' small op budget —
+	// both backends must abort with the same typed budget error.
+	`void main() {
+	int i = 0;
+	while (i < 3000000) { i = i + 1; }
+	print(i);
+}`,
 }
 
 // FuzzDisamb is the native differential fuzzer: any input that compiles as

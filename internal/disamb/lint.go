@@ -6,6 +6,7 @@ import (
 
 	"specdis/internal/ir"
 	"specdis/internal/machine"
+	"specdis/internal/resilience"
 	"specdis/internal/sched"
 	"specdis/internal/sim"
 	"specdis/internal/spd"
@@ -45,7 +46,23 @@ type LintOptions struct {
 	// interpretation (zero value: the bytecode engine), so the battery can
 	// be pointed at either engine.
 	Exec sim.ExecMode
+	// MaxOps is the fuel budget of every lint interpretation (0 =
+	// DefaultLintMaxOps). A cell whose program exhausts it — a
+	// nonterminating example, say — is skipped with a notice, not failed:
+	// lint checks invariants, and a program that never halts under the
+	// budget violates none.
+	MaxOps int64
+	// ChaosPanicAt, when positive, arms the injected-panic hook on every
+	// dynamic lint interpretation (the -chaos self-test): the recovered
+	// panic must surface as a lint/run-failed finding, never kill the
+	// process.
+	ChaosPanicAt int64
 }
+
+// DefaultLintMaxOps is the lint engine's fuel budget: generous next to the
+// benchmark suite's heaviest cell yet small enough that a nonterminating
+// example under lint finishes in seconds.
+const DefaultLintMaxOps = 200_000_000
 
 // LintStats counts the work a Lint run performed, so callers (and the
 // golden tests) can tell a clean report from a vacuous one.
@@ -57,12 +74,16 @@ type LintStats struct {
 	ArcsAudited int // base arcs audited for unsound removal
 	Scheds      int // list schedules built and validated
 	Patterns    int // distinct trace commit patterns scanned
+	Skipped     int // cells skipped on fuel or deadline exhaustion
 }
 
 // LintReport is the result of a Lint run.
 type LintReport struct {
 	Findings []verify.Finding
 	Stats    LintStats
+	// Skips describes cells whose checks were skipped on fuel or deadline
+	// exhaustion — notices, not findings: a clean report may carry skips.
+	Skips []string
 }
 
 // Clean reports whether the run produced no findings.
@@ -86,6 +107,10 @@ func Lint(src string, o LintOptions) (*LintReport, error) {
 	if numFUs <= 0 {
 		numFUs = 5
 	}
+	maxOps := o.MaxOps
+	if maxOps == 0 {
+		maxOps = DefaultLintMaxOps
+	}
 
 	rep := &LintReport{}
 	// NAIVE's checked cell doubles as the arc-lattice base for every
@@ -100,8 +125,13 @@ func Lint(src string, o LintOptions) (*LintReport, error) {
 				break
 			}
 			cell := fmt.Sprintf("%s/mem%d", kind, lat)
-			p, err := PrepareOpts(src, Options{Kind: kind, MemLat: lat, SpD: params, Exec: o.Exec})
+			p, err := PrepareOpts(src, Options{Kind: kind, MemLat: lat, SpD: params, Exec: o.Exec, MaxOps: maxOps})
 			if err != nil {
+				if cls := resilience.Classify(err); cls == resilience.ClassFuel || cls == resilience.ClassDeadline {
+					rep.Stats.Skipped++
+					rep.Skips = append(rep.Skips, fmt.Sprintf("%s: preparation skipped [%s]: %v", cell, cls, err))
+					continue
+				}
 				return nil, fmt.Errorf("lint %s: %w", cell, err)
 			}
 			if o.Corrupt != nil {
@@ -127,15 +157,29 @@ func Lint(src string, o LintOptions) (*LintReport, error) {
 			// The dynamic half interprets the program; only run it on a
 			// structurally sound cell.
 			if len(fs) == 0 {
-				dyn, err := lintDynamic(p, lat, pairs, rep)
+				dyn, err := lintDynamic(p, lat, o.ChaosPanicAt, pairs, rep)
 				if err != nil {
-					if o.Corrupt == nil {
+					switch cls := resilience.Classify(err); {
+					case cls == resilience.ClassFuel || cls == resilience.ClassDeadline:
+						// A budget or deadline abort says nothing about the
+						// program's invariants: skip with a notice.
+						rep.Stats.Skipped++
+						rep.Skips = append(rep.Skips, fmt.Sprintf("%s: dynamic checks skipped [%s]: %v", cell, cls, err))
+					case cls == resilience.ClassPanic:
+						// A recovered crash is always a finding, never fatal:
+						// one broken cell must not kill the whole battery.
+						fs = append(fs, verify.Finding{
+							Check: "lint/run-failed", Func: "-", Tree: "-",
+							Msg: err.Error(),
+						})
+					case o.Corrupt == nil:
 						return nil, fmt.Errorf("lint %s: %w", cell, err)
+					default:
+						fs = append(fs, verify.Finding{
+							Check: "lint/run-failed", Func: "-", Tree: "-",
+							Msg: err.Error(),
+						})
 					}
-					fs = append(fs, verify.Finding{
-						Check: "lint/run-failed", Func: "-", Tree: "-",
-						Msg: err.Error(),
-					})
 				} else {
 					fs = append(fs, dyn.findings...)
 					if kind == Naive {
@@ -183,7 +227,7 @@ type lintResult struct {
 // counters and the pairwise commit exclusion against the trace histogram.
 // Sharing one run makes the recomputed per-arc execution counts exact, so
 // any mismatch is a profiler or recorder bug, not sampling noise.
-func lintDynamic(p *Prepared, memLat int, pairs map[*ir.Tree][]verify.SpecPair, rep *LintReport) (*lintResult, error) {
+func lintDynamic(p *Prepared, memLat int, chaosAt int64, pairs map[*ir.Tree][]verify.SpecPair, rep *LintReport) (*lintResult, error) {
 	// Preparation may have left profile counts on the arcs (SPEC and
 	// PERFECT profile before transforming); reset so the counters and the
 	// histogram describe the same run of the same (final) program.
@@ -194,12 +238,20 @@ func lintDynamic(p *Prepared, memLat int, pairs map[*ir.Tree][]verify.SpecPair, 
 	})
 	rec := trace.NewRecorder()
 	r := &sim.Runner{
-		Prog:   p.Prog,
-		SemLat: machine.Infinite(memLat).LatencyFunc(),
-		Prof:   sim.NewProfile(),
-		Rec:    rec,
+		Prog:         p.Prog,
+		SemLat:       machine.Infinite(memLat).LatencyFunc(),
+		Prof:         sim.NewProfile(),
+		Rec:          rec,
+		MaxOps:       p.MaxOps,
+		ChaosPanicAt: chaosAt,
+		Exec:         p.Exec,
+		BCode:        p.BCode,
 	}
-	res, err := r.Run()
+	res, err := func() (res *sim.Result, err error) {
+		// The lint interpretation is a cell boundary: contain crashes.
+		defer resilience.Recover(&err, "lint", p.Kind.String(), memLat, "lint")
+		return r.Run()
+	}()
 	if err != nil {
 		return nil, fmt.Errorf("lint run: %w", err)
 	}

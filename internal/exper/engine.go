@@ -75,6 +75,20 @@ type Stats struct {
 	// instruction words; BCodeCacheHits the tree executions' compiled-program
 	// lookups served from a prepared program's shared cache.
 	BCodeCompiled, BCodeInstrs, BCodeCacheHits int64
+	// CellFailures counts distinct cells that failed after exhausting their
+	// degradation ladder; CellPanics, FuelExhausted, and DeadlineExceeded
+	// split those failures by class (the remainder is corrupt-trace,
+	// missing-schedule, and unclassified failures).
+	CellFailures, CellPanics, FuelExhausted, DeadlineExceeded int64
+	// BCodeFallbacks counts bytecode-engine cell failures retried on the
+	// reference tree walker; TraceRecaptures counts corrupt traces replaced
+	// by a fresh per-cell capture; InterpFallbacks counts replay-backend
+	// cells that fell all the way back to interpreting measurement. All
+	// three count rungs taken, whether or not the rung then succeeded.
+	BCodeFallbacks, TraceRecaptures, InterpFallbacks int64
+	// FaultsInjected counts cells the runner's fault-injection plan armed.
+	// Zero unless the runner was built with a non-empty Inject plan.
+	FaultsInjected int64
 }
 
 // Stats returns a snapshot of the runner's work counters. Safe to call
@@ -86,18 +100,26 @@ func (r *Runner) Stats() Stats {
 	captures := r.nTraceCaptures.Load()
 	reqs := r.nTraceReqs.Load()
 	return Stats{
-		Prepares:      r.nPrepares.Load(),
-		Measures:      r.nMeasures.Load(),
-		SimOps:        r.nSimOps.Load(),
-		TraceCaptures: captures,
-		TraceHits:     reqs - captures,
-		TraceEvents:   r.nTraceEvents.Load(),
-		TraceBytes:    r.nTraceBytes.Load(),
-		ReplayCells:    r.nReplayCells.Load(),
-		InterpCells:    r.nInterpCells.Load(),
-		BCodeCompiled:  r.bcodeCtrs.Compiled.Load(),
-		BCodeInstrs:    r.bcodeCtrs.Instrs.Load(),
-		BCodeCacheHits: r.bcodeCtrs.Hits.Load(),
+		Prepares:         r.nPrepares.Load(),
+		Measures:         r.nMeasures.Load(),
+		SimOps:           r.nSimOps.Load(),
+		TraceCaptures:    captures,
+		TraceHits:        reqs - captures,
+		TraceEvents:      r.nTraceEvents.Load(),
+		TraceBytes:       r.nTraceBytes.Load(),
+		ReplayCells:      r.nReplayCells.Load(),
+		InterpCells:      r.nInterpCells.Load(),
+		BCodeCompiled:    r.bcodeCtrs.Compiled.Load(),
+		BCodeInstrs:      r.bcodeCtrs.Instrs.Load(),
+		BCodeCacheHits:   r.bcodeCtrs.Hits.Load(),
+		CellFailures:     r.nCellFails.Load(),
+		CellPanics:       r.nPanics.Load(),
+		FuelExhausted:    r.nFuel.Load(),
+		DeadlineExceeded: r.nDeadline.Load(),
+		BCodeFallbacks:   r.nBCodeFallback.Load(),
+		TraceRecaptures:  r.nRecapture.Load(),
+		InterpFallbacks:  r.nInterpFallback.Load(),
+		FaultsInjected:   r.nInjected.Load(),
 	}
 }
 

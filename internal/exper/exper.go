@@ -15,7 +15,9 @@
 package exper
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"specdis/internal/bcode"
@@ -24,6 +26,7 @@ import (
 	"specdis/internal/disamb"
 	"specdis/internal/ir"
 	"specdis/internal/machine"
+	"specdis/internal/resilience"
 	"specdis/internal/sim"
 	"specdis/internal/spd"
 	"specdis/internal/trace"
@@ -66,21 +69,48 @@ type Runner struct {
 	// tree walker). Reports are byte-identical under both backends.
 	Exec sim.ExecMode
 
+	// Fuel bounds every interpretation's dynamic operation count (0 =
+	// sim.DefaultMaxOps): a nonterminating cell fails with a typed
+	// resilience.ErrFuelExhausted instead of hanging the grid.
+	Fuel int64
+
+	// Ctx, when non-nil, cancels in-flight cells on deadline expiry or
+	// cancellation with typed resilience.ErrDeadline failures
+	// (`spdbench -deadline`).
+	Ctx context.Context
+
+	// Inject is the seeded fault-injection plan (nil: no injection). Faults
+	// are dealt per cell by canonical name; every failure they manufacture
+	// must either be recovered by a degradation rung or surface as a
+	// structured CellError in Failures — never kill the process.
+	Inject *resilience.FaultPlan
+
 	base   group[string, *ir.Program]
 	prep   group[prepKey, *disamb.Prepared]
 	meas   group[prepKey, *measCell]
 	traces group[prepKey, *trace.Trace]
 
-	nPrepares      atomic.Int64
-	nMeasures      atomic.Int64
-	nSimOps        atomic.Int64
-	nTraceReqs     atomic.Int64
-	nTraceCaptures atomic.Int64
-	nTraceEvents   atomic.Int64
-	nTraceBytes    atomic.Int64
-	nReplayCells   atomic.Int64
-	nInterpCells   atomic.Int64
-	bcodeCtrs      bcode.Counters
+	failMu sync.Mutex
+	failed map[string]*resilience.CellError // first failure per cell name
+
+	nPrepares       atomic.Int64
+	nMeasures       atomic.Int64
+	nSimOps         atomic.Int64
+	nTraceReqs      atomic.Int64
+	nTraceCaptures  atomic.Int64
+	nTraceEvents    atomic.Int64
+	nTraceBytes     atomic.Int64
+	nReplayCells    atomic.Int64
+	nInterpCells    atomic.Int64
+	nCellFails      atomic.Int64
+	nPanics         atomic.Int64
+	nFuel           atomic.Int64
+	nDeadline       atomic.Int64
+	nBCodeFallback  atomic.Int64
+	nRecapture      atomic.Int64
+	nInterpFallback atomic.Int64
+	nInjected       atomic.Int64
+	bcodeCtrs       bcode.Counters
 }
 
 type prepKey struct {
@@ -145,20 +175,37 @@ func (r *Runner) Prepared(b *bench.Benchmark, kind disamb.Kind, memLat int) (*di
 			return nil, err
 		}
 		r.nPrepares.Add(1)
-		p, err := disamb.PrepareOpts(b.Source, disamb.Options{
-			Kind: kind, MemLat: memLat, SpD: r.Params,
-			// All of a benchmark's cells start from private clones of one
-			// compilation; each pipeline mutates only its own clone.
-			Prog: base.Clone(),
-			// Under the replay backend, PERFECT's profiling run doubles as
-			// the capture run for the whole latency-insensitive trace class
-			// (see traceFor) at no extra interpretation.
-			Record: r.TraceReplay && kind == disamb.Perfect,
-			Verify: r.Verify,
-			Exec:   r.Exec, ExecCounters: &r.bcodeCtrs,
-		})
+		attempt := func(mode sim.ExecMode) (p *disamb.Prepared, err error) {
+			// The preparation is a cell boundary: a panic anywhere in the
+			// pipeline (or its profiling interpretation) is recovered into a
+			// structured CellError instead of killing the grid.
+			defer resilience.Recover(&err, b.Name, kind.String(), key.memLat, "prepare")
+			return disamb.PrepareOpts(b.Source, disamb.Options{
+				Kind: kind, MemLat: memLat, SpD: r.Params,
+				// All of a benchmark's cells start from private clones of one
+				// compilation; each pipeline mutates only its own clone.
+				Prog: base.Clone(),
+				// Under the replay backend, PERFECT's profiling run doubles as
+				// the capture run for the whole latency-insensitive trace class
+				// (see traceFor) at no extra interpretation.
+				Record: r.TraceReplay && kind == disamb.Perfect,
+				Verify: r.Verify,
+				MaxOps: r.Fuel, Ctx: r.Ctx,
+				Exec: mode, ExecCounters: &r.bcodeCtrs,
+			})
+		}
+		p, err := attempt(r.Exec)
+		if err != nil && r.Exec == sim.ExecBytecode && resilience.Classify(err).Retryable() {
+			// Degradation rung: a bytecode-side crash gets one retry on the
+			// reference tree walker; the retried preparation keeps the tree
+			// backend for every later run of this cell.
+			r.nBCodeFallback.Add(1)
+			if p2, err2 := attempt(sim.ExecTree); err2 == nil {
+				return p2, nil
+			}
+		}
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, memLat, err)
+			return nil, r.failCell(err, b.Name, kind, key.memLat, "prepare")
 		}
 		return p, nil
 	})
@@ -201,9 +248,13 @@ func (r *Runner) traceFor(b *bench.Benchmark, kind disamb.Kind, memLat int) (*tr
 			return nil, err
 		}
 		r.nTraceCaptures.Add(1)
-		tr, err := disamb.Capture(p)
+		tr, err := func() (tr *trace.Trace, err error) {
+			// The capture run is a cell boundary too: contain crashes.
+			defer resilience.Recover(&err, b.Name, key.kind.String(), key.memLat, "capture")
+			return disamb.Capture(p)
+		}()
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, key.kind, memLat, err)
+			return nil, r.failCell(err, b.Name, key.kind, key.memLat, "capture")
 		}
 		r.nTraceEvents.Add(tr.Events)
 		r.nTraceBytes.Add(int64(tr.Size()))
@@ -232,7 +283,7 @@ func (r *Runner) Measure(b *bench.Benchmark, kind disamb.Kind, memLat int) (*Mea
 	cell, err := r.meas.Do(key, func() (*measCell, error) {
 		p, err := r.Prepared(b, kind, memLat)
 		if err != nil {
-			return nil, err
+			return nil, err // registered by Prepared at its origin
 		}
 		models := make([]machine.Model, 0, len(lats)*(MaxWidth+1))
 		for _, lat := range lats {
@@ -242,20 +293,9 @@ func (r *Runner) Measure(b *bench.Benchmark, kind disamb.Kind, memLat int) (*Mea
 			}
 		}
 		r.nMeasures.Add(1)
-		var res *sim.Result
-		if r.TraceReplay {
-			tr, terr := r.traceFor(b, kind, memLat)
-			if terr != nil {
-				return nil, terr
-			}
-			res, err = disamb.ReplayMeasure(p, models, tr)
-			r.nReplayCells.Add(1)
-		} else {
-			res, err = disamb.Measure(p, models)
-			r.nInterpCells.Add(1)
-		}
+		res, err := r.measureCell(b, kind, key.memLat, memLat, p, models)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s/m%d: %w", b.Name, kind, lats[0], err)
+			return nil, r.failCell(err, b.Name, kind, key.memLat, "measure")
 		}
 		r.nSimOps.Add(res.Ops)
 		cell := &measCell{byLat: make([]*Measurement, len(lats))}
@@ -309,6 +349,9 @@ type Table63Row struct {
 	Program          string
 	RAW2, WAR2, WAW2 int
 	RAW6, WAR6, WAW6 int
+	// Fail is the failure class of the row's first failed cell ("" = clean).
+	// Failed rows carry zero counts and are excluded from the TOTAL row.
+	Fail string
 }
 
 // Table63 reproduces Table 6-3.
@@ -329,13 +372,24 @@ func (r *Runner) Table63() ([]Table63Row, error) {
 		for _, memLat := range MemLats {
 			p, err := r.Prepared(b, disamb.Spec, memLat)
 			if err != nil {
-				return nil, err
+				// Record the failure on the row and keep going: one broken
+				// cell must not take down the rest of the table.
+				if row.Fail == "" {
+					row.Fail = failNote(err)
+				}
+				continue
 			}
 			if memLat == 2 {
 				row.RAW2, row.WAR2, row.WAW2 = p.SpD.RAW, p.SpD.WAR, p.SpD.WAW
 			} else {
 				row.RAW6, row.WAR6, row.WAW6 = p.SpD.RAW, p.SpD.WAR, p.SpD.WAW
 			}
+		}
+		if row.Fail != "" {
+			row.RAW2, row.WAR2, row.WAW2 = 0, 0, 0
+			row.RAW6, row.WAR6, row.WAW6 = 0, 0, 0
+			rows = append(rows, row)
+			continue
 		}
 		total.RAW2 += row.RAW2
 		total.WAR2 += row.WAR2
@@ -358,6 +412,9 @@ type Fig62Row struct {
 	Static  float64
 	Spec    float64
 	Perfect float64
+	// Fail is the failure class of the row's first failed cell ("" = clean);
+	// a failed row's speedups are zero.
+	Fail string
 }
 
 // Fig62Width is the machine width used by Figure 6-2.
@@ -378,11 +435,15 @@ func (r *Runner) Figure62() ([]Fig62Row, error) {
 	var rows []Fig62Row
 	for _, memLat := range MemLats {
 		for _, b := range r.Benchmarks {
+			row := Fig62Row{Program: b.Name, MemLat: memLat}
 			naive, err := r.Measure(b, disamb.Naive, memLat)
 			if err != nil {
-				return nil, err
+				// The NAIVE baseline is gone: the whole row fails, but the
+				// rest of the figure survives.
+				row.Fail = failNote(err)
+				rows = append(rows, row)
+				continue
 			}
-			row := Fig62Row{Program: b.Name, MemLat: memLat}
 			base := naive.ByWidth[Fig62Width-1]
 			for _, kp := range []struct {
 				kind disamb.Kind
@@ -394,9 +455,15 @@ func (r *Runner) Figure62() ([]Fig62Row, error) {
 			} {
 				m, err := r.Measure(b, kp.kind, memLat)
 				if err != nil {
-					return nil, err
+					if row.Fail == "" {
+						row.Fail = failNote(err)
+					}
+					continue
 				}
 				*kp.out = speedup(base, m.ByWidth[Fig62Width-1])
+			}
+			if row.Fail != "" {
+				row.Static, row.Spec, row.Perfect = 0, 0, 0
 			}
 			rows = append(rows, row)
 		}
@@ -412,6 +479,9 @@ type Fig63Row struct {
 	Program string
 	MemLat  int
 	Speedup [MaxWidth]float64 // index w-1 = width w
+	// Fail is the failure class of the row's first failed cell ("" = clean);
+	// a failed row's speedups are zero.
+	Fail string
 }
 
 // Figure63 reproduces Figure 6-3 (NRC benchmarks only, per the paper).
@@ -429,17 +499,20 @@ func (r *Runner) Figure63() ([]Fig63Row, error) {
 	var rows []Fig63Row
 	for _, memLat := range MemLats {
 		for _, b := range bench.NRC() {
-			st, err := r.Measure(b, disamb.Static, memLat)
-			if err != nil {
-				return nil, err
-			}
-			sp, err := r.Measure(b, disamb.Spec, memLat)
-			if err != nil {
-				return nil, err
-			}
 			row := Fig63Row{Program: b.Name, MemLat: memLat}
-			for w := 0; w < MaxWidth; w++ {
-				row.Speedup[w] = speedup(st.ByWidth[w], sp.ByWidth[w])
+			st, err := r.Measure(b, disamb.Static, memLat)
+			if err == nil {
+				var sp *Measurement
+				sp, err = r.Measure(b, disamb.Spec, memLat)
+				if err == nil {
+					for w := 0; w < MaxWidth; w++ {
+						row.Speedup[w] = speedup(st.ByWidth[w], sp.ByWidth[w])
+					}
+				}
+			}
+			if err != nil {
+				row.Fail = failNote(err)
+				row.Speedup = [MaxWidth]float64{}
 			}
 			rows = append(rows, row)
 		}
@@ -456,6 +529,9 @@ type Fig64Row struct {
 	BeforeOps   int
 	AfterOps    int
 	IncreasePct float64
+	// Fail is the failure class of the row's failed prepare cell ("" =
+	// clean); a failed row's counts are zero.
+	Fail string
 }
 
 // Figure64 reproduces Figure 6-4.
@@ -470,7 +546,8 @@ func (r *Runner) Figure64() ([]Fig64Row, error) {
 	for _, b := range r.Benchmarks {
 		p, err := r.Prepared(b, disamb.Spec, 2)
 		if err != nil {
-			return nil, err
+			rows = append(rows, Fig64Row{Program: b.Name, Fail: failNote(err)})
+			continue
 		}
 		after := p.Prog.OpCount()
 		row := Fig64Row{

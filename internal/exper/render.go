@@ -32,6 +32,10 @@ func RenderTable63(w io.Writer, rows []Table63Row) {
 		"Program", "RAW", "WAR", "WAW", "RAW", "WAR", "WAW")
 	fmt.Fprintln(w, strings.Repeat("-", 50))
 	for _, r := range rows {
+		if r.Fail != "" {
+			fmt.Fprintf(w, "%-10s | FAIL(%s)\n", r.Program, r.Fail)
+			continue
+		}
 		fmt.Fprintf(w, "%-10s | %5d %5d %5d | %5d %5d %5d\n",
 			r.Program, r.RAW2, r.WAR2, r.WAW2, r.RAW6, r.WAR6, r.WAW6)
 	}
@@ -46,6 +50,10 @@ func RenderFigure62(w io.Writer, rows []Fig62Row) {
 		fmt.Fprintf(w, "%-10s %8s %8s %8s\n", "Program", "STATIC", "SPEC", "PERFECT")
 		for _, r := range rows {
 			if r.MemLat != memLat {
+				continue
+			}
+			if r.Fail != "" {
+				fmt.Fprintf(w, "%-10s FAIL(%s)\n", r.Program, r.Fail)
 				continue
 			}
 			fmt.Fprintf(w, "%-10s %7.1f%% %7.1f%% %7.1f%%\n",
@@ -68,6 +76,10 @@ func RenderFigure63(w io.Writer, rows []Fig63Row) {
 			if r.MemLat != memLat {
 				continue
 			}
+			if r.Fail != "" {
+				fmt.Fprintf(w, "%-10s FAIL(%s)\n", r.Program, r.Fail)
+				continue
+			}
 			fmt.Fprintf(w, "%-10s", r.Program)
 			for _, s := range r.Speedup {
 				fmt.Fprintf(w, " %7.1f%%", 100*s)
@@ -83,6 +95,10 @@ func RenderFigure64(w io.Writer, rows []Fig64Row) {
 	fmt.Fprintf(w, "(operations, not VLIW instructions)\n")
 	fmt.Fprintf(w, "%-10s %8s %8s %9s\n", "Program", "before", "after", "increase")
 	for _, r := range rows {
+		if r.Fail != "" {
+			fmt.Fprintf(w, "%-10s FAIL(%s)\n", r.Program, r.Fail)
+			continue
+		}
 		fmt.Fprintf(w, "%-10s %8d %8d %8.1f%%\n",
 			r.Program, r.BeforeOps, r.AfterOps, r.IncreasePct)
 	}

@@ -1,0 +1,213 @@
+package exper
+
+// This file is the experiment engine's fault-tolerance layer: every cell
+// boundary recovers panics into structured resilience.CellErrors, failures
+// are recorded in a registry instead of aborting the grid, and failed cells
+// walk a bounded degradation ladder before giving up:
+//
+//	bytecode failure   → one retry on the reference tree walker
+//	corrupt trace      → one fresh capture, replayed
+//	still corrupt      → interpreting measurement (no trace at all)
+//
+// Fuel and deadline failures never retry (the outcome is determined by the
+// budget, not the backend), and every rung taken is counted in Stats. The
+// seeded fault-injection plan (Runner.Inject) manufactures each failure on
+// demand so tests and the chaos-smoke CI job can prove every rung fires.
+
+import (
+	"errors"
+	"sort"
+
+	"specdis/internal/bench"
+	"specdis/internal/disamb"
+	"specdis/internal/ir"
+	"specdis/internal/machine"
+	"specdis/internal/resilience"
+	"specdis/internal/sim"
+	"specdis/internal/trace"
+)
+
+// failCell classifies and registers one cell's failure, returning the
+// structured error the cell's cache entry keeps. An error that already
+// carries a CellError (a failed dependency cell surfacing through this one,
+// or a cached failure re-requested) keeps its original identity, and the
+// registry dedupes by cell name — each failure is counted exactly once, at
+// its origin.
+func (r *Runner) failCell(err error, b string, kind disamb.Kind, memLat int, stage string) error {
+	ce := resilience.AsCellError(err, b, kind.String(), memLat, stage)
+	r.failMu.Lock()
+	if r.failed == nil {
+		r.failed = map[string]*resilience.CellError{}
+	}
+	_, seen := r.failed[ce.Cell()]
+	if !seen {
+		r.failed[ce.Cell()] = ce
+	}
+	r.failMu.Unlock()
+	if !seen {
+		r.nCellFails.Add(1)
+		switch ce.Class {
+		case resilience.ClassPanic:
+			r.nPanics.Add(1)
+		case resilience.ClassFuel:
+			r.nFuel.Add(1)
+		case resilience.ClassDeadline:
+			r.nDeadline.Add(1)
+		}
+	}
+	return ce
+}
+
+// Failures returns every distinct failed cell, sorted by cell name. Empty on
+// a clean run.
+func (r *Runner) Failures() []*resilience.CellError {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	out := make([]*resilience.CellError, 0, len(r.failed))
+	for _, ce := range r.failed {
+		out = append(out, ce)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell() < out[j].Cell() })
+	return out
+}
+
+// failNote renders a failure as the short marker experiment rows carry.
+func failNote(err error) string {
+	var ce *resilience.CellError
+	if errors.As(err, &ce) {
+		return ce.Class.String()
+	}
+	return "error"
+}
+
+// measureCell runs one measurement cell through the degradation ladder.
+// cellLat is the cell's canonical latency key (0 for the shared
+// latency-insensitive cell); memLat is the latency the measurement models
+// were built for.
+func (r *Runner) measureCell(b *bench.Benchmark, kind disamb.Kind, cellLat, memLat int, p *disamb.Prepared, models []machine.Model) (*sim.Result, error) {
+	fault := r.Inject.For(resilience.CellName(b.Name, kind.String(), cellLat))
+	if fault.Kind != resilience.FaultNone {
+		r.nInjected.Add(1)
+	}
+	opt := disamb.MeasureOpt{Ctx: r.Ctx}
+	if fault.Kind == resilience.FaultDropSchedule {
+		opt.ChaosPlans = func(plans []*sim.Plan) { dropMainSchedule(p.Prog, plans) }
+	}
+
+	// Fuel and panic faults bite inside an interpretation, which the replay
+	// backend never performs per cell — force the faulted cell onto the
+	// interpreting path so the failure (and its recovery) actually happens.
+	switch fault.Kind {
+	case resilience.FaultFuel, resilience.FaultPanic, resilience.FaultBCodePanic:
+		return r.interpMeasure(b, kind, cellLat, p, models, opt, fault)
+	}
+	if !r.TraceReplay {
+		return r.interpMeasure(b, kind, cellLat, p, models, opt, fault)
+	}
+
+	tr, err := r.traceFor(b, kind, memLat)
+	if err != nil {
+		return nil, err // registered by traceFor at its origin
+	}
+	if fault.Kind == resilience.FaultFlipTrace {
+		tr = tr.Clone()
+		tr.FlipByte(int(fault.N))
+	}
+	res, rerr := disamb.ReplayMeasureWith(p, models, tr, opt)
+	if rerr == nil {
+		r.nReplayCells.Add(1)
+		return res, nil
+	}
+	if resilience.Classify(rerr) != resilience.ClassCorruptTrace {
+		return nil, rerr
+	}
+
+	// Rung: corrupt trace → one fresh capture, replayed. The shared trace
+	// cache is left alone — the recapture serves this cell only.
+	r.nRecapture.Add(1)
+	tr2, cerr := r.recaptureCell(b, kind, cellLat, p)
+	if cerr == nil {
+		if fault.Kind == resilience.FaultFlipTrace && fault.Times > 1 {
+			tr2.FlipByte(int(fault.N))
+		}
+		res, rerr = disamb.ReplayMeasureWith(p, models, tr2, opt)
+		if rerr == nil {
+			r.nReplayCells.Add(1)
+			return res, nil
+		}
+	} else {
+		rerr = cerr
+	}
+	if cls := resilience.Classify(rerr); cls == resilience.ClassFuel || cls == resilience.ClassDeadline {
+		return nil, rerr
+	}
+
+	// Rung: replay unusable → measure the cell by interpretation.
+	r.nInterpFallback.Add(1)
+	return r.interpMeasure(b, kind, cellLat, p, models, opt, fault)
+}
+
+// recaptureCell records a fresh trace for one cell, containing panics.
+func (r *Runner) recaptureCell(b *bench.Benchmark, kind disamb.Kind, cellLat int, p *disamb.Prepared) (tr *trace.Trace, err error) {
+	defer resilience.Recover(&err, b.Name, kind.String(), cellLat, "recapture")
+	return disamb.Recapture(p, disamb.MeasureOpt{Ctx: r.Ctx})
+}
+
+// interpMeasure prices one cell by interpretation, applying the cell's
+// injected fault and — for retryable bytecode-side failures — one retry on
+// the reference tree walker.
+func (r *Runner) interpMeasure(b *bench.Benchmark, kind disamb.Kind, cellLat int, p *disamb.Prepared, models []machine.Model, opt disamb.MeasureOpt, fault resilience.Fault) (*sim.Result, error) {
+	attempt := func(mode sim.ExecMode) (res *sim.Result, err error) {
+		defer resilience.Recover(&err, b.Name, kind.String(), cellLat, "measure")
+		o := opt
+		o.Exec, o.ExecSet = mode, true
+		switch fault.Kind {
+		case resilience.FaultFuel:
+			o.MaxOps = fault.N
+		case resilience.FaultPanic:
+			o.ChaosPanicAt = fault.N
+		case resilience.FaultBCodePanic:
+			// The bytecode-only panic: the tree-walker retry runs unarmed,
+			// so this fault proves the fallback rung recovers the cell.
+			if mode == sim.ExecBytecode {
+				o.ChaosPanicAt = fault.N
+			}
+		}
+		return disamb.MeasureWith(p, models, o)
+	}
+	res, err := attempt(p.Exec)
+	if err == nil {
+		r.nInterpCells.Add(1)
+		return res, nil
+	}
+	if p.Exec == sim.ExecBytecode && resilience.Classify(err).Retryable() {
+		// Rung: bytecode-side failure → one retry on the tree walker. The
+		// first error is kept when the retry fails too: it names the root
+		// cause on the primary backend.
+		r.nBCodeFallback.Add(1)
+		if res, err2 := attempt(sim.ExecTree); err2 == nil {
+			r.nInterpCells.Add(1)
+			return res, nil
+		}
+	}
+	return nil, err
+}
+
+// dropMainSchedule deletes the schedule of main's entry tree from every
+// plan — the schedule-dropping fault. Targeting a tree that certainly
+// executes makes the injected failure deterministic.
+func dropMainSchedule(prog *ir.Program, plans []*sim.Plan) {
+	mainFn := prog.Funcs[prog.Main]
+	if mainFn == nil || len(mainFn.Trees) == 0 {
+		return
+	}
+	entry := mainFn.Trees[mainFn.Entry]
+	for _, p := range plans {
+		for i, t := range p.Trees() {
+			if t == entry {
+				p.Drop(i)
+				break
+			}
+		}
+	}
+}

@@ -34,17 +34,15 @@ func (m ExecMode) String() string {
 // exactly: same operation accounting, commit bits, trace events, pricing and
 // profiling. Trees the compiler declined fall back to the tree walker.
 func (r *Runner) execBC(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
-	c := r.ctx(t)
+	c, err := r.ctx(t)
+	if err != nil {
+		return nil, err
+	}
 	if c.bc == nil {
 		return r.execTree(t, regs)
 	}
-	maxOps := r.MaxOps
-	if maxOps == 0 {
-		maxOps = DefaultMaxOps
-	}
-	r.ops += int64(len(t.Ops))
-	if r.ops > maxOps {
-		return nil, fmt.Errorf("sim: operation budget exceeded (%d)", maxOps)
+	if err := r.fuel(len(t.Ops)); err != nil {
+		return nil, err
 	}
 
 	bits := c.bits

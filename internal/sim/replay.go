@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"specdis/internal/ir"
+	"specdis/internal/resilience"
 	"specdis/internal/trace"
 )
 
@@ -66,7 +67,10 @@ func (rp *Replayer) Replay(tr *trace.Trace) (*Result, error) {
 		}
 		c := ctxes[e.Idx]
 		if c == nil {
-			c = rp.ctx(trees[e.Idx], planTabs)
+			c, err = rp.ctx(trees[e.Idx], planTabs)
+			if err != nil {
+				return nil, err
+			}
 			ctxes[e.Idx] = c
 		}
 		if e.Exit >= len(c.exits) {
@@ -90,17 +94,18 @@ func (rp *Replayer) Replay(tr *trace.Trace) (*Result, error) {
 }
 
 // ctx builds the pricing context for one tree, mirroring Runner.ctx.
-func (rp *Replayer) ctx(t *ir.Tree, planTabs [][]planEntry) *replayCtx {
+func (rp *Replayer) ctx(t *ir.Tree, planTabs [][]planEntry) (*replayCtx, error) {
 	c := &replayCtx{priceShape: shapeOf(t)}
 	for pi, p := range rp.Plans {
 		ent := planTabs[pi][t.PIdx]
 		if ent.tree != t || ent.comp == nil {
-			panic(fmt.Sprintf("plan %q has no schedule for tree %s", p.Name, t.Name))
+			return nil, fmt.Errorf("sim: plan %q has no schedule for tree %s: %w",
+				p.Name, t.Name, resilience.ErrMissingSchedule)
 		}
 		c.comp = append(c.comp, ent.comp)
 	}
 	c.base = c.baseTables(t, c.comp)
-	return c
+	return c, nil
 }
 
 // priceBits computes the per-plan time of one commit pattern from packed

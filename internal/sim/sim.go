@@ -19,12 +19,14 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strconv"
 
 	"specdis/internal/bcode"
 	"specdis/internal/ir"
+	"specdis/internal/resilience"
 	"specdis/internal/trace"
 )
 
@@ -59,10 +61,25 @@ type planEntry struct {
 	comp []int64
 }
 
+// Trees returns the trees the plan has schedules for, in SetTree order.
+func (p *Plan) Trees() []*ir.Tree { return p.trees }
+
+// Drop removes the plan's schedule for the i-th (modulo entry count) SetTree
+// entry — a chaos hook: executing the dropped tree afterwards fails with a
+// typed missing-schedule error instead of pricing. No-op on an empty plan.
+func (p *Plan) Drop(i int) {
+	if len(p.trees) == 0 {
+		return
+	}
+	i = ((i % len(p.trees)) + len(p.trees)) % len(p.trees)
+	p.trees = append(p.trees[:i], p.trees[i+1:]...)
+	p.comps = append(p.comps[:i], p.comps[i+1:]...)
+}
+
 // dense lays the plan out as a table indexed by tree PIdx (entries for the
 // same tree resolve to the latest SetTree call). Trees of the program
-// without an entry stay nil and trip the missing-schedule panic on first
-// execution.
+// without an entry stay nil and yield a typed missing-schedule error on
+// first execution.
 func (p *Plan) dense(numTrees int) []planEntry {
 	tab := make([]planEntry, numTrees)
 	for i, t := range p.trees {
@@ -137,8 +154,19 @@ type Runner struct {
 	// for later replay pricing (see Replayer). The caller owns the recorder
 	// and finishes it with the run's Ops/Committed totals.
 	Rec *trace.Recorder
-	// MaxOps guards against runaway programs (0 = DefaultMaxOps).
+	// MaxOps is the run's fuel: the hard dynamic-operation budget that turns
+	// a runaway program into a typed resilience.ErrFuelExhausted failure
+	// instead of a hang (0 = DefaultMaxOps).
 	MaxOps int64
+	// Ctx, when non-nil, cancels the run: deadline expiry or cancellation
+	// surfaces as an error wrapping resilience.ErrDeadline. The context is
+	// polled every ctxCheckEveryOps dynamic ops, so cancellation latency is
+	// bounded without a per-tree atomic load.
+	Ctx context.Context
+	// ChaosPanicAt, when positive, makes the run panic with
+	// resilience.InjectedPanic once the dynamic op count crosses it — the
+	// fault-injection hook that proves panic containment end to end.
+	ChaosPanicAt int64
 	// Exec selects the execution backend; the zero value is the bytecode
 	// engine (ExecBytecode). ExecTree forces the reference tree walker.
 	Exec ExecMode
@@ -147,21 +175,22 @@ type Runner struct {
 	// left nil, the Runner creates a private cache on first use.
 	BCode *bcode.Cache
 
-	mem       []ir.Value
-	out       bytes.Buffer
-	ops       int64
-	committed int64
-	times     []int64
-	ctxes     []*treeCtx    // dense, indexed by tree PIdx
-	planTabs  [][]planEntry // per plan: dense comp tables by tree PIdx
-	profTree  []int64       // per-tree execution counts, flushed into Prof
-	fnIdx     map[string]int
-	mainIdx   int // Program.Order index of main, for trace call framing
-	benv      bcode.Env
-	framePool [][]ir.Value
-	argPool   [][]ir.Value
-	maxFrame  int // widest register frame in the program (see Run)
-	maxArgs   int // widest call-argument list in the program
+	mem        []ir.Value
+	out        bytes.Buffer
+	ops        int64
+	committed  int64
+	ctxCheckAt int64 // next ops threshold at which Ctx is polled
+	times      []int64
+	ctxes      []*treeCtx    // dense, indexed by tree PIdx
+	planTabs   [][]planEntry // per plan: dense comp tables by tree PIdx
+	profTree   []int64       // per-tree execution counts, flushed into Prof
+	fnIdx      map[string]int
+	mainIdx    int // Program.Order index of main, for trace call framing
+	benv       bcode.Env
+	framePool  [][]ir.Value
+	argPool    [][]ir.Value
+	maxFrame   int // widest register frame in the program (see Run)
+	maxArgs    int // widest call-argument list in the program
 }
 
 // priceShape is the schedule-independent pricing skeleton of one tree,
@@ -269,9 +298,9 @@ type treeCtx struct {
 	profExit []int64 // per-exit execution counts (profiling runs)
 }
 
-func (r *Runner) ctx(t *ir.Tree) *treeCtx {
+func (r *Runner) ctx(t *ir.Tree) (*treeCtx, error) {
 	if c := r.ctxes[t.PIdx]; c != nil {
-		return c
+		return c, nil
 	}
 	c := &treeCtx{
 		priceShape: shapeOf(t),
@@ -313,13 +342,43 @@ func (r *Runner) ctx(t *ir.Tree) *treeCtx {
 	for pi, p := range r.Plans {
 		ent := r.planTabs[pi][t.PIdx]
 		if ent.tree != t || ent.comp == nil {
-			panic(fmt.Sprintf("plan %q has no schedule for tree %s", p.Name, t.Name))
+			return nil, fmt.Errorf("sim: plan %q has no schedule for tree %s: %w",
+				p.Name, t.Name, resilience.ErrMissingSchedule)
 		}
 		c.comp = append(c.comp, ent.comp)
 	}
 	c.base = c.baseTables(t, c.comp)
 	r.ctxes[t.PIdx] = c
-	return c
+	return c, nil
+}
+
+// ctxCheckEveryOps is how often (in dynamic ops) a run polls its context.
+// At interpreter speeds this bounds cancellation latency to a few
+// milliseconds while keeping the poll off the per-tree hot path.
+const ctxCheckEveryOps = 1 << 16
+
+// fuel charges one tree execution's nops dynamic operations against the
+// run's budget, polls the deadline context, and fires the chaos-panic hook.
+// Shared by both execution engines so fuel semantics cannot diverge.
+func (r *Runner) fuel(nops int) error {
+	maxOps := r.MaxOps
+	if maxOps == 0 {
+		maxOps = DefaultMaxOps
+	}
+	r.ops += int64(nops)
+	if r.ops > maxOps {
+		return fmt.Errorf("sim: operation budget exceeded (%d): %w", maxOps, resilience.ErrFuelExhausted)
+	}
+	if r.ChaosPanicAt > 0 && r.ops >= r.ChaosPanicAt {
+		panic(resilience.InjectedPanic(r.ops))
+	}
+	if r.Ctx != nil && r.ops >= r.ctxCheckAt {
+		r.ctxCheckAt = r.ops + ctxCheckEveryOps
+		if err := r.Ctx.Err(); err != nil {
+			return fmt.Errorf("sim: run canceled after %d dynamic ops: %w (%w)", r.ops, resilience.ErrDeadline, err)
+		}
+	}
+	return nil
 }
 
 // Run executes the program from main and returns the result.
@@ -334,6 +393,12 @@ func (r *Runner) Run() (*Result, error) {
 	r.out.Reset()
 	r.ops = 0
 	r.committed = 0
+	r.ctxCheckAt = 0
+	if r.Ctx != nil {
+		if err := r.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: run canceled before start: %w (%w)", resilience.ErrDeadline, err)
+		}
+	}
 	r.times = make([]int64, len(r.Plans))
 	numTrees := r.Prog.IndexTrees()
 	r.ctxes = make([]*treeCtx, numTrees)
@@ -526,14 +591,12 @@ func guardOK(op *ir.Op, regs []ir.Value) bool {
 // exit op. Ops run in Seq order, which is a topological order of the
 // dependence graph (see treeCtx).
 func (r *Runner) execTree(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
-	c := r.ctx(t)
-	maxOps := r.MaxOps
-	if maxOps == 0 {
-		maxOps = DefaultMaxOps
+	c, err := r.ctx(t)
+	if err != nil {
+		return nil, err
 	}
-	r.ops += int64(len(t.Ops))
-	if r.ops > maxOps {
-		return nil, fmt.Errorf("sim: operation budget exceeded (%d)", maxOps)
+	if err := r.fuel(len(t.Ops)); err != nil {
+		return nil, err
 	}
 
 	profiling := r.Prof != nil

@@ -36,6 +36,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sync"
 )
@@ -73,6 +74,13 @@ func (k Kind) String() string {
 
 // Trace is one recorded interpretation: the encoded event stream plus the
 // run's whole-execution totals, which replay reports without re-deriving.
+//
+// Traces built by Recorder.Finish are sealed: the event payload is followed
+// by a fixed integrity footer (magic, payload length, CRC32), and every
+// consumer — Hist, NewReader — verifies it before decoding, so truncation or
+// bit corruption surfaces as a typed error (ErrTruncated / ErrChecksum)
+// instead of garbage cycle counts. Raw traces assembled directly from bytes
+// (tests, fuzzing) are unsealed and skip the integrity check.
 type Trace struct {
 	// Events counts logical events (tree executions, calls, returns) with
 	// repeat runs expanded — the number of events a Reader yields, weighted
@@ -84,19 +92,130 @@ type Trace struct {
 	// (sim.Result.Ops / sim.Result.Committed).
 	Ops, Committed int64
 
-	data []byte
+	// data is the event payload, followed by the footer when sealed.
+	data   []byte
+	sealed bool
 
 	histOnce sync.Once
 	hist     *Hist
 	histErr  error
 }
 
-// Bytes returns the encoded event stream. The slice is owned by the trace
-// and must not be modified.
-func (t *Trace) Bytes() []byte { return t.data }
+// Integrity footer layout: 4 magic bytes, then the payload length and the
+// payload's IEEE CRC32 as little-endian uint32s. The magic's first byte can
+// never begin a footer-less comparison accident: it is just a marker — the
+// footer is located by position (the last footerSize bytes), never scanned
+// for, so no payload byte pattern can be confused with it.
+var footerMagic = [4]byte{0xF5, 'T', 'R', 'C'}
 
-// Size returns the encoded stream length in bytes.
-func (t *Trace) Size() int { return len(t.data) }
+const footerSize = 12
+
+// Integrity errors. Both wrap ErrCorrupt, so existing corrupt-stream
+// handling catches them; they are additionally distinguishable for tests and
+// degradation accounting.
+var (
+	// ErrTruncated marks a sealed trace whose payload length no longer
+	// matches its footer (bytes lost or a footer destroyed).
+	ErrTruncated = fmt.Errorf("%w: payload truncated or footer missing", ErrCorrupt)
+	// ErrChecksum marks a sealed trace whose payload fails its CRC (bit
+	// corruption).
+	ErrChecksum = fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+)
+
+// seal appends the integrity footer over the current payload.
+func (t *Trace) seal() {
+	var foot [footerSize]byte
+	copy(foot[:4], footerMagic[:])
+	binary.LittleEndian.PutUint32(foot[4:8], uint32(len(t.data)))
+	binary.LittleEndian.PutUint32(foot[8:12], crc32.ChecksumIEEE(t.data))
+	t.data = append(t.data, foot[:]...)
+	t.sealed = true
+}
+
+// payload returns the event-stream bytes, excluding any integrity footer.
+func (t *Trace) payload() []byte {
+	if t.sealed && len(t.data) >= footerSize {
+		return t.data[:len(t.data)-footerSize]
+	}
+	return t.data
+}
+
+// Verify checks a sealed trace's integrity footer: the magic must be
+// present, the payload length must match, and the payload CRC must agree.
+// The error (ErrTruncated or ErrChecksum) wraps ErrCorrupt. Unsealed raw
+// traces verify trivially — their decoding is validated event by event.
+func (t *Trace) Verify() error {
+	if !t.sealed {
+		return nil
+	}
+	if len(t.data) < footerSize {
+		return ErrTruncated
+	}
+	foot := t.data[len(t.data)-footerSize:]
+	pay := t.data[:len(t.data)-footerSize]
+	if !bytes.Equal(foot[:4], footerMagic[:]) {
+		return ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(foot[4:8]) != uint32(len(pay)) {
+		return ErrTruncated
+	}
+	if binary.LittleEndian.Uint32(foot[8:12]) != crc32.ChecksumIEEE(pay) {
+		return ErrChecksum
+	}
+	return nil
+}
+
+// Bytes returns the encoded event stream (without the integrity footer).
+// The slice is owned by the trace and must not be modified.
+func (t *Trace) Bytes() []byte { return t.payload() }
+
+// Size returns the encoded event-stream length in bytes (without the
+// integrity footer).
+func (t *Trace) Size() int { return len(t.payload()) }
+
+// Clone returns a deep copy of the trace with its own buffer and a fresh
+// histogram cache. Fault injection corrupts clones so the original (often
+// shared across cells) stays intact for recovery.
+func (t *Trace) Clone() *Trace {
+	return &Trace{
+		Events:    t.Events,
+		TreeExecs: t.TreeExecs,
+		Ops:       t.Ops,
+		Committed: t.Committed,
+		data:      append([]byte(nil), t.data...),
+		sealed:    t.sealed,
+	}
+}
+
+// FlipByte XORs payload byte i (taken modulo the payload size) with 0xFF — a
+// fault-injection helper simulating bit corruption. No-op on an empty
+// payload. The histogram cache must not have been built yet.
+func (t *Trace) FlipByte(i int) {
+	pay := t.payload()
+	if len(pay) == 0 {
+		return
+	}
+	if i < 0 {
+		i = -i
+	}
+	pay[i%len(pay)] ^= 0xFF
+}
+
+// Truncate drops the payload to at most n bytes, keeping the footer in place
+// — a fault-injection helper simulating a short write. The histogram cache
+// must not have been built yet.
+func (t *Trace) Truncate(n int) {
+	pay := t.payload()
+	if n < 0 || n >= len(pay) {
+		return
+	}
+	if t.sealed {
+		foot := t.data[len(t.data)-footerSize:]
+		t.data = append(t.data[:n], foot...)
+	} else {
+		t.data = t.data[:n]
+	}
+}
 
 // HistEntry is one distinct (tree, exit, commit bits) pattern of a trace and
 // the total number of times it executed.
@@ -137,9 +256,17 @@ type Hist struct {
 
 // Hist returns the trace's aggregated view, decoding and validating the
 // stream on first use and caching the result; safe for concurrent use. The
-// error, if any, wraps ErrCorrupt.
+// error, if any, wraps ErrCorrupt. Sealed traces are integrity-checked
+// first, so corruption surfaces as ErrTruncated/ErrChecksum even when the
+// damaged bytes still decode as a well-formed event stream.
 func (t *Trace) Hist() (*Hist, error) {
-	t.histOnce.Do(func() { t.hist, t.histErr = buildHist(t.data) })
+	t.histOnce.Do(func() {
+		if err := t.Verify(); err != nil {
+			t.histErr = err
+			return
+		}
+		t.hist, t.histErr = buildHist(t.payload())
+	})
 	return t.hist, t.histErr
 }
 
@@ -311,7 +438,8 @@ func (r *Recorder) flush() {
 }
 
 // Finish seals the recorder into a trace, attaching the recorded run's
-// dynamic operation totals. The recorder must not be used afterwards.
+// dynamic operation totals and appending the integrity footer. The recorder
+// must not be used afterwards.
 func (r *Recorder) Finish(ops, committed int64) *Trace {
 	r.flush()
 	t := &Trace{
@@ -322,6 +450,7 @@ func (r *Recorder) Finish(ops, committed int64) *Trace {
 	}
 	t.data = r.data
 	r.data = nil
+	t.seal()
 	return t
 }
 
@@ -353,8 +482,15 @@ type Reader struct {
 	err  error
 }
 
-// NewReader returns a reader over the trace's events.
-func NewReader(t *Trace) *Reader { return NewBytesReader(t.Bytes()) }
+// NewReader returns a reader over the trace's events. A sealed trace that
+// fails its integrity check yields a reader whose first Next reports the
+// integrity error.
+func NewReader(t *Trace) *Reader {
+	if err := t.Verify(); err != nil {
+		return &Reader{err: err}
+	}
+	return NewBytesReader(t.Bytes())
+}
 
 // NewBytesReader returns a reader over a raw encoded stream (as returned by
 // Trace.Bytes); used by tests and fuzzing.
