@@ -12,6 +12,7 @@
 //	spdbench -bench fft       # restrict to one benchmark
 //	spdbench -par 4           # evaluation-cell worker pool width (0 = GOMAXPROCS)
 //	spdbench -trace interp    # interpret every timed run instead of trace replay
+//	spdbench -exec native     # interpret on the closure-threaded native tier
 //	spdbench -exec tree       # interpret on the reference tree walker instead of bytecode
 //	spdbench -verify          # static verifier after every pipeline stage
 //	spdbench -fuel N          # dynamic-op budget per interpretation
@@ -23,8 +24,9 @@
 // A cell failure never kills the run: the failed cell's rows are marked
 // FAIL in the report, a failure table goes to stderr, and the exit status
 // is 2. Exit status 1 means every cell was recovered by a degradation rung
-// (bcode→tree retry, trace recapture, interp fallback) — the report is
-// complete but the run was not pristine. Exit status 0 is a clean run.
+// (native→bcode or bcode→tree retry, trace recapture, interp fallback) — the
+// report is complete but the run was not pristine. Exit status 0 is a clean
+// run.
 package main
 
 import (
@@ -98,11 +100,13 @@ type traceReport struct {
 
 // execReport is the "exec" section of BENCH_spdbench.json.
 type execReport struct {
-	// Mode is the execution backend the run used: "bcode" or "tree".
+	// Mode is the execution backend the run used: "bcode", "native" or
+	// "tree".
 	Mode string `json:"mode"`
-	// TreesCompiled counts decision trees lowered to bytecode; Instrs their
-	// total instruction words; CacheHits the compiled-program lookups served
-	// from a prepared program's cache.
+	// TreesCompiled counts decision trees lowered to bytecode or native
+	// closure chains; Instrs their total instruction words (closure steps
+	// for the native tier); CacheHits the compiled-program lookups served
+	// from the runner's shared content-addressed cache.
 	TreesCompiled int64 `json:"trees_compiled"`
 	Instrs        int64 `json:"instrs"`
 	CacheHits     int64 `json:"cache_hits"`
@@ -119,8 +123,10 @@ type resilienceReport struct {
 	CellPanics       int64 `json:"cell_panics"`
 	FuelExhausted    int64 `json:"fuel_exhausted"`
 	DeadlineExceeded int64 `json:"deadline_exceeded"`
-	// BCodeFallbacks, TraceRecaptures and InterpFallbacks count degradation
-	// rungs taken (whether or not the rung then recovered the cell).
+	// NCodeFallbacks, BCodeFallbacks, TraceRecaptures and InterpFallbacks
+	// count degradation rungs taken (whether or not the rung then recovered
+	// the cell).
+	NCodeFallbacks  int64 `json:"ncode_fallbacks"`
 	BCodeFallbacks  int64 `json:"bcode_fallbacks"`
 	TraceRecaptures int64 `json:"trace_recaptures"`
 	InterpFallbacks int64 `json:"interp_fallbacks"`
@@ -149,7 +155,7 @@ func run() int {
 	minGain := flag.Float64("mingain", -1, "override SpD MinGain")
 	par := flag.Int("par", 0, "evaluation-cell worker pool width (0 = GOMAXPROCS, 1 = sequential)")
 	traceMode := flag.String("trace", "replay", "timed-simulation backend: replay (capture a trace once, price every model by replay) or interp (interpret every timed run)")
-	execMode := flag.String("exec", "bcode", "execution backend: bcode (compile trees to register-machine bytecode) or tree (reference tree-walking interpreter)")
+	execMode := flag.String("exec", "bcode", "execution backend: bcode (compile trees to register-machine bytecode), native (compile trees to closure-threaded native chains), or tree (reference tree-walking interpreter)")
 	fuel := flag.Int64("fuel", defaultFuel, "dynamic-operation budget per interpretation; an exceeding cell fails typed instead of hanging")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole evaluation (0 = none); expiry fails in-flight cells typed")
 	inject := flag.String("inject", "", "seeded fault-injection plan, e.g. seed=42,rate=0.3,kinds=panic+fuel+flip+drop,times=1 (chaos mode)")
@@ -174,10 +180,12 @@ func run() int {
 	switch *execMode {
 	case "bcode":
 		r.Exec = sim.ExecBytecode
+	case "native":
+		r.Exec = sim.ExecNative
 	case "tree":
 		r.Exec = sim.ExecTree
 	default:
-		log.Fatalf("unknown -exec mode %q (want bcode or tree)", *execMode)
+		log.Fatalf("unknown -exec mode %q (want bcode, native or tree)", *execMode)
 	}
 	if *deadline > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
@@ -350,6 +358,7 @@ func run() int {
 			CellPanics:       st.CellPanics,
 			FuelExhausted:    st.FuelExhausted,
 			DeadlineExceeded: st.DeadlineExceeded,
+			NCodeFallbacks:   st.NCodeFallbacks,
 			BCodeFallbacks:   st.BCodeFallbacks,
 			TraceRecaptures:  st.TraceRecaptures,
 			InterpFallbacks:  st.InterpFallbacks,
@@ -374,9 +383,9 @@ func run() int {
 		}
 		return 2
 	}
-	if n := st.BCodeFallbacks + st.TraceRecaptures + st.InterpFallbacks; n > 0 {
-		fmt.Fprintf(os.Stderr, "spdbench: degraded but complete: %d bcode fallback(s), %d trace recapture(s), %d interp fallback(s); every cell recovered\n",
-			st.BCodeFallbacks, st.TraceRecaptures, st.InterpFallbacks)
+	if n := st.NCodeFallbacks + st.BCodeFallbacks + st.TraceRecaptures + st.InterpFallbacks; n > 0 {
+		fmt.Fprintf(os.Stderr, "spdbench: degraded but complete: %d native fallback(s), %d bcode fallback(s), %d trace recapture(s), %d interp fallback(s); every cell recovered\n",
+			st.NCodeFallbacks, st.BCodeFallbacks, st.TraceRecaptures, st.InterpFallbacks)
 		return 1
 	}
 	return 0

@@ -13,7 +13,8 @@
 //
 //	-mem 2,6      memory latencies to lint the SPEC pipeline at
 //	-fus 5        machine width for schedule validation
-//	-exec bcode   execution backend for the dynamic checks: bcode | tree
+//	-exec bcode   execution backend for the dynamic checks: bcode | native |
+//	              tree
 //	-fuel N       dynamic-op budget per lint interpretation; a cell that
 //	              exhausts it (a nonterminating example, say) is skipped
 //	              with a notice, not failed
@@ -57,7 +58,7 @@ func main() {
 	log.SetPrefix("spdlint: ")
 	memFlag := flag.String("mem", "2,6", "comma-separated memory latencies to lint the SPEC pipeline at")
 	fus := flag.Int("fus", 5, "machine width for schedule validation")
-	execMode := flag.String("exec", "bcode", "execution backend for the dynamic checks: bcode or tree")
+	execMode := flag.String("exec", "bcode", "execution backend for the dynamic checks: bcode, native or tree")
 	fuel := flag.Int64("fuel", 0, "dynamic-op budget per lint interpretation (0 = the engine default); exhausting cells are skipped, not failed")
 	verbose := flag.Bool("v", false, "print per-program checker statistics")
 	corrupt := flag.String("corrupt", "", "seed a violation before checking: seq | arc")
@@ -77,10 +78,12 @@ func main() {
 	switch *execMode {
 	case "bcode":
 		opts.Exec = sim.ExecBytecode
+	case "native":
+		opts.Exec = sim.ExecNative
 	case "tree":
 		opts.Exec = sim.ExecTree
 	default:
-		log.Fatalf("unknown -exec mode %q (want bcode or tree)", *execMode)
+		log.Fatalf("unknown -exec mode %q (want bcode, native or tree)", *execMode)
 	}
 	switch *corrupt {
 	case "":

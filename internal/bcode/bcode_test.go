@@ -226,16 +226,30 @@ func TestCacheReuse(t *testing.T) {
 	if got := ctrs.Hits.Load(); got != 1 {
 		t.Errorf("cache hits = %d, want 1", got)
 	}
-	// A different tree with the same PIdx (stale slot from another program)
-	// must recompile, not serve the old entry.
-	tr2 := buildGuarded(t)
-	tr2.PIdx = 0
+	// The cache is content-addressed: a clone of the tree (what every
+	// benchmark cell's private ir.Program.Clone produces) executes
+	// identically and must hit, regardless of identity or PIdx.
+	tr2 := tr.Clone()
+	tr2.PIdx = 17
 	p3 := c.Get(tr2)
-	if p3 == nil || p3 == p1 {
-		t.Errorf("PIdx collision served a stale compiled program")
+	if p3 != p1 {
+		t.Errorf("identical clone missed the content-addressed cache")
+	}
+	if got := ctrs.Compiled.Load(); got != 1 {
+		t.Errorf("compiled %d trees after clone lookup, want 1", got)
+	}
+	if got := ctrs.Hits.Load(); got != 2 {
+		t.Errorf("cache hits after clone lookup = %d, want 2", got)
+	}
+	// A tree mutated after compilation keys differently and recompiles —
+	// stale code must never serve changed content.
+	tr2.Ops[0].Imm = ir.Value{I: 99, F: 99}
+	p4 := c.Get(tr2)
+	if p4 == nil || p4 == p1 {
+		t.Errorf("mutated tree served the stale compiled program")
 	}
 	if got := ctrs.Compiled.Load(); got != 2 {
-		t.Errorf("compiled %d trees after collision, want 2", got)
+		t.Errorf("compiled %d trees after mutation, want 2", got)
 	}
 }
 

@@ -10,60 +10,61 @@ import (
 // Counters accumulate compilation and cache statistics, shared across every
 // cache a benchmark sweep creates (one counter set per exper.Runner). All
 // fields are atomics; a Counters value must not be copied after first use.
+//
+// The counter set is shared with the native tier (internal/ncode), where
+// Instrs counts emitted closure steps instead of instruction words.
 type Counters struct {
-	// Compiled counts trees lowered to bytecode; Instrs their total
-	// instruction words.
+	// Compiled counts trees lowered; Instrs their total instruction words
+	// (bytecode) or closure steps (native code).
 	Compiled, Instrs atomic.Int64
 	// Hits counts Get calls served from the cache without compiling.
 	Hits atomic.Int64
 }
 
-// Cache memoizes compiled trees by program-wide tree index (ir.Tree.PIdx),
-// so each (tree, disambiguator) pair compiles exactly once no matter how
-// many profiling, capture and measurement runs interpret it. Entries are
-// validated against the tree pointer, so a PIdx collision from a different
-// program recompiles instead of mis-executing.
+// Cache memoizes compiled trees by execution content (ir.AppendExecKey): two
+// trees that execute identically — clones of one program handed to different
+// benchmark cells, or the same source re-prepared under another
+// disambiguator — share one compiled program no matter their identity or
+// program position. Content addressing is also what makes the cache safe
+// under transformation: a tree mutated after compilation keys differently
+// and recompiles, instead of stale code mis-executing (the hazard the old
+// PIdx-plus-pointer scheme guarded against by never hitting across clones at
+// all).
 //
-// A cache must be created after the program's final op-level transformation:
-// it cannot detect in-place mutation of a tree it already compiled (arc-only
-// changes are fine — bytecode never reads arcs). Safe for concurrent use.
+// A cached Prog may consequently serve trees other than Prog.Tree. That is
+// sound because the executor reads nothing tree-specific beyond the
+// instruction stream: memory bounds come from the Env at run time, and the
+// caller resolves the taken exit's payload, pricing and profiling tables
+// from its own tree. Safe for concurrent use.
 type Cache struct {
 	mu   sync.Mutex
 	ctrs *Counters
-	ents []cacheEnt
-}
-
-type cacheEnt struct {
-	tree *ir.Tree
-	prog *Prog // nil if Compile failed (tree runs on the reference walker)
-	done bool
+	ents map[string]*Prog // nil Prog: compile declined; tree runs on the walker
+	key  []byte           // scratch for ir.AppendExecKey
 }
 
 // NewCache returns an empty cache. ctrs may be nil.
-func NewCache(ctrs *Counters) *Cache { return &Cache{ctrs: ctrs} }
+func NewCache(ctrs *Counters) *Cache {
+	return &Cache{ctrs: ctrs, ents: map[string]*Prog{}}
+}
 
-// Get returns the tree's compiled program, compiling on first use. A nil
-// result means the tree is outside the bytecode repertoire and must run on
-// the reference tree walker; that outcome is cached too.
+// Get returns the tree's compiled program, compiling on first use of its
+// execution content. A nil result means the tree is outside the bytecode
+// repertoire and must run on the reference tree walker; that outcome is
+// cached too.
 func (c *Cache) Get(t *ir.Tree) *Prog {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	i := t.PIdx
-	if i < 0 {
-		return c.compile(t)
-	}
-	if i >= len(c.ents) {
-		c.ents = append(c.ents, make([]cacheEnt, i+1-len(c.ents))...)
-	}
-	e := &c.ents[i]
-	if e.done && e.tree == t {
+	c.key = ir.AppendExecKey(c.key[:0], t)
+	if p, ok := c.ents[string(c.key)]; ok {
 		if c.ctrs != nil {
 			c.ctrs.Hits.Add(1)
 		}
-		return e.prog
+		return p
 	}
-	*e = cacheEnt{tree: t, prog: c.compile(t), done: true}
-	return e.prog
+	p := c.compile(t)
+	c.ents[string(c.key)] = p
+	return p
 }
 
 func (c *Cache) compile(t *ir.Tree) *Prog {

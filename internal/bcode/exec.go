@@ -57,13 +57,7 @@ func (p *Prog) Exec(env *Env) (taken, dup int, ncommit int64) {
 				// samples the (speculatively computed) memory address, as
 				// the dependence profiler observes every issued access.
 				if profiling && (in.Op == Load || in.Op == Store) {
-					a := regs[in.A].I
-					if a < 0 {
-						a = 0
-					} else if a > memHi {
-						a = memHi
-					}
-					env.Addrs[pc] = a
+					env.specAddr(pc, regs[in.A].I, memHi, true)
 				}
 				continue
 			}
@@ -175,27 +169,9 @@ func (p *Prog) Exec(env *Env) (taken, dup int, ncommit int64) {
 		case Log:
 			regs[in.Dest] = fltV(math.Log(regs[in.A].F))
 		case Load:
-			a := regs[in.A].I
-			if a < 0 {
-				a = 0
-			} else if a > memHi {
-				a = memHi
-			}
-			if profiling {
-				env.Addrs[pc] = a
-			}
-			regs[in.Dest] = mem[a]
+			regs[in.Dest] = mem[env.specAddr(pc, regs[in.A].I, memHi, profiling)]
 		case Store:
-			a := regs[in.A].I
-			if a < 0 {
-				a = 0
-			} else if a > memHi {
-				a = memHi
-			}
-			if profiling {
-				env.Addrs[pc] = a
-			}
-			mem[a] = regs[in.B]
+			mem[env.specAddr(pc, regs[in.A].I, memHi, profiling)] = regs[in.B]
 		case PrintI:
 			env.Print(regs[in.A], false)
 		case PrintF:
@@ -209,6 +185,24 @@ func (p *Prog) Exec(env *Env) (taken, dup int, ncommit int64) {
 		}
 	}
 	return
+}
+
+// specAddr resolves one memory instruction's effective address: the
+// speculative address is clamped into the memory image (non-faulting memory,
+// so a garbage address from a squashed path reads or writes a real word
+// instead of trapping) and, under profiling, recorded in the per-Seq address
+// table — the dependence profiler observes every issued access, committed or
+// squashed. Shared by the Load, Store and squashed-guard paths.
+func (env *Env) specAddr(pc int, a, memHi int64, profiling bool) int64 {
+	if a < 0 {
+		a = 0
+	} else if a > memHi {
+		a = memHi
+	}
+	if profiling {
+		env.Addrs[pc] = a
+	}
+	return a
 }
 
 // intV, fltV, b2i and cvtFI mirror the reference interpreter's value

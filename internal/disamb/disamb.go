@@ -15,6 +15,7 @@ import (
 	"specdis/internal/graft"
 	"specdis/internal/ir"
 	"specdis/internal/machine"
+	"specdis/internal/ncode"
 	"specdis/internal/sched"
 	"specdis/internal/sim"
 	"specdis/internal/spd"
@@ -88,11 +89,22 @@ type Prepared struct {
 	// Exec is the execution backend every interpretation of this preparation
 	// uses (Options.Exec).
 	Exec sim.ExecMode
-	// BCode caches the program's compiled bytecode, created once the final
-	// op-level transformation has run, so every later interpretation of this
-	// preparation — Capture, Measure, verification reruns — shares one
-	// compilation of each tree.
+	// BCode and NCode cache the program's compiled bytecode and native
+	// closure chains, so every interpretation of this preparation — the
+	// profiling run, Capture, Measure, verification reruns — shares one
+	// compilation of each tree. Both caches are content-addressed
+	// (ir.AppendExecKey), so they are safe across op-level transformations
+	// (a mutated tree re-keys and recompiles) and may be shared across
+	// preparations and program clones; sweep drivers (internal/exper) supply
+	// one pair for a whole sweep via Options.
 	BCode *bcode.Cache
+	NCode *ncode.Cache
+	// Shapes shares the simulator's pricing skeletons across every run of
+	// this preparation (Measure sweeps, Capture, Recapture, replay). Unlike
+	// the compiled-code caches it keys on tree identity, so it is created
+	// only after preparation's op-level transformations are done and is
+	// never shared across preparations.
+	Shapes *sim.ShapeCache
 }
 
 // Options configure a pipeline beyond the paper's defaults.
@@ -132,9 +144,17 @@ type Options struct {
 	// Exec selects the execution backend for every interpretation of the
 	// prepared program (zero value: the bytecode engine).
 	Exec sim.ExecMode
-	// ExecCounters, when non-nil, accumulates bytecode compilation and cache
-	// statistics across the preparation and everything derived from it.
+	// ExecCounters, when non-nil, accumulates compilation and cache
+	// statistics across the preparation and everything derived from it
+	// (bytecode or native, per Exec).
 	ExecCounters *bcode.Counters
+	// BCode and NCode, when non-nil, are shared compiled-code caches the
+	// preparation (and everything derived from it) compiles through. Left
+	// nil, the preparation creates private caches wired to ExecCounters.
+	// Sharing one pair across a sweep lets identical trees — clones handed
+	// to different cells, re-preparations of one source — compile once.
+	BCode *bcode.Cache
+	NCode *ncode.Cache
 }
 
 // verifyStage checks the program's structural and speculation-safety
@@ -176,18 +196,23 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 		}
 	}
 	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount(), MaxOps: o.MaxOps, Ctx: o.Ctx, Exec: o.Exec}
+	p.BCode = o.BCode
+	if p.BCode == nil {
+		p.BCode = bcode.NewCache(o.ExecCounters)
+	}
+	p.NCode = o.NCode
+	if p.NCode == nil {
+		p.NCode = ncode.NewCache(o.ExecCounters)
+	}
 	lat := machine.Infinite(memLat).LatencyFunc()
 
 	profileRun := func(rec *trace.Recorder) error {
-		// A profiling run that precedes an op-level transformation (grafting
-		// rounds, SPEC's pre-SpD profile) interprets a program the shared
-		// cache must never see; it compiles into a run-private cache instead.
-		bc := p.BCode
-		if bc == nil {
-			bc = bcode.NewCache(o.ExecCounters)
-		}
+		// Content addressing makes the shared caches safe even for profiling
+		// runs that precede an op-level transformation (grafting rounds,
+		// SPEC's pre-SpD profile): the transformed trees re-key and
+		// recompile, while untouched trees keep hitting.
 		p.Profile = sim.NewProfile()
-		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec, MaxOps: o.MaxOps, Ctx: o.Ctx, Exec: o.Exec, BCode: bc}
+		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec, MaxOps: o.MaxOps, Ctx: o.Ctx, Exec: o.Exec, BCode: p.BCode, NCode: p.NCode}
 		res, err := r.Run()
 		if err != nil {
 			return fmt.Errorf("%s profiling run: %w", kind, err)
@@ -224,14 +249,6 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 				return nil, err
 			}
 		}
-	}
-
-	// NAIVE, STATIC and PERFECT never change ops past this point (their
-	// transforms are arc-only, and bytecode never reads arcs), so the shared
-	// cache can already serve PERFECT's profiling run. SPEC rewrites ops, so
-	// its cache is created after the transform.
-	if kind != Spec {
-		p.BCode = bcode.NewCache(o.ExecCounters)
 	}
 
 	switch kind {
@@ -285,8 +302,12 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 				return nil, err
 			}
 		}
-		p.BCode = bcode.NewCache(o.ExecCounters)
 	}
+	// Tree structure is final from here on (arc counters still mutate, but
+	// the shapes only capture arc endpoints), so the identity-keyed shape
+	// cache becomes safe to share across this preparation's runs. The
+	// profiling runs above predate the transforms and deliberately skip it.
+	p.Shapes = sim.NewShapeCache()
 	return p, nil
 }
 
@@ -402,6 +423,8 @@ func Recapture(p *Prepared, opt MeasureOpt) (*trace.Trace, error) {
 		ChaosPanicAt: opt.ChaosPanicAt,
 		Exec:         opt.exec(p),
 		BCode:        p.BCode,
+		NCode:        p.NCode,
+		Shapes:       p.Shapes,
 	}
 	res, err := r.Run()
 	if err != nil {
@@ -433,7 +456,7 @@ func ReplayMeasureWith(p *Prepared, models []machine.Model, tr *trace.Trace, opt
 	if opt.ChaosPlans != nil {
 		opt.ChaosPlans(plans)
 	}
-	rp := &sim.Replayer{Prog: p.Prog, Plans: plans}
+	rp := &sim.Replayer{Prog: p.Prog, Plans: plans, Shapes: p.Shapes}
 	res, err := rp.Replay(tr)
 	if err != nil {
 		return nil, fmt.Errorf("%s replay: %w", p.Kind, err)
@@ -462,6 +485,8 @@ func MeasureWith(p *Prepared, models []machine.Model, opt MeasureOpt) (*sim.Resu
 		ChaosPanicAt: opt.ChaosPanicAt,
 		Exec:         opt.exec(p),
 		BCode:        p.BCode,
+		NCode:        p.NCode,
+		Shapes:       p.Shapes,
 	}
 	res, err := r.Run()
 	if err != nil {

@@ -246,6 +246,8 @@ func lintDynamic(p *Prepared, memLat int, chaosAt int64, pairs map[*ir.Tree][]ve
 		ChaosPanicAt: chaosAt,
 		Exec:         p.Exec,
 		BCode:        p.BCode,
+		NCode:        p.NCode,
+		Shapes:       p.Shapes,
 	}
 	res, err := func() (res *sim.Result, err error) {
 		// The lint interpretation is a cell boundary: contain crashes.

@@ -80,12 +80,14 @@ type Stats struct {
 	// split those failures by class (the remainder is corrupt-trace,
 	// missing-schedule, and unclassified failures).
 	CellFailures, CellPanics, FuelExhausted, DeadlineExceeded int64
-	// BCodeFallbacks counts bytecode-engine cell failures retried on the
-	// reference tree walker; TraceRecaptures counts corrupt traces replaced
-	// by a fresh per-cell capture; InterpFallbacks counts replay-backend
-	// cells that fell all the way back to interpreting measurement. All
-	// three count rungs taken, whether or not the rung then succeeded.
-	BCodeFallbacks, TraceRecaptures, InterpFallbacks int64
+	// NCodeFallbacks counts native-engine cell failures retried on the
+	// bytecode engine; BCodeFallbacks counts bytecode-engine cell failures
+	// retried on the reference tree walker; TraceRecaptures counts corrupt
+	// traces replaced by a fresh per-cell capture; InterpFallbacks counts
+	// replay-backend cells that fell all the way back to interpreting
+	// measurement. All four count rungs taken, whether or not the rung then
+	// succeeded.
+	NCodeFallbacks, BCodeFallbacks, TraceRecaptures, InterpFallbacks int64
 	// FaultsInjected counts cells the runner's fault-injection plan armed.
 	// Zero unless the runner was built with a non-empty Inject plan.
 	FaultsInjected int64
@@ -116,6 +118,7 @@ func (r *Runner) Stats() Stats {
 		CellPanics:       r.nPanics.Load(),
 		FuelExhausted:    r.nFuel.Load(),
 		DeadlineExceeded: r.nDeadline.Load(),
+		NCodeFallbacks:   r.nNCodeFallback.Load(),
 		BCodeFallbacks:   r.nBCodeFallback.Load(),
 		TraceRecaptures:  r.nRecapture.Load(),
 		InterpFallbacks:  r.nInterpFallback.Load(),

@@ -26,6 +26,7 @@ import (
 	"specdis/internal/disamb"
 	"specdis/internal/ir"
 	"specdis/internal/machine"
+	"specdis/internal/ncode"
 	"specdis/internal/resilience"
 	"specdis/internal/sim"
 	"specdis/internal/spd"
@@ -65,8 +66,9 @@ type Runner struct {
 	Verify bool
 
 	// Exec selects the execution backend every interpretation uses (zero
-	// value: the bytecode engine; `spdbench -exec=tree` forces the reference
-	// tree walker). Reports are byte-identical under both backends.
+	// value: the bytecode engine; `spdbench -exec=native` selects the
+	// closure-threaded native tier, `-exec=tree` forces the reference tree
+	// walker). Reports are byte-identical under all three backends.
 	Exec sim.ExecMode
 
 	// Fuel bounds every interpretation's dynamic operation count (0 =
@@ -107,10 +109,30 @@ type Runner struct {
 	nFuel           atomic.Int64
 	nDeadline       atomic.Int64
 	nBCodeFallback  atomic.Int64
+	nNCodeFallback  atomic.Int64
 	nRecapture      atomic.Int64
 	nInterpFallback atomic.Int64
 	nInjected       atomic.Int64
 	bcodeCtrs       bcode.Counters
+
+	// The compiled-code caches are shared across every cell of the sweep:
+	// content addressing (ir.AppendExecKey) makes them safe across the
+	// private program clones each pipeline mutates, so identical trees —
+	// the common case, since most pipelines only touch arcs — compile once
+	// per runner instead of once per cell.
+	cacheOnce sync.Once
+	bcCache   *bcode.Cache
+	ncCache   *ncode.Cache
+}
+
+// caches returns the runner's shared compiled-code caches, creating them on
+// first use wired to the runner's counters.
+func (r *Runner) caches() (*bcode.Cache, *ncode.Cache) {
+	r.cacheOnce.Do(func() {
+		r.bcCache = bcode.NewCache(&r.bcodeCtrs)
+		r.ncCache = ncode.NewCache(&r.bcodeCtrs)
+	})
+	return r.bcCache, r.ncCache
 }
 
 type prepKey struct {
@@ -175,6 +197,7 @@ func (r *Runner) Prepared(b *bench.Benchmark, kind disamb.Kind, memLat int) (*di
 			return nil, err
 		}
 		r.nPrepares.Add(1)
+		bcc, ncc := r.caches()
 		attempt := func(mode sim.ExecMode) (p *disamb.Prepared, err error) {
 			// The preparation is a cell boundary: a panic anywhere in the
 			// pipeline (or its profiling interpretation) is recovered into a
@@ -192,17 +215,28 @@ func (r *Runner) Prepared(b *bench.Benchmark, kind disamb.Kind, memLat int) (*di
 				Verify: r.Verify,
 				MaxOps: r.Fuel, Ctx: r.Ctx,
 				Exec: mode, ExecCounters: &r.bcodeCtrs,
+				BCode: bcc, NCode: ncc,
 			})
 		}
 		p, err := attempt(r.Exec)
-		if err != nil && r.Exec == sim.ExecBytecode && resilience.Classify(err).Retryable() {
-			// Degradation rung: a bytecode-side crash gets one retry on the
-			// reference tree walker; the retried preparation keeps the tree
-			// backend for every later run of this cell.
-			r.nBCodeFallback.Add(1)
-			if p2, err2 := attempt(sim.ExecTree); err2 == nil {
-				return p2, nil
+		mode := r.Exec
+		for err != nil && resilience.Classify(err).Retryable() {
+			// Degradation ladder: a compiled-engine crash walks one rung down
+			// (native → bytecode → tree); the retried preparation keeps its
+			// rung's backend for every later run of this cell. The first error
+			// is kept when every rung fails: it names the root cause on the
+			// primary backend.
+			fb, ok := fallbackOf(mode)
+			if !ok {
+				break
 			}
+			r.noteFallback(mode)
+			if p2, err2 := attempt(fb); err2 == nil {
+				return p2, nil
+			} else if !resilience.Classify(err2).Retryable() {
+				break
+			}
+			mode = fb
 		}
 		if err != nil {
 			return nil, r.failCell(err, b.Name, kind, key.memLat, "prepare")

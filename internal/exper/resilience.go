@@ -5,6 +5,7 @@ package exper
 // are recorded in a registry instead of aborting the grid, and failed cells
 // walk a bounded degradation ladder before giving up:
 //
+//	native failure     → one retry on the bytecode engine
 //	bytecode failure   → one retry on the reference tree walker
 //	corrupt trace      → one fresh capture, replayed
 //	still corrupt      → interpreting measurement (no trace at all)
@@ -153,9 +154,31 @@ func (r *Runner) recaptureCell(b *bench.Benchmark, kind disamb.Kind, cellLat int
 	return disamb.Recapture(p, disamb.MeasureOpt{Ctx: r.Ctx})
 }
 
+// fallbackOf returns the rung below mode on the execution-backend
+// degradation ladder (native → bytecode → tree), and false at the bottom.
+func fallbackOf(mode sim.ExecMode) (sim.ExecMode, bool) {
+	switch mode {
+	case sim.ExecNative:
+		return sim.ExecBytecode, true
+	case sim.ExecBytecode:
+		return sim.ExecTree, true
+	}
+	return mode, false
+}
+
+// noteFallback counts one ladder rung taken, attributed to the backend it
+// falls away from.
+func (r *Runner) noteFallback(from sim.ExecMode) {
+	if from == sim.ExecNative {
+		r.nNCodeFallback.Add(1)
+	} else {
+		r.nBCodeFallback.Add(1)
+	}
+}
+
 // interpMeasure prices one cell by interpretation, applying the cell's
-// injected fault and — for retryable bytecode-side failures — one retry on
-// the reference tree walker.
+// injected fault and — for retryable compiled-engine failures — walking the
+// native → bytecode → tree ladder one rung per failure.
 func (r *Runner) interpMeasure(b *bench.Benchmark, kind disamb.Kind, cellLat int, p *disamb.Prepared, models []machine.Model, opt disamb.MeasureOpt, fault resilience.Fault) (*sim.Result, error) {
 	attempt := func(mode sim.ExecMode) (res *sim.Result, err error) {
 		defer resilience.Recover(&err, b.Name, kind.String(), cellLat, "measure")
@@ -167,9 +190,9 @@ func (r *Runner) interpMeasure(b *bench.Benchmark, kind disamb.Kind, cellLat int
 		case resilience.FaultPanic:
 			o.ChaosPanicAt = fault.N
 		case resilience.FaultBCodePanic:
-			// The bytecode-only panic: the tree-walker retry runs unarmed,
-			// so this fault proves the fallback rung recovers the cell.
-			if mode == sim.ExecBytecode {
+			// The compiled-engine-only panic: the tree-walker rung runs
+			// unarmed, so this fault proves the ladder recovers the cell.
+			if mode != sim.ExecTree {
 				o.ChaosPanicAt = fault.N
 			}
 		}
@@ -180,15 +203,23 @@ func (r *Runner) interpMeasure(b *bench.Benchmark, kind disamb.Kind, cellLat int
 		r.nInterpCells.Add(1)
 		return res, nil
 	}
-	if p.Exec == sim.ExecBytecode && resilience.Classify(err).Retryable() {
-		// Rung: bytecode-side failure → one retry on the tree walker. The
-		// first error is kept when the retry fails too: it names the root
-		// cause on the primary backend.
-		r.nBCodeFallback.Add(1)
-		if res, err2 := attempt(sim.ExecTree); err2 == nil {
+	mode := p.Exec
+	for resilience.Classify(err).Retryable() {
+		// Rung: compiled-engine failure → one retry on the next backend
+		// down. The first error is kept when every rung fails too: it names
+		// the root cause on the primary backend.
+		fb, ok := fallbackOf(mode)
+		if !ok {
+			break
+		}
+		r.noteFallback(mode)
+		if res, err2 := attempt(fb); err2 == nil {
 			r.nInterpCells.Add(1)
 			return res, nil
+		} else if !resilience.Classify(err2).Retryable() {
+			break
 		}
+		mode = fb
 	}
 	return nil, err
 }

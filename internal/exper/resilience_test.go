@@ -10,6 +10,7 @@ import (
 	"specdis/internal/disamb"
 	"specdis/internal/exper"
 	"specdis/internal/resilience"
+	"specdis/internal/sim"
 )
 
 // These tests prove every rung of the degradation ladder fires — and that
@@ -141,6 +142,48 @@ func TestBCodePanicFallbackRung(t *testing.T) {
 	st := r.Stats()
 	if st.BCodeFallbacks != 1 || st.CellFailures != 0 {
 		t.Fatalf("stats = %+v, want one recovered bcode fallback", st)
+	}
+}
+
+// TestNativeLadderRecovers proves the extended ladder walks both rungs: a
+// compiled-engine panic on a native-backend runner falls native → bytecode
+// (still armed, panics again) → tree walker (unarmed, recovers), and the
+// recovered measurement is byte-identical to a clean run.
+func TestNativeLadderRecovers(t *testing.T) {
+	want := cleanNaive(t)
+	cell := resilience.CellName("moment", "NAIVE", 0)
+	r, b := faulted(map[string]resilience.Fault{
+		cell: {Kind: resilience.FaultBCodePanic, N: 1000},
+	})
+	r.Exec = sim.ExecNative
+	got, err := r.Measure(b, disamb.Naive, 2)
+	if err != nil {
+		t.Fatalf("native ladder did not recover the cell: %v", err)
+	}
+	if *got != *want {
+		t.Fatalf("recovered measurement differs from clean run:\ngot  %+v\nwant %+v", got, want)
+	}
+	st := r.Stats()
+	if st.NCodeFallbacks != 1 || st.BCodeFallbacks != 1 || st.CellFailures != 0 {
+		t.Fatalf("stats = %+v, want one native and one bcode rung, no failure", st)
+	}
+}
+
+// TestNativePanicExhaustsLadder proves an every-backend panic on a native
+// runner takes both rungs and still fails structured — the ladder is bounded.
+func TestNativePanicExhaustsLadder(t *testing.T) {
+	cell := resilience.CellName("moment", "NAIVE", 0)
+	r, b := faulted(map[string]resilience.Fault{
+		cell: {Kind: resilience.FaultPanic, N: 1000},
+	})
+	r.Exec = sim.ExecNative
+	_, err := r.Measure(b, disamb.Naive, 2)
+	if !errors.Is(err, resilience.ErrInjected) {
+		t.Fatalf("err = %v, want recovered injected panic", err)
+	}
+	st := r.Stats()
+	if st.NCodeFallbacks != 1 || st.BCodeFallbacks != 1 || st.CellFailures != 1 || st.CellPanics != 1 {
+		t.Fatalf("stats = %+v, want both rungs taken and one structured failure", st)
 	}
 }
 

@@ -1,0 +1,47 @@
+package ir
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// AppendExecKey appends a canonical encoding of the tree's execution-relevant
+// content to buf and returns the extended slice. Two trees with equal keys
+// execute identically: same dynamic semantics, same commit-bit layout, same
+// taken-exit indices. Compiled-code caches (internal/bcode, internal/ncode)
+// key on it so clones of one program — each benchmark cell works on a private
+// ir.Program.Clone — share a single compiled artifact, and so that a tree
+// mutated after compilation re-keys and recompiles instead of running stale
+// code.
+//
+// The key covers exactly what the execution engines read: op kind, operand
+// and destination registers, guard register and polarity, constant payload
+// and print formatting, all in Seq order. It deliberately excludes the exit
+// payload (exit kind, target tree, callee, call arguments): compiled code
+// only reports which exit committed, and the caller resolves the payload
+// from its own tree's op. Names, IDs, blocks, arcs and profile counters are
+// likewise invisible to execution and stay out of the key.
+func AppendExecKey(buf []byte, t *Tree) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(t.Ops)))
+	for _, op := range t.Ops {
+		var flags byte
+		if op.GuardNeg {
+			flags |= 1
+		}
+		if op.PrintFloat {
+			flags |= 2
+		}
+		buf = append(buf, byte(op.Kind), flags)
+		buf = binary.AppendVarint(buf, int64(op.Guard))
+		buf = binary.AppendVarint(buf, int64(op.Dest))
+		buf = binary.AppendUvarint(buf, uint64(len(op.Args)))
+		for _, a := range op.Args {
+			buf = binary.AppendVarint(buf, int64(a))
+		}
+		if op.Kind == OpConst {
+			buf = binary.AppendVarint(buf, op.Imm.I)
+			buf = binary.AppendUvarint(buf, math.Float64bits(op.Imm.F))
+		}
+	}
+	return buf
+}

@@ -1,0 +1,50 @@
+package ncode
+
+import (
+	"sync"
+
+	"specdis/internal/bcode"
+	"specdis/internal/ir"
+)
+
+// Cache memoizes compiled closure chains by execution content
+// (ir.AppendExecKey), exactly like the bytecode cache: clones of one program
+// share a compiled artifact, and a tree mutated after compilation re-keys
+// and recompiles. Counters are the shared bcode.Counters type so one counter
+// set can report whichever tier a sweep ran (Instrs counts emitted closure
+// steps here). Safe for concurrent use.
+type Cache struct {
+	mu   sync.Mutex
+	ctrs *bcode.Counters
+	ents map[string]*Prog // nil Prog: compile declined; tree runs on the walker
+	key  []byte           // scratch for ir.AppendExecKey
+}
+
+// NewCache returns an empty cache. ctrs may be nil.
+func NewCache(ctrs *bcode.Counters) *Cache {
+	return &Cache{ctrs: ctrs, ents: map[string]*Prog{}}
+}
+
+// Get returns the tree's compiled program, compiling on first use of its
+// execution content. A nil result means the tree is outside the repertoire
+// and must run on the reference tree walker; that outcome is cached too.
+func (c *Cache) Get(t *ir.Tree) *Prog {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.key = ir.AppendExecKey(c.key[:0], t)
+	if p, ok := c.ents[string(c.key)]; ok {
+		if c.ctrs != nil {
+			c.ctrs.Hits.Add(1)
+		}
+		return p
+	}
+	p, err := Compile(t)
+	if err != nil {
+		p = nil
+	} else if c.ctrs != nil {
+		c.ctrs.Compiled.Add(1)
+		c.ctrs.Instrs.Add(int64(p.Steps))
+	}
+	c.ents[string(c.key)] = p
+	return p
+}

@@ -1,0 +1,249 @@
+// Package ncode lowers decision-tree IR to chains of pre-bound Go closures —
+// the simulator's native execution tier.
+//
+// The bytecode engine (internal/bcode) already pays operand resolution once,
+// at compile time, but its executor still spends every dynamic instruction on
+// a central `for { switch instr.Op }`: a loop bound check, an instruction
+// fetch, a guard-presence test, an indirect dispatch, and (under profiling) a
+// `profiling` flag test. The native tier compiles those costs away with
+// closure-threaded dispatch: each instruction becomes one closure with its
+// operand indices, constant payload, guard register, polarity and commit-bit
+// mask already bound, and execution is a single tight loop over the flat
+// closure slice — no opcode decode, no guard-presence test, no profiling
+// test per step. (A tail-calling chain where each closure invokes the next
+// was measured and rejected: Go has no tail-call elimination, so every step
+// paid a full call frame and the chain ran slower than the bytecode switch.)
+//
+// Two further specializations happen at compile time rather than run time:
+//
+//   - Guard pre-resolution. Unguarded ops get closures with no guard test at
+//     all; guarded ops get one closure whose polarity is pre-resolved into a
+//     captured `want` boolean (no GNeg branch per step).
+//
+//   - Profiling specialization. Every tree compiles to two chains — plain and
+//     profiling — so the per-instruction `env.Profiling` test disappears; the
+//     profiling chain has the per-Seq commit and address sampling bound in.
+//
+// On top of that, a superinstruction fusion pass collapses the hot idioms the
+// bcode stream exposes into single closures: an unguarded compare feeding the
+// next instruction's guard as an exit (compare+exit), an unguarded constant
+// feeding an ALU or compare operand (const+arith), adjacent unguarded pairs
+// from a measured hot-pair catalog (address arithmetic feeding a load — with
+// the computed address forwarded instead of re-read — load feeding FP
+// arithmetic, FP sequences, back-to-back constants and moves), and
+// loads/stores with the non-faulting bounds clamp, commit-bit write and
+// profiling address sample folded into the one memory closure.
+//
+// Execution semantics are exactly those of the tree walker and the bytecode
+// engine (guarded write-back, clamped non-faulting memory, non-trapping
+// integer division): outputs, commit bits, taken exits and operation counts
+// are byte-for-byte identical, which the differential fuzzers
+// (FuzzNativeVsBCode, FuzzBytecodeVsTree in internal/disamb) and the
+// semantics tests in internal/sim pin. Compilation is exactly as strict as
+// bcode.Compile — ncode lowers through the bytecode stream, so any tree the
+// bytecode compiler declines falls back to the reference tree walker here
+// too.
+package ncode
+
+import (
+	"specdis/internal/bcode"
+	"specdis/internal/ir"
+)
+
+// step is one compiled execution step: it performs its (possibly fused)
+// operation over the Env. An Exit step that observes a duplicate committed
+// exit records it and the loop still runs to completion — the execution is
+// about to fail with a two-exits error, so the post-duplicate register and
+// memory state is never observed, and keeping steps return-free keeps the
+// dispatch loop branchless.
+type step func(*Env)
+
+// Env is the machine state one tree execution reads and mutates, mirroring
+// bcode.Env: the caller (internal/sim's Runner) keeps ownership of memory,
+// output, pricing and trace recording. The profiling tables are only touched
+// by the profiling chain, so a caller that never profiles may leave them nil.
+type Env struct {
+	// Regs is the current function invocation's register frame.
+	Regs []ir.Value
+	// Mem is the program's flat memory image. Memory bounds are read from
+	// here at run time, so one compiled program can serve any program clone.
+	Mem []ir.Value
+	// Bits receives the packed guard-commit bits (bit GIdx set iff the
+	// guarded instruction committed), in the trace wire layout. The caller
+	// zeroes it before each execution; it must hold NumGuarded bits.
+	Bits []byte
+	// Print emits one committed print op's value.
+	Print func(v ir.Value, isFloat bool)
+
+	// Committed[seq] and Addrs[seq] are the profiling tables, indexed by
+	// instruction position (== ir.Op.Seq); the profiling chain fills
+	// Committed for guarded instructions and Addrs for memory instructions
+	// (squashed ones included — the dependence profiler observes every
+	// issued access).
+	Committed []bool
+	Addrs     []int64
+
+	// Per-execution exit state, reset by Prog.Exec.
+	taken, dup int
+	ncommit    int64
+}
+
+// Prog is one tree compiled to native closure chains.
+type Prog struct {
+	Tree *ir.Tree
+	// NumGuarded is the number of guarded instructions (= commit-bit width).
+	NumGuarded int
+	// Steps counts the closures of one chain; Fused counts the
+	// superinstructions the fusion pass formed (each saves one dispatch).
+	Steps, Fused int
+
+	plain, prof []step
+}
+
+// Exec runs the compiled tree over env, selecting the plain or profiling
+// specialization, and reports the taken exit's instruction index (-1 if no
+// exit committed), the index of the first duplicate committed exit (-1
+// normally; a non-negative value makes the caller fail the execution with
+// the reference interpreter's two-exits error), and how many guarded
+// instructions committed.
+func (p *Prog) Exec(env *Env, profiling bool) (taken, dup int, ncommit int64) {
+	env.taken, env.dup, env.ncommit = -1, -1, 0
+	steps := p.plain
+	if profiling {
+		steps = p.prof
+	}
+	for _, s := range steps {
+		s(env)
+	}
+	return env.taken, env.dup, env.ncommit
+}
+
+// Compile lowers one decision tree to closure chains. Lowering goes through
+// the bytecode stream, so the strictness contract is bcode.Compile's: any
+// tree outside the repertoire errors, and callers fall back to the reference
+// tree walker.
+func Compile(t *ir.Tree) (*Prog, error) {
+	bp, err := bcode.Compile(t)
+	if err != nil {
+		return nil, err
+	}
+	plan := fusePlan(bp.Code)
+	p := &Prog{Tree: t, NumGuarded: bp.NumGuarded}
+	for _, k := range plan {
+		if k == fuseCmpExit || k == fuseConstAlu || k == fusePair {
+			p.Fused++
+		}
+	}
+	e := &emitter{code: bp.Code, consts: bp.Consts}
+	p.plain = e.emit(plan, false)
+	p.Steps = len(p.plain)
+	p.prof = e.emit(plan, true)
+	return p, nil
+}
+
+// fuseKind classifies each instruction's role in the fusion plan.
+type fuseKind uint8
+
+const (
+	// fuseNone: the instruction emits its own step.
+	fuseNone fuseKind = iota
+	// fuseConsumed: the instruction executes inside the previous
+	// superinstruction and emits nothing.
+	fuseConsumed
+	// fuseCmpExit: an unguarded compare at pc whose result guards the exit
+	// at pc+1 — one closure computes the compare, writes the (observable)
+	// boolean register, and resolves the exit.
+	fuseCmpExit
+	// fuseConstAlu: an unguarded constant at pc feeding an operand of the
+	// unguarded ALU/compare at pc+1 — one closure writes the constant and
+	// computes the operation.
+	fuseConstAlu
+	// fusePair: two adjacent unguarded instructions from the hot-pair
+	// catalog (address arithmetic feeding a load, ALU and FP sequences,
+	// back-to-back constants or moves) executed by one closure.
+	fusePair
+)
+
+// fusePlan scans the bytecode stream for fusable adjacent pairs. Fusion never
+// changes semantics — every architectural write of both members still
+// happens, in order — it only removes a dispatch.
+func fusePlan(code []bcode.Instr) []fuseKind {
+	plan := make([]fuseKind, len(code))
+	for pc := 0; pc+1 < len(code); pc++ {
+		if plan[pc] != fuseNone {
+			continue // already consumed by the previous pair
+		}
+		in, nx := &code[pc], &code[pc+1]
+		if in.Guard >= 0 || in.Dest < 0 {
+			continue
+		}
+		switch {
+		case isCmp(in.Op) && nx.Op == bcode.Exit && nx.Guard == in.Dest:
+			plan[pc], plan[pc+1] = fuseCmpExit, fuseConsumed
+		case in.Op == bcode.Const && nx.Guard < 0 && nx.Dest >= 0 &&
+			fusableAlu(nx.Op) && (nx.A == in.Dest || nx.B == in.Dest):
+			plan[pc], plan[pc+1] = fuseConstAlu, fuseConsumed
+		case nx.Guard < 0 && nx.Dest >= 0 && pairable(in.Op, nx.Op):
+			plan[pc], plan[pc+1] = fusePair, fuseConsumed
+		}
+	}
+	return plan
+}
+
+// pairable reports whether the hot-pair catalog has a superinstruction for
+// the adjacent unguarded ops (op1, op2) — kept in exact sync with the combos
+// emitter.pair implements. The catalog is driven by the pair frequencies of
+// the benchmark suite's bytecode streams: integer address arithmetic feeding
+// a load, load feeding floating-point arithmetic, floating-point sequences,
+// and back-to-back constants or moves.
+func pairable(op1, op2 bcode.Op) bool {
+	switch op1 {
+	case bcode.Const:
+		return op2 == bcode.Const
+	case bcode.Move:
+		return op2 == bcode.Move
+	case bcode.Add, bcode.Sub:
+		switch op2 {
+		case bcode.Add, bcode.Sub, bcode.Mul, bcode.Load:
+			return true
+		}
+	case bcode.Load:
+		switch op2 {
+		case bcode.Add, bcode.Sub, bcode.Load, bcode.FMul, bcode.FAdd, bcode.FSub:
+			return true
+		}
+	case bcode.FMul, bcode.FAdd, bcode.FSub:
+		switch op2 {
+		case bcode.FMul, bcode.FAdd, bcode.FSub:
+			return true
+		}
+	}
+	return false
+}
+
+// isCmp reports whether op is an integer or floating-point compare (produces
+// the 0/1 boolean guard encoding).
+func isCmp(op bcode.Op) bool {
+	switch op {
+	case bcode.CmpEQ, bcode.CmpNE, bcode.CmpLT, bcode.CmpLE, bcode.CmpGT, bcode.CmpGE,
+		bcode.FCmpEQ, bcode.FCmpNE, bcode.FCmpLT, bcode.FCmpLE, bcode.FCmpGT, bcode.FCmpGE:
+		return true
+	}
+	return false
+}
+
+// fusableAlu reports whether op is a two-operand ALU or compare the
+// const+arith superinstruction covers — integer and floating-point both.
+// Div and Rem stay unfused: their non-trapping edge cases keep the closure
+// large enough that fusing buys nothing.
+func fusableAlu(op bcode.Op) bool {
+	switch op {
+	case bcode.Add, bcode.Sub, bcode.Mul, bcode.And, bcode.Or, bcode.Xor,
+		bcode.Shl, bcode.Shr,
+		bcode.CmpEQ, bcode.CmpNE, bcode.CmpLT, bcode.CmpLE, bcode.CmpGT, bcode.CmpGE,
+		bcode.FAdd, bcode.FSub, bcode.FMul, bcode.FDiv,
+		bcode.FCmpEQ, bcode.FCmpNE, bcode.FCmpLT, bcode.FCmpLE, bcode.FCmpGT, bcode.FCmpGE:
+		return true
+	}
+	return false
+}

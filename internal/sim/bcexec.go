@@ -12,12 +12,16 @@ type ExecMode uint8
 
 // Execution backends. The bytecode engine is the default: every tree is
 // lowered once to a flat register-machine program (internal/bcode) and run
-// by a tight dispatch loop. The tree walker is the reference interpreter the
-// bytecode engine is differentially tested against; it also serves as the
-// automatic fallback for any tree the bytecode compiler declines.
+// by a tight dispatch loop. The native engine lowers further, to chains of
+// pre-bound closures with superinstruction fusion (internal/ncode) — the
+// fastest tier, selected explicitly with -exec=native. The tree walker is
+// the reference interpreter both compiled engines are differentially tested
+// against; it also serves as the automatic fallback for any tree the
+// compilers decline.
 const (
 	ExecBytecode ExecMode = iota
 	ExecTree
+	ExecNative
 )
 
 func (m ExecMode) String() string {
@@ -26,6 +30,8 @@ func (m ExecMode) String() string {
 		return "bcode"
 	case ExecTree:
 		return "tree"
+	case ExecNative:
+		return "native"
 	}
 	return fmt.Sprintf("execmode(%d)", int(m))
 }
@@ -49,15 +55,20 @@ func (r *Runner) execBC(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
 	for i := range bits {
 		bits[i] = 0
 	}
-	profiling := r.Prof != nil
-	r.benv.Regs = regs
-	r.benv.Bits = bits
-	r.benv.Profiling = profiling
-	if profiling {
-		r.benv.Committed = c.committed
-		r.benv.Addrs = c.addrs
-	}
-	takenSeq, dupSeq, ncommit := c.bc.Exec(&r.benv)
+	// Everything but the register frame is bound into the per-tree Env at
+	// ctx build; rewriting the other slice headers here would cost four GC
+	// write barriers per execution.
+	c.benv.Regs = regs
+	takenSeq, dupSeq, ncommit := c.bc.Exec(&c.benv)
+	return r.finishPacked(t, c, takenSeq, dupSeq, ncommit)
+}
+
+// finishPacked completes one compiled-engine tree execution — shared by the
+// bytecode and native tiers, whose executors both report a (taken, dup,
+// ncommit) triple over packed commit bits: committed-op accounting, trace
+// recording, pricing, and profiling accumulation, all identical to the tree
+// walker's.
+func (r *Runner) finishPacked(t *ir.Tree, c *treeCtx, takenSeq, dupSeq int, ncommit int64) (*ir.Op, error) {
 	if dupSeq >= 0 {
 		return nil, fmt.Errorf("tree %s: two exits taken (%%%d and %%%d)",
 			t.Name, t.Ops[takenSeq].ID, t.Ops[dupSeq].ID)
@@ -69,19 +80,32 @@ func (r *Runner) execBC(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
 	r.committed += ncommit + int64(len(t.Ops)-len(c.guarded))
 
 	if r.Rec != nil {
-		r.Rec.Tree(t.PIdx, c.exitOf[takenSeq], bits)
+		r.Rec.Tree(t.PIdx, c.exitOf[takenSeq], c.bits)
 	}
 	if len(r.times) > 0 {
 		r.priceBits(c, c.exitOf[takenSeq])
 	}
-	if profiling {
+	if r.Prof != nil {
 		r.profTree[t.PIdx]++
 		c.profExit[c.exitOf[takenSeq]]++
-		for _, a := range t.Arcs {
-			if c.committed[a.From.Seq] && c.committed[a.To.Seq] {
-				a.ExecCount++
-				if c.addrs[a.From.Seq] == c.addrs[a.To.Seq] {
-					a.AliasCount++
+		c.nexec++
+		addrs := c.addrs
+		awTo, awAlias := c.awTo, c.awAlias
+		for k, f := range c.awFrom {
+			if addrs[f] == addrs[awTo[k]] {
+				awAlias[k]++
+			}
+		}
+		if len(c.gdFrom) > 0 {
+			committed := c.committed
+			gdTo := c.gdTo
+			for k, f := range c.gdFrom {
+				to := gdTo[k]
+				if committed[f] && committed[to] {
+					c.gdExec[k]++
+					if addrs[f] == addrs[to] {
+						c.gdAlias[k]++
+					}
 				}
 			}
 		}

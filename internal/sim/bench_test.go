@@ -8,8 +8,10 @@ import (
 	"specdis/internal/compile"
 	"specdis/internal/ir"
 	"specdis/internal/machine"
+	"specdis/internal/ncode"
 	"specdis/internal/sched"
 	"specdis/internal/sim"
+	"specdis/internal/trace"
 )
 
 // benchSetup compiles the fft benchmark and builds its nine standard pricing
@@ -43,7 +45,9 @@ func benchSetup(b *testing.B) (*ir.Program, []*sim.Plan) {
 // benchRun times full timed runs of the fixture program on one backend.
 func benchRun(b *testing.B, mode sim.ExecMode) {
 	prog, plans := benchSetup(b)
-	cache := bcode.NewCache(nil)
+	bcCache := bcode.NewCache(nil)
+	ncCache := ncode.NewCache(nil)
+	shapes := sim.NewShapeCache()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := &sim.Runner{
@@ -51,7 +55,59 @@ func benchRun(b *testing.B, mode sim.ExecMode) {
 			SemLat: machine.Infinite(2).LatencyFunc(),
 			Plans:  plans,
 			Exec:   mode,
-			BCode:  cache,
+			BCode:  bcCache,
+			NCode:  ncCache,
+			Shapes: shapes,
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchProfile times full profiling (capture-class) runs: no pricing plans,
+// so the run is dominated by raw execution plus the per-op commit and
+// address sampling — the cost the native tier's profiling specialization
+// targets.
+func benchProfile(b *testing.B, mode sim.ExecMode) {
+	prog, _ := benchSetup(b)
+	bcCache := bcode.NewCache(nil)
+	ncCache := ncode.NewCache(nil)
+	shapes := sim.NewShapeCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &sim.Runner{
+			Prog:   prog,
+			SemLat: machine.Infinite(2).LatencyFunc(),
+			Prof:   sim.NewProfile(),
+			Exec:   mode,
+			BCode:  bcCache,
+			NCode:  ncCache,
+			Shapes: shapes,
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCapture times full trace-capture runs: a recorder and no pricing
+// plans, the shape of the SPEC capture cells trace replay cannot shortcut.
+func benchCapture(b *testing.B, mode sim.ExecMode) {
+	prog, _ := benchSetup(b)
+	bcCache := bcode.NewCache(nil)
+	ncCache := ncode.NewCache(nil)
+	shapes := sim.NewShapeCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &sim.Runner{
+			Prog:   prog,
+			SemLat: machine.Infinite(2).LatencyFunc(),
+			Rec:    trace.NewRecorder(),
+			Exec:   mode,
+			BCode:  bcCache,
+			NCode:  ncCache,
+			Shapes: shapes,
 		}
 		if _, err := r.Run(); err != nil {
 			b.Fatal(err)
@@ -67,6 +123,31 @@ func BenchmarkExecTree(b *testing.B) { benchRun(b, sim.ExecTree) }
 // BenchmarkExecTreeBytecode is BenchmarkExecTree on the bytecode engine: the
 // same timed fft run dominated by bcode.Exec / priceBits.
 func BenchmarkExecTreeBytecode(b *testing.B) { benchRun(b, sim.ExecBytecode) }
+
+// BenchmarkExecTreeNative is BenchmarkExecTree on the native closure-chain
+// tier: the same timed fft run dominated by the fused closure chains.
+func BenchmarkExecTreeNative(b *testing.B) { benchRun(b, sim.ExecNative) }
+
+// BenchmarkProfileTree times a profiling run (the capture-bound cell class)
+// on the reference tree walker.
+func BenchmarkProfileTree(b *testing.B) { benchProfile(b, sim.ExecTree) }
+
+// BenchmarkProfileBytecode is BenchmarkProfileTree on the bytecode engine.
+func BenchmarkProfileBytecode(b *testing.B) { benchProfile(b, sim.ExecBytecode) }
+
+// BenchmarkProfileNative is BenchmarkProfileTree on the native tier's
+// profiling-specialized chains.
+func BenchmarkProfileNative(b *testing.B) { benchProfile(b, sim.ExecNative) }
+
+// BenchmarkCaptureTree times a trace-capture run (the capture-bound cell
+// class) on the reference tree walker.
+func BenchmarkCaptureTree(b *testing.B) { benchCapture(b, sim.ExecTree) }
+
+// BenchmarkCaptureBytecode is BenchmarkCaptureTree on the bytecode engine.
+func BenchmarkCaptureBytecode(b *testing.B) { benchCapture(b, sim.ExecBytecode) }
+
+// BenchmarkCaptureNative is BenchmarkCaptureTree on the native tier.
+func BenchmarkCaptureNative(b *testing.B) { benchCapture(b, sim.ExecNative) }
 
 // BenchmarkBytecodeCompile times lowering every tree of the fft benchmark to
 // bytecode (one whole-program compile per iteration).

@@ -41,7 +41,9 @@ func TestFuelExhaustedAllEngines(t *testing.T) {
 	}{
 		{"tree", sim.ExecTree, false},
 		{"bcode", sim.ExecBytecode, false},
+		{"native", sim.ExecNative, false},
 		{"capture", sim.ExecBytecode, true},
+		{"native-capture", sim.ExecNative, true},
 	}
 	for _, e := range engines {
 		t.Run(e.name, func(t *testing.T) {
@@ -93,7 +95,7 @@ func TestDeadlineCancelsMidRun(t *testing.T) {
 
 func TestMissingScheduleIsTypedError(t *testing.T) {
 	prog := compileSrc(t, `void main() { print(1); }`)
-	for _, mode := range []sim.ExecMode{sim.ExecTree, sim.ExecBytecode} {
+	for _, mode := range []sim.ExecMode{sim.ExecTree, sim.ExecBytecode, sim.ExecNative} {
 		r := &sim.Runner{
 			Prog:   prog,
 			SemLat: machine.Infinite(2).LatencyFunc(),
@@ -139,7 +141,7 @@ func TestPlanDrop(t *testing.T) {
 // TestChaosPanicAt proves the injection hook panics with a value that stays
 // matchable as an injected fault once recovered at a cell boundary.
 func TestChaosPanicAt(t *testing.T) {
-	for _, mode := range []sim.ExecMode{sim.ExecTree, sim.ExecBytecode} {
+	for _, mode := range []sim.ExecMode{sim.ExecTree, sim.ExecBytecode, sim.ExecNative} {
 		run := func() (res *sim.Result, err error) {
 			defer resilience.Recover(&err, "test", "NAIVE", 2, "measure")
 			r := loopRunner(t, mode)

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"specdis/internal/ir"
+	"specdis/internal/ncode"
+)
+
+// execNC executes one tree through its compiled closure chain, mirroring
+// execBC exactly: same fuel charge, operation accounting, commit bits, trace
+// events, pricing and profiling. Trees the compiler declined fall back to
+// the tree walker.
+func (r *Runner) execNC(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
+	c, err := r.ctx(t)
+	if err != nil {
+		return nil, err
+	}
+	if c.nc == nil {
+		return r.execTree(t, regs)
+	}
+	if err := r.fuel(len(t.Ops)); err != nil {
+		return nil, err
+	}
+
+	bits := c.bits
+	for i := range bits {
+		bits[i] = 0
+	}
+	// Everything but the register frame is bound into the per-tree Env at
+	// ctx build; rewriting the other slice headers here would cost four GC
+	// write barriers per execution.
+	c.nenv.Regs = regs
+	takenSeq, dupSeq, ncommit := c.nc.Exec(&c.nenv, r.Prof != nil)
+	return r.finishPacked(t, c, takenSeq, dupSeq, ncommit)
+}
+
+// ncodeProg resolves the tree's compiled closure chain through the Runner's
+// cache (creating a private cache on first use when the caller supplied
+// none).
+func (r *Runner) ncodeProg(t *ir.Tree) *ncode.Prog {
+	if r.NCode == nil {
+		r.NCode = ncode.NewCache(nil)
+	}
+	return r.NCode.Get(t)
+}

@@ -25,6 +25,9 @@ import (
 type Replayer struct {
 	Prog  *ir.Program
 	Plans []*Plan
+	// Shapes optionally shares pricing skeletons with the interpreting
+	// Runners (see ShapeCache); left nil, shapes are rebuilt per Replay.
+	Shapes *ShapeCache
 }
 
 // replayCtx is the per-tree pricing context of a replay: the shared pricing
@@ -95,7 +98,13 @@ func (rp *Replayer) Replay(tr *trace.Trace) (*Result, error) {
 
 // ctx builds the pricing context for one tree, mirroring Runner.ctx.
 func (rp *Replayer) ctx(t *ir.Tree, planTabs [][]planEntry) (*replayCtx, error) {
-	c := &replayCtx{priceShape: shapeOf(t)}
+	var shape *priceShape
+	if rp.Shapes != nil {
+		shape = rp.Shapes.of(t)
+	} else {
+		shape = shapeOf(t)
+	}
+	c := &replayCtx{priceShape: shape}
 	for pi, p := range rp.Plans {
 		ent := planTabs[pi][t.PIdx]
 		if ent.tree != t || ent.comp == nil {

@@ -11,9 +11,10 @@ import (
 	"specdis/internal/sim"
 )
 
-// execModes are the two execution backends every semantics case runs on:
-// the bytecode engine and the reference tree walker must agree op for op.
-var execModes = []sim.ExecMode{sim.ExecBytecode, sim.ExecTree}
+// execModes are the three execution backends every semantics case runs on:
+// the bytecode engine, the native closure-chain engine and the reference
+// tree walker must agree op for op.
+var execModes = []sim.ExecMode{sim.ExecBytecode, sim.ExecTree, sim.ExecNative}
 
 // evalOp builds a one-op program (const inputs → op → print) and runs it on
 // the given backend, returning the printed line. It exercises the execution

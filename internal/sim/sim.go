@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 
 	"specdis/internal/bcode"
 	"specdis/internal/ir"
+	"specdis/internal/ncode"
 	"specdis/internal/resilience"
 	"specdis/internal/trace"
 )
@@ -168,12 +170,22 @@ type Runner struct {
 	// fault-injection hook that proves panic containment end to end.
 	ChaosPanicAt int64
 	// Exec selects the execution backend; the zero value is the bytecode
-	// engine (ExecBytecode). ExecTree forces the reference tree walker.
+	// engine (ExecBytecode). ExecTree forces the reference tree walker,
+	// ExecNative the closure-chain native tier.
 	Exec ExecMode
 	// BCode caches compiled bytecode by tree. Callers that run the same
 	// program many times (or share it across Runners) should supply one;
-	// left nil, the Runner creates a private cache on first use.
+	// left nil, the Runner creates a private cache on first use. Both caches
+	// are content-addressed, so they may be shared across program clones.
 	BCode *bcode.Cache
+	// NCode is the native tier's compiled-chain cache, with the same
+	// ownership contract as BCode.
+	NCode *ncode.Cache
+	// Shapes shares pricing skeletons across Runners (see ShapeCache).
+	// Unlike the compiled-code caches it keys on tree identity, so it must
+	// only be supplied once the program's tree structure is final; left
+	// nil, each Runner rebuilds shapes itself.
+	Shapes *ShapeCache
 
 	mem        []ir.Value
 	out        bytes.Buffer
@@ -186,7 +198,6 @@ type Runner struct {
 	profTree   []int64       // per-tree execution counts, flushed into Prof
 	fnIdx      map[string]int
 	mainIdx    int // Program.Order index of main, for trace call framing
-	benv       bcode.Env
 	framePool  [][]ir.Value
 	argPool    [][]ir.Value
 	maxFrame   int // widest register frame in the program (see Run)
@@ -211,6 +222,16 @@ type priceShape struct {
 	// speculative op from an untaken path occupies an issue slot but its
 	// write-back gates nothing).
 	onPath [][]bool
+
+	// The dependence-profiling loop runs per tree execution over every arc,
+	// so t.Arcs is pre-split into dense endpoint-Seq arrays by commit
+	// behavior: arcs between two unguarded ops (awFrom/awTo — the common
+	// case) always have both endpoints committed and only need the address
+	// comparison, while arcs touching a guarded op (gdFrom/gdTo) need the
+	// full commit check. awIdx/gdIdx map each entry back to its t.Arcs
+	// index for the end-of-run fold.
+	awIdx, awFrom, awTo []int32
+	gdIdx, gdFrom, gdTo []int32
 }
 
 func shapeOf(t *ir.Tree) *priceShape {
@@ -231,6 +252,50 @@ func shapeOf(t *ir.Tree) *priceShape {
 			s.onPath[i][e] = t.OnPath(op.Block, t.Ops[exSeq].Block)
 		}
 	}
+	for i, a := range t.Arcs {
+		f, to := int32(a.From.Seq), int32(a.To.Seq)
+		if a.From.Guard == ir.NoReg && a.To.Guard == ir.NoReg {
+			s.awIdx = append(s.awIdx, int32(i))
+			s.awFrom = append(s.awFrom, f)
+			s.awTo = append(s.awTo, to)
+		} else {
+			s.gdIdx = append(s.gdIdx, int32(i))
+			s.gdFrom = append(s.gdFrom, f)
+			s.gdTo = append(s.gdTo, to)
+		}
+	}
+	return s
+}
+
+// ShapeCache shares priceShape skeletons across Runner and Replayer
+// instances. Building a shape is the dominant fixed cost of standing up a
+// run — O(ops × exits) block-reachability walks per tree — and it depends
+// only on tree structure, so repeated runs of the same prepared program
+// (measurement sweeps, chaos retries, benchmark iterations) can reuse it.
+//
+// Entries key on tree identity, not content, so a cache must only ever see
+// trees whose structure no longer changes: create it after op-level
+// transformations (grafting, SpD) are done, never before. Arc profiling
+// counters may still mutate — the shape only captures arc endpoints.
+type ShapeCache struct {
+	mu sync.Mutex
+	m  map[*ir.Tree]*priceShape
+}
+
+// NewShapeCache returns an empty shape cache, safe for concurrent use.
+func NewShapeCache() *ShapeCache {
+	return &ShapeCache{m: map[*ir.Tree]*priceShape{}}
+}
+
+// of returns the cached shape for t, building it on first sight.
+func (sc *ShapeCache) of(t *ir.Tree) *priceShape {
+	sc.mu.Lock()
+	s := sc.m[t]
+	if s == nil {
+		s = shapeOf(t)
+		sc.m[t] = s
+	}
+	sc.mu.Unlock()
 	return s
 }
 
@@ -287,7 +352,15 @@ type treeCtx struct {
 	recBits   []byte // packed commit bits scratch for trace recording
 
 	bc   *bcode.Prog // compiled bytecode (nil: tree runs on the walker)
-	bits []byte      // packed commit bits maintained by the bytecode executor
+	nc   *ncode.Prog // compiled closure chain (nil: tree runs on the walker)
+	bits []byte      // packed commit bits maintained by the compiled executors
+
+	// benv / nenv are the compiled executors' machine-state views, built
+	// once per tree with the bits, profiling tables, memory image and print
+	// hook already bound; per execution only the register frame changes
+	// (see execBC / execNC).
+	benv bcode.Env
+	nenv ncode.Env
 
 	// callee / calleeIdx resolve each ExitCall op (by Seq) to its target
 	// function and the target's Program.Order index, so the call loop never
@@ -296,14 +369,31 @@ type treeCtx struct {
 	calleeIdx []int
 
 	profExit []int64 // per-exit execution counts (profiling runs)
+
+	// The dependence profile accumulates densely during compiled-engine
+	// profiling runs and Run folds it into the t.Arcs counters once at the
+	// end, keeping *MemArc pointer chasing off the per-execution path:
+	// nexec counts tree executions (the ExecCount of every always-committed
+	// arc), awAlias the same-address hits of the always-committed arcs, and
+	// gdExec/gdAlias the both-committed and same-address hits of the arcs
+	// touching guarded ops.
+	nexec           int64
+	awAlias         []int64
+	gdExec, gdAlias []int64
 }
 
 func (r *Runner) ctx(t *ir.Tree) (*treeCtx, error) {
 	if c := r.ctxes[t.PIdx]; c != nil {
 		return c, nil
 	}
+	var shape *priceShape
+	if r.Shapes != nil {
+		shape = r.Shapes.of(t)
+	} else {
+		shape = shapeOf(t)
+	}
 	c := &treeCtx{
-		priceShape: shapeOf(t),
+		priceShape: shape,
 		committed:  make([]bool, len(t.Ops)),
 		addrs:      make([]int64, len(t.Ops)),
 	}
@@ -323,9 +413,25 @@ func (r *Runner) ctx(t *ir.Tree) (*treeCtx, error) {
 	if r.Rec != nil {
 		c.recBits = make([]byte, c.bitBytes())
 	}
-	if r.Exec == ExecBytecode {
+	profiling := r.Prof != nil
+	switch r.Exec {
+	case ExecBytecode:
 		if c.bc = r.bcodeProg(t); c.bc != nil {
 			c.bits = make([]byte, c.bitBytes())
+			c.benv = bcode.Env{Mem: r.mem, Bits: c.bits, Print: r.printVal, Profiling: profiling}
+			if profiling {
+				c.benv.Committed = c.committed
+				c.benv.Addrs = c.addrs
+			}
+		}
+	case ExecNative:
+		if c.nc = r.ncodeProg(t); c.nc != nil {
+			c.bits = make([]byte, c.bitBytes())
+			c.nenv = ncode.Env{Mem: r.mem, Bits: c.bits, Print: r.printVal}
+			if profiling {
+				c.nenv.Committed = c.committed
+				c.nenv.Addrs = c.addrs
+			}
 		}
 	}
 	for _, op := range t.Ops {
@@ -339,6 +445,15 @@ func (r *Runner) ctx(t *ir.Tree) (*treeCtx, error) {
 		}
 	}
 	c.profExit = make([]int64, len(c.exits))
+	if r.Prof != nil {
+		if n := len(c.awIdx); n > 0 {
+			c.awAlias = make([]int64, n)
+		}
+		if n := len(c.gdIdx); n > 0 {
+			c.gdExec = make([]int64, n)
+			c.gdAlias = make([]int64, n)
+		}
+	}
 	for pi, p := range r.Plans {
 		ent := r.planTabs[pi][t.PIdx]
 		if ent.tree != t || ent.comp == nil {
@@ -412,8 +527,6 @@ func (r *Runner) Run() (*Result, error) {
 		r.fnIdx[name] = i
 	}
 	r.mainIdx = r.fnIdx[r.Prog.Main]
-	r.benv.Mem = r.mem
-	r.benv.Print = r.printVal
 	// Size the frame/arg pools by the widest frame and call in the program,
 	// so every pooled buffer fits every function and the steady-state call
 	// loop never allocates.
@@ -448,6 +561,18 @@ func (r *Runner) Run() (*Result, error) {
 					for e, cnt := range c.profExit {
 						if cnt > 0 {
 							r.Prof.ExitExec[t.Ops[c.exits[e]]] += cnt
+						}
+					}
+					if c.nexec > 0 {
+						for k, i := range c.awIdx {
+							t.Arcs[i].ExecCount += c.nexec
+							t.Arcs[i].AliasCount += c.awAlias[k]
+						}
+						for k, i := range c.gdIdx {
+							if n := c.gdExec[k]; n > 0 {
+								t.Arcs[i].ExecCount += n
+								t.Arcs[i].AliasCount += c.gdAlias[k]
+							}
 						}
 					}
 				}
@@ -523,14 +648,17 @@ func (r *Runner) call(fn *ir.Function, fnOrd int, args []ir.Value) (ir.Value, er
 		r.Rec.Call(fnOrd)
 	}
 	cur := fn.Entry
-	tree := r.Exec == ExecTree
+	mode := r.Exec
 	for {
 		t := fn.Trees[cur]
 		var exit *ir.Op
 		var err error
-		if tree {
+		switch mode {
+		case ExecTree:
 			exit, err = r.execTree(t, regs)
-		} else {
+		case ExecNative:
+			exit, err = r.execNC(t, regs)
+		default:
 			exit, err = r.execBC(t, regs)
 		}
 		if err != nil {
