@@ -18,6 +18,8 @@
 //	spdbench -fuel N          # dynamic-op budget per interpretation
 //	spdbench -deadline 30s    # wall-clock deadline for the whole evaluation
 //	spdbench -inject PLAN     # seeded fault injection, e.g. seed=42,rate=0.3
+//	spdbench -store DIR       # persistent artifact store: repeat runs start warm
+//	spdbench -store-stats     # print store hit/miss counters to stderr
 //	spdbench -json            # also write BENCH_spdbench.json with timings
 //	spdbench -cpuprofile f    # write a CPU profile of the run
 //
@@ -44,6 +46,7 @@ import (
 	"specdis/internal/exper"
 	"specdis/internal/resilience"
 	"specdis/internal/sim"
+	"specdis/internal/store"
 )
 
 // defaultFuel is the default per-interpretation dynamic-op budget: ten times
@@ -65,6 +68,12 @@ type benchReport struct {
 	Cells int64 `json:"cells"`
 	// CellsPerSec is Cells / total wall seconds.
 	CellsPerSec float64 `json:"cells_per_sec"`
+	// Prepares and Measures split Cells: distinct preparation pipeline runs
+	// and distinct timed measurement cells actually computed this run. On a
+	// fully warm -store run both are zero (the work is accounted under the
+	// store section's served counters instead).
+	Prepares int64 `json:"prepares"`
+	Measures int64 `json:"measures"`
 	// SimOps is the total number of dynamic operations priced across all
 	// timed measurement cells. Deterministic for a given tree (an exact
 	// simulation-work count, not a timing), and identical under both
@@ -78,6 +87,9 @@ type benchReport struct {
 	// degradation rungs taken, and faults injected. All-zero on a clean
 	// uninjected run.
 	Resilience resilienceReport `json:"resilience"`
+	// Store describes the persistent artifact store's work (-store); all
+	// zero (with an empty dir) when no store was attached.
+	Store storeReport `json:"store"`
 }
 
 // traceReport is the "trace" section of BENCH_spdbench.json.
@@ -134,6 +146,32 @@ type resilienceReport struct {
 	FaultsInjected int64 `json:"faults_injected"`
 }
 
+// storeReport is the "store" section of BENCH_spdbench.json.
+type storeReport struct {
+	// Dir is the store directory the run used ("" = no store).
+	Dir string `json:"dir,omitempty"`
+	// Hits and Misses count artifact lookups by outcome; MemHits is the
+	// subset of Hits served from the in-memory LRU without touching disk.
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	MemHits int64 `json:"mem_hits"`
+	// Puts counts artifacts persisted; BytesRead and BytesWritten total the
+	// artifact bytes moved (payload + integrity footer).
+	Puts         int64 `json:"puts"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	// Evictions counts in-memory LRU evictions (the on-disk copy remains);
+	// CorruptDropped counts artifacts that failed integrity or decode checks
+	// and were deleted, each degrading to a recompute.
+	Evictions      int64 `json:"evictions"`
+	CorruptDropped int64 `json:"corrupt_dropped"`
+	// PrepsServed, MeasuresServed and TracesServed count whole evaluation
+	// cells served from the store instead of computed.
+	PrepsServed    int64 `json:"preps_served"`
+	MeasuresServed int64 `json:"measures_served"`
+	TracesServed   int64 `json:"traces_served"`
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -159,6 +197,8 @@ func run() int {
 	fuel := flag.Int64("fuel", defaultFuel, "dynamic-operation budget per interpretation; an exceeding cell fails typed instead of hanging")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole evaluation (0 = none); expiry fails in-flight cells typed")
 	inject := flag.String("inject", "", "seeded fault-injection plan, e.g. seed=42,rate=0.3,kinds=panic+fuel+flip+drop,times=1 (chaos mode)")
+	storeDir := flag.String("store", "", "persistent content-addressed artifact store directory: compiled code, traces, summaries and priced cells are reused across runs")
+	storeStats := flag.Bool("store-stats", false, "print artifact-store hit/miss counters to stderr after the run")
 	jsonOut := flag.Bool("json", false, "write BENCH_spdbench.json with per-experiment timings")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -198,6 +238,16 @@ func run() int {
 			log.Fatal(err)
 		}
 		r.Inject = plan
+	}
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			// A broken store directory must not block the evaluation: warn
+			// and run cold.
+			log.Printf("warning: -store %s unusable (%v); running without a store", *storeDir, err)
+		} else {
+			r.Store = s
+		}
 	}
 	if *benchName != "" {
 		b := bench.ByName(*benchName)
@@ -259,46 +309,41 @@ func run() int {
 		exper.RenderTable62(out, r.Benchmarks)
 		fmt.Fprintln(out)
 	}
+	// The four computed reports stream: each row prints the moment its cells
+	// resolve (later cells still warming on the work-stealing pool), with
+	// output byte-identical to the batch renderers.
 	if want("table63") {
 		timed("table63", func() error {
-			rows, err := r.Table63()
-			if err != nil {
+			if err := r.StreamTable63(out); err != nil {
 				return err
 			}
-			exper.RenderTable63(out, rows)
 			fmt.Fprintln(out)
 			return nil
 		})
 	}
 	if want("fig62") {
 		timed("fig62", func() error {
-			rows, err := r.Figure62()
-			if err != nil {
+			if err := r.StreamFigure62(out); err != nil {
 				return err
 			}
-			exper.RenderFigure62(out, rows)
 			fmt.Fprintln(out)
 			return nil
 		})
 	}
 	if want("fig63") {
 		timed("fig63", func() error {
-			rows, err := r.Figure63()
-			if err != nil {
+			if err := r.StreamFigure63(out); err != nil {
 				return err
 			}
-			exper.RenderFigure63(out, rows)
 			fmt.Fprintln(out)
 			return nil
 		})
 	}
 	if want("fig64") {
 		timed("fig64", func() error {
-			rows, err := r.Figure64()
-			if err != nil {
+			if err := r.StreamFigure64(out); err != nil {
 				return err
 			}
-			exper.RenderFigure64(out, rows)
 			fmt.Fprintln(out)
 			return nil
 		})
@@ -329,6 +374,7 @@ func run() int {
 	}
 
 	st := r.Stats()
+	sst := r.StoreStats()
 	if *jsonOut {
 		total := time.Since(start)
 		report.TotalMS = float64(total.Microseconds()) / 1000
@@ -336,6 +382,8 @@ func run() int {
 		if s := total.Seconds(); s > 0 {
 			report.CellsPerSec = float64(report.Cells) / s
 		}
+		report.Prepares = st.Prepares
+		report.Measures = st.Measures
 		report.SimOps = st.SimOps
 		report.Trace = traceReport{
 			Mode:        *traceMode,
@@ -364,6 +412,20 @@ func run() int {
 			InterpFallbacks:  st.InterpFallbacks,
 			FaultsInjected:   st.FaultsInjected,
 		}
+		if r.Store != nil {
+			report.Store.Dir = *storeDir
+		}
+		report.Store.Hits = sst.Hits
+		report.Store.Misses = sst.Misses
+		report.Store.MemHits = sst.MemHits
+		report.Store.Puts = sst.Puts
+		report.Store.BytesRead = sst.BytesRead
+		report.Store.BytesWritten = sst.BytesWritten
+		report.Store.Evictions = sst.Evictions
+		report.Store.CorruptDropped = sst.CorruptDropped
+		report.Store.PrepsServed = st.StorePreps
+		report.Store.MeasuresServed = st.StoreMeasures
+		report.Store.TracesServed = st.StoreTraces
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatal(err)
@@ -371,6 +433,14 @@ func run() int {
 		if err := os.WriteFile("BENCH_spdbench.json", append(data, '\n'), 0o644); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	// Store counters go to stderr with everything else diagnostic: stdout
+	// must stay byte-identical with and without a store, warm or cold.
+	if *storeStats && r.Store != nil {
+		fmt.Fprintf(os.Stderr, "spdbench: store %s: %d hit(s) (%d in-memory), %d miss(es), %d put(s), %d B read, %d B written, %d eviction(s), %d corrupt dropped; served %d prep(s), %d measure(s), %d trace(s)\n",
+			*storeDir, sst.Hits, sst.MemHits, sst.Misses, sst.Puts, sst.BytesRead, sst.BytesWritten,
+			sst.Evictions, sst.CorruptDropped, st.StorePreps, st.StoreMeasures, st.StoreTraces)
 	}
 
 	// The failure table and degradation summary go to stderr: stdout stays

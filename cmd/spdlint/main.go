@@ -18,6 +18,9 @@
 //	-fuel N       dynamic-op budget per lint interpretation; a cell that
 //	              exhausts it (a nonterminating example, say) is skipped
 //	              with a notice, not failed
+//	-store DIR    persistent artifact store shared with spdbench: compiled
+//	              bytecode and native-tier metadata are reused instead of
+//	              recompiled, across cells, programs, and runs
 //	-v            per-program checker statistics
 //	-corrupt KIND seed a violation before checking (debug: proves the
 //	              checkers catch it): seq | arc
@@ -40,11 +43,14 @@ import (
 	"strconv"
 	"strings"
 
+	"specdis/internal/bcode"
 	"specdis/internal/bench"
 	"specdis/internal/compile"
 	"specdis/internal/disamb"
 	"specdis/internal/ir"
+	"specdis/internal/ncode"
 	"specdis/internal/sim"
+	"specdis/internal/store"
 )
 
 // target is one MiniC program to lint.
@@ -61,6 +67,7 @@ func main() {
 	execMode := flag.String("exec", "bcode", "execution backend for the dynamic checks: bcode, native or tree")
 	fuel := flag.Int64("fuel", 0, "dynamic-op budget per lint interpretation (0 = the engine default); exhausting cells are skipped, not failed")
 	verbose := flag.Bool("v", false, "print per-program checker statistics")
+	storeDir := flag.String("store", "", "persistent artifact store directory (shared with spdbench): reuse compiled code across cells, programs and runs")
 	corrupt := flag.String("corrupt", "", "seed a violation before checking: seq | arc")
 	chaos := flag.String("chaos", "", "fault-tolerance self-test: panic (injected crash must become a finding) | fuel (tiny budget must skip cleanly)")
 	flag.Parse()
@@ -75,6 +82,19 @@ func main() {
 	}
 
 	opts := disamb.LintOptions{MemLats: memLats, NumFUs: *fus, MaxOps: *fuel}
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			// A broken store directory must not block the lint: warn and
+			// compile cold.
+			log.Printf("warning: -store %s unusable (%v); running without a store", *storeDir, err)
+		} else {
+			opts.BCode = bcode.NewCache(nil)
+			opts.BCode.SetBacking(store.BCodeBacking(s))
+			opts.NCode = ncode.NewCache(nil)
+			opts.NCode.SetBacking(store.NCodeBacking(s))
+		}
+	}
 	switch *execMode {
 	case "bcode":
 		opts.Exec = sim.ExecBytecode

@@ -39,14 +39,33 @@ type Counters struct {
 type Cache struct {
 	mu   sync.Mutex
 	ctrs *Counters
+	back Backing
 	ents map[string]*Prog // nil Prog: compile declined; tree runs on the walker
 	key  []byte           // scratch for ir.AppendExecKey
+}
+
+// Backing is a second-level compiled-program store behind the in-memory
+// cache — the persistent artifact store (internal/store) in production. A
+// loaded program is served exactly like an in-memory hit; compiled programs
+// are offered to the backing for later processes. Implementations must be
+// safe for concurrent use and must return only programs encoded from the
+// same execution content as execKey (content addressing makes the key the
+// whole contract).
+type Backing interface {
+	// Load returns the program persisted under the exec key, or false.
+	Load(execKey []byte) (*Prog, bool)
+	// Store persists a freshly compiled program under the exec key.
+	Store(execKey []byte, p *Prog)
 }
 
 // NewCache returns an empty cache. ctrs may be nil.
 func NewCache(ctrs *Counters) *Cache {
 	return &Cache{ctrs: ctrs, ents: map[string]*Prog{}}
 }
+
+// SetBacking attaches a second-level store consulted on in-memory misses.
+// Must be called before the cache is shared across goroutines.
+func (c *Cache) SetBacking(b Backing) { c.back = b }
 
 // Get returns the tree's compiled program, compiling on first use of its
 // execution content. A nil result means the tree is outside the bytecode
@@ -62,8 +81,24 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 		}
 		return p
 	}
+	if c.back != nil {
+		if p, ok := c.back.Load(c.key); ok {
+			// Bind the loaded instruction stream to the requesting tree —
+			// the same aliasing an in-memory hit performs — and serve it as
+			// a cache hit: nothing was compiled.
+			p.Tree = t
+			c.ents[string(c.key)] = p
+			if c.ctrs != nil {
+				c.ctrs.Hits.Add(1)
+			}
+			return p
+		}
+	}
 	p := c.compile(t)
 	c.ents[string(c.key)] = p
+	if p != nil && c.back != nil {
+		c.back.Store(c.key, p)
+	}
 	return p
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 
+	"specdis/internal/bcode"
 	"specdis/internal/ir"
 	"specdis/internal/machine"
+	"specdis/internal/ncode"
 	"specdis/internal/resilience"
 	"specdis/internal/sched"
 	"specdis/internal/sim"
@@ -57,6 +59,13 @@ type LintOptions struct {
 	// panic must surface as a lint/run-failed finding, never kill the
 	// process.
 	ChaosPanicAt int64
+	// BCode and NCode, when non-nil, are shared compiled-code caches
+	// threaded into every preparation (cmd/spdlint wires them to the
+	// persistent artifact store via -store): content addressing makes them
+	// safe across cells and target programs, so identical trees compile
+	// once per run — or never, when the store is warm.
+	BCode *bcode.Cache
+	NCode *ncode.Cache
 }
 
 // DefaultLintMaxOps is the lint engine's fuel budget: generous next to the
@@ -125,7 +134,7 @@ func Lint(src string, o LintOptions) (*LintReport, error) {
 				break
 			}
 			cell := fmt.Sprintf("%s/mem%d", kind, lat)
-			p, err := PrepareOpts(src, Options{Kind: kind, MemLat: lat, SpD: params, Exec: o.Exec, MaxOps: maxOps})
+			p, err := PrepareOpts(src, Options{Kind: kind, MemLat: lat, SpD: params, Exec: o.Exec, MaxOps: maxOps, BCode: o.BCode, NCode: o.NCode})
 			if err != nil {
 				if cls := resilience.Classify(err); cls == resilience.ClassFuel || cls == resilience.ClassDeadline {
 					rep.Stats.Skipped++

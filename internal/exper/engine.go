@@ -2,6 +2,7 @@ package exper
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"specdis/internal/bench"
@@ -91,6 +92,12 @@ type Stats struct {
 	// FaultsInjected counts cells the runner's fault-injection plan armed.
 	// Zero unless the runner was built with a non-empty Inject plan.
 	FaultsInjected int64
+	// StorePreps, StoreMeasures, and StoreTraces count cells served whole
+	// from the persistent artifact store (Runner.Store) instead of being
+	// computed: prepare summaries, priced measurement cells, and captured
+	// traces respectively. A fully warm run has Prepares == Measures ==
+	// TraceCaptures == 0 with all the work accounted here.
+	StorePreps, StoreMeasures, StoreTraces int64
 }
 
 // Stats returns a snapshot of the runner's work counters. Safe to call
@@ -123,6 +130,9 @@ func (r *Runner) Stats() Stats {
 		TraceRecaptures:  r.nRecapture.Load(),
 		InterpFallbacks:  r.nInterpFallback.Load(),
 		FaultsInjected:   r.nInjected.Load(),
+		StorePreps:       r.nStorePreps.Load(),
+		StoreMeasures:    r.nStoreMeasures.Load(),
+		StoreTraces:      r.nStoreTraces.Load(),
 	}
 }
 
@@ -134,53 +144,198 @@ func (r *Runner) par() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// warmTask selects what a warm cell computes.
+type warmTask int
+
+const (
+	taskPrepare warmTask = iota // full preparation pipeline
+	taskMeasure                 // timed measurement (implies preparation)
+	taskSummary                 // prepare summary (store-served when warm)
+)
+
 // warmCell names one evaluation cell to warm: a (benchmark, pipeline,
-// memory-latency) triple, either prepare-only or fully measured.
+// memory-latency) triple plus the task to run on it.
 type warmCell struct {
-	bench   *bench.Benchmark
-	kind    disamb.Kind
-	memLat  int
-	measure bool
+	bench  *bench.Benchmark
+	kind   disamb.Kind
+	memLat int
+	task   warmTask
 }
 
-// warm fans the given cells out across a bounded worker pool, populating the
-// prepare/measure caches. Workers pull cells from a channel, so a worker
-// blocked in the singleflight layer (waiting on a computation another worker
-// owns) never deadlocks the pool: cell dependencies form a DAG (measure →
-// prepare) and every computation runs inline in the worker that claimed it.
+// run executes the cell, populating the runner's caches. Errors are
+// deliberately ignored: the caller's sequential assembly loop re-requests
+// every cell, hits the cache, and surfaces the first error in deterministic
+// iteration order — so parallel and sequential runs fail identically.
+func (c warmCell) run(r *Runner) {
+	switch c.task {
+	case taskMeasure:
+		_, _ = r.Measure(c.bench, c.kind, c.memLat)
+	case taskSummary:
+		_, _ = r.Summary(c.bench, c.kind, c.memLat)
+	default:
+		_, _ = r.Prepared(c.bench, c.kind, c.memLat)
+	}
+}
+
+// cost estimates the cell's relative wall time for shard balancing. The
+// absolute scale is meaningless; only ratios matter. Timed measurement
+// dominates preparation by more than an order of magnitude (one cell prices
+// 9–18 machine models), longer sources interpret proportionally longer, and
+// latency-sensitive pipelines cannot share their cell across latencies.
+func (c warmCell) cost() int64 {
+	cost := int64(len(c.bench.Source)) + 1
+	if c.kind.LatencySensitive() {
+		cost *= 2
+	}
+	if c.task == taskMeasure {
+		cost *= 20
+	}
+	return cost
+}
+
+// warm fans the given cells out across the work-stealing pool and waits for
+// all of them; see warmAsync.
+func (r *Runner) warm(cells []warmCell) { r.warmAsync(cells)() }
+
+// warmAsync starts warming the given cells on the work-stealing pool and
+// returns a wait function that blocks until every cell has been run. With an
+// effective pool width of one it is a no-op (the caller's assembly loop does
+// the work itself; warming would just push every cell through the cache path
+// twice).
 //
-// Errors are deliberately ignored here: the caller's sequential assembly
-// loop re-requests every cell, hits the cache, and surfaces the first error
-// in deterministic iteration order — so parallel and sequential runs fail
-// identically too.
-func (r *Runner) warm(cells []warmCell) {
+// Callers may begin consuming cells before wait returns: the singleflight
+// layer under Prepared/Measure/Summary coalesces the consumer onto the
+// warming computation, so rows stream out as their cells complete.
+func (r *Runner) warmAsync(cells []warmCell) (wait func()) {
 	workers := r.par()
 	if workers > len(cells) {
 		workers = len(cells)
 	}
 	if workers <= 1 {
-		// The assembly loop itself does the work; warming would just push
-		// every cell through the cache path twice.
+		return func() {}
+	}
+	costs := make([]int64, len(cells))
+	for i, c := range cells {
+		costs[i] = c.cost()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runStealing(workers, costs, func(i int) { cells[i].run(r) })
+	}()
+	return func() { <-done }
+}
+
+// stealDeque is one worker's task queue: indices into the shared task slice,
+// highest estimated cost first. The owner pops from the front (finishing big
+// tasks early bounds the makespan); thieves split off the back half.
+type stealDeque struct {
+	mu    sync.Mutex
+	tasks []int
+}
+
+// pop removes and returns the front task.
+func (d *stealDeque) pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// stealHalf removes and returns the back half (at least one task) of the
+// deque, or nil if it is empty.
+func (d *stealDeque) stealHalf() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil
+	}
+	keep := n / 2
+	stolen := append([]int(nil), d.tasks[keep:]...)
+	d.tasks = d.tasks[:keep]
+	return stolen
+}
+
+// push appends tasks to the back of the deque.
+func (d *stealDeque) push(tasks []int) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, tasks...)
+	d.mu.Unlock()
+}
+
+// runStealing executes every task index in [0, len(costs)) exactly once
+// across a pool of workers, sharding by estimated cost and rebalancing by
+// work stealing.
+//
+// Sharding is greedy LPT: tasks sorted by descending cost, each assigned to
+// the least-loaded shard, so the static split is already near-balanced. When
+// a worker drains its own deque it steals the back half of the first
+// non-empty victim deque (scanning round-robin from its right neighbor) —
+// cost estimates are only estimates, and stealing in bulk amortizes the
+// synchronization while keeping the victim's biggest tasks local to it.
+//
+// Termination: tasks move between deques only by stealing and leave the
+// system only by being claimed for execution; a claimed task always
+// completes (tasks that block in the singleflight layer wait on a
+// computation whose owner runs it inline). A worker that finds every deque
+// empty therefore exits; tasks a thief holds mid-transfer are invisible to
+// that scan but remain owned by a live worker, so every task still runs.
+func runStealing(workers int, costs []int64, run func(task int)) {
+	n := len(costs)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
 		return
 	}
-	ch := make(chan warmCell)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	deques := make([]stealDeque, workers)
+	load := make([]int64, workers)
+	for _, t := range order {
+		w := 0
+		for i := 1; i < workers; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		deques[w].tasks = append(deques[w].tasks, t)
+		load[w] += costs[t]
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(self int) {
 			defer wg.Done()
-			for c := range ch {
-				if c.measure {
-					_, _ = r.Measure(c.bench, c.kind, c.memLat)
-				} else {
-					_, _ = r.Prepared(c.bench, c.kind, c.memLat)
+			for {
+				t, ok := deques[self].pop()
+				if !ok {
+					stolen := []int(nil)
+					for i := 1; i < workers; i++ {
+						if stolen = deques[(self+i)%workers].stealHalf(); stolen != nil {
+							break
+						}
+					}
+					if stolen == nil {
+						return
+					}
+					deques[self].push(stolen)
+					continue
 				}
+				run(t)
 			}
-		}()
+		}(w)
 	}
-	for _, c := range cells {
-		ch <- c
-	}
-	close(ch)
 	wg.Wait()
 }

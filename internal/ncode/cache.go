@@ -16,14 +16,41 @@ import (
 type Cache struct {
 	mu   sync.Mutex
 	ctrs *bcode.Counters
+	back Backing
 	ents map[string]*Prog // nil Prog: compile declined; tree runs on the walker
 	key  []byte           // scratch for ir.AppendExecKey
+}
+
+// Meta is the persistable residue of one native compilation. Closure chains
+// are process-bound — they cannot be serialized — but whether a tree's
+// execution content is inside the native repertoire, and how many steps it
+// lowers to, are durable facts keyed by the same content hash.
+type Meta struct {
+	// Declined marks content outside the native repertoire; the tree runs
+	// on the fallback tier and a warm cache skips the compile attempt.
+	Declined bool
+	// Steps is the compiled chain length (0 when declined).
+	Steps int64
+}
+
+// Backing is a second-level metadata store behind the in-memory cache — the
+// persistent artifact store (internal/store) in production. Implementations
+// must be safe for concurrent use.
+type Backing interface {
+	// Load returns the metadata persisted under the exec key, or false.
+	Load(execKey []byte) (Meta, bool)
+	// Store persists one compilation's metadata under the exec key.
+	Store(execKey []byte, m Meta)
 }
 
 // NewCache returns an empty cache. ctrs may be nil.
 func NewCache(ctrs *bcode.Counters) *Cache {
 	return &Cache{ctrs: ctrs, ents: map[string]*Prog{}}
 }
+
+// SetBacking attaches a second-level metadata store consulted on in-memory
+// misses. Must be called before the cache is shared across goroutines.
+func (c *Cache) SetBacking(b Backing) { c.back = b }
 
 // Get returns the tree's compiled program, compiling on first use of its
 // execution content. A nil result means the tree is outside the repertoire
@@ -38,6 +65,18 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 		}
 		return p
 	}
+	if c.back != nil {
+		if m, ok := c.back.Load(c.key); ok && m.Declined {
+			// A persisted decline: the content is outside the repertoire, so
+			// skip the compile attempt and send the tree to the fallback
+			// tier, exactly as a fresh decline would.
+			c.ents[string(c.key)] = nil
+			if c.ctrs != nil {
+				c.ctrs.Hits.Add(1)
+			}
+			return nil
+		}
+	}
 	p, err := Compile(t)
 	if err != nil {
 		p = nil
@@ -46,5 +85,12 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 		c.ctrs.Instrs.Add(int64(p.Steps))
 	}
 	c.ents[string(c.key)] = p
+	if c.back != nil {
+		if p == nil {
+			c.back.Store(c.key, Meta{Declined: true})
+		} else {
+			c.back.Store(c.key, Meta{Steps: int64(p.Steps)})
+		}
+	}
 	return p
 }

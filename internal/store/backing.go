@@ -1,0 +1,47 @@
+package store
+
+// Adapters wiring the persistent store behind the compiled-code caches:
+// bcode programs round-trip in full (the instruction stream is pure data);
+// the native tier persists compile metadata (closure chains are
+// process-bound, but repertoire membership and chain length are durable).
+// Both key on the tree's execution content (ir.AppendExecKey) hashed under
+// the artifact kind, so the on-disk namespace is shared across every
+// process, program clone, and pipeline that ever compiles the same content.
+
+import (
+	"specdis/internal/bcode"
+	"specdis/internal/ncode"
+)
+
+// bcodeBacking implements bcode.Backing over a store.
+type bcodeBacking struct{ s *Store }
+
+// BCodeBacking returns a bcode.Backing persisting compiled programs in s.
+func BCodeBacking(s *Store) bcode.Backing { return bcodeBacking{s} }
+
+func (b bcodeBacking) Load(execKey []byte) (*bcode.Prog, bool) {
+	return getTyped(b.s, NewKey(KindBCode, execKey), DecodeBCode)
+}
+
+func (b bcodeBacking) Store(execKey []byte, p *bcode.Prog) {
+	_ = b.s.Put(NewKey(KindBCode, execKey), EncodeBCode(p))
+}
+
+// ncodeBacking implements ncode.Backing over a store.
+type ncodeBacking struct{ s *Store }
+
+// NCodeBacking returns an ncode.Backing persisting native-tier compile
+// metadata in s.
+func NCodeBacking(s *Store) ncode.Backing { return ncodeBacking{s} }
+
+func (b ncodeBacking) Load(execKey []byte) (ncode.Meta, bool) {
+	m, ok := getTyped(b.s, NewKey(KindNative, execKey), DecodeNative)
+	if !ok {
+		return ncode.Meta{}, false
+	}
+	return ncode.Meta{Declined: m.Declined, Steps: m.Steps}, true
+}
+
+func (b ncodeBacking) Store(execKey []byte, m ncode.Meta) {
+	_ = b.s.Put(NewKey(KindNative, execKey), EncodeNative(&NativeMeta{Declined: m.Declined, Steps: m.Steps}))
+}

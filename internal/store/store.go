@@ -1,0 +1,342 @@
+// Package store is a persistent, content-addressed artifact store for the
+// evaluation pipeline: compiled bytecode, native-tier metadata, captured
+// execution traces, and priced measurement cells, keyed by cryptographic
+// hashes of everything that determines the artifact (program source,
+// pipeline, latency, transform parameters — the ir.AppendExecKey idea lifted
+// from per-process caches to disk).
+//
+// The store is the warm-start substrate of the sweep grid: a cold
+// `spdbench -store=DIR` run populates it, and a warm run serves every cell
+// from it — zero tree compilations, zero trace captures, byte-identical
+// reports.
+//
+// # On-disk layout
+//
+// One artifact per file, under a two-hex-digit shard of the key:
+//
+//	DIR/ab/abcdef….spda
+//
+// where abcdef… is the full 64-hex-digit SHA-256 key. Every file is a
+// payload followed by the same integrity footer internal/trace seals traces
+// with — 4 magic bytes, the payload length and the payload's IEEE CRC32 as
+// little-endian uint32s — and the payload itself starts with an artifact
+// kind byte and a format version varint. Writers persist via
+// write-to-temp-then-rename, so a reader never observes a half-written
+// artifact; a torn write at worst leaves the previous version (or nothing)
+// in place.
+//
+// # Corruption degrades to recompute
+//
+// Get verifies the footer before returning a payload and the typed decoders
+// (artifacts.go) check the kind and version words. Anything that fails —
+// truncation, bit corruption, a stale format version — is dropped from disk
+// and reported as a miss: the caller recomputes the artifact and the next
+// Put repairs the store. Corruption can therefore never change results, only
+// cost a recompute; the CorruptDropped counter makes the repair observable.
+// This is the persistent rung of the resilience ladder (docs/RESILIENCE.md).
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Kind tags the artifact family a payload belongs to. The kind byte leads
+// the payload, so a key collision across families (impossible in practice —
+// the kind is also hashed into the key) can never decode as the wrong type.
+type Kind byte
+
+// Artifact kinds.
+const (
+	KindBCode  Kind = 1 // compiled bytecode program (internal/bcode)
+	KindNative Kind = 2 // native-tier compile metadata (internal/ncode)
+	KindTrace  Kind = 3 // captured execution trace (internal/trace)
+	KindPrep   Kind = 4 // prepare-cell summary (SpD counts, op counts)
+	KindMeas   Kind = 5 // priced measurement cell (cycle counts per model)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBCode:
+		return "bcode"
+	case KindNative:
+		return "native"
+	case KindTrace:
+		return "trace"
+	case KindPrep:
+		return "prep"
+	case KindMeas:
+		return "meas"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// Key addresses one artifact: a SHA-256 over the artifact kind and every
+// input that determines the artifact's content.
+type Key [sha256.Size]byte
+
+// String returns the key's 64-hex-digit form, the on-disk file stem.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// NewKey derives a key from the artifact kind and a sequence of canonical
+// byte parts. Parts are length-prefixed before hashing, so no concatenation
+// of different part boundaries can collide.
+func NewKey(kind Kind, parts ...[]byte) Key {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	h.Write([]byte{byte(kind)})
+	for _, p := range parts {
+		n := binary.PutUvarint(buf[:], uint64(len(p)))
+		h.Write(buf[:n])
+		h.Write(p)
+	}
+	return Key(h.Sum(nil))
+}
+
+// Integrity footer, byte-compatible with the internal/trace layout: magic,
+// payload length, payload CRC32 (IEEE), all little-endian.
+var footerMagic = [4]byte{0xF5, 'A', 'R', 'T'}
+
+const footerSize = 12
+
+// ErrCorrupt marks an artifact that failed its integrity or format checks.
+// Callers treat it as a miss and recompute; the store drops the bad file.
+var ErrCorrupt = errors.New("store: corrupt artifact")
+
+// Stats are the store's cumulative counters. All fields are totals since
+// Open; a Stats value is a snapshot, not an atomic cut.
+type Stats struct {
+	// Hits counts Gets served (from the memory front or disk); Misses the
+	// Gets that found nothing usable. Hits + Misses == Gets.
+	Hits, Misses int64
+	// MemHits is the subset of Hits served from the in-memory LRU front
+	// without touching disk.
+	MemHits int64
+	// Puts counts artifacts written; BytesWritten their total payload bytes
+	// (excluding footers). BytesRead totals payload bytes read from disk.
+	Puts, BytesRead, BytesWritten int64
+	// Evictions counts entries dropped from the memory front on capacity.
+	Evictions int64
+	// CorruptDropped counts on-disk artifacts deleted because they failed
+	// the footer, kind, or version checks; each one cost its caller a
+	// recompute and was repaired by the subsequent Put.
+	CorruptDropped int64
+}
+
+// DefaultMemBytes is the default capacity of the in-memory LRU front.
+const DefaultMemBytes = 64 << 20
+
+// Store is a persistent artifact store with an in-memory LRU front.
+// Safe for concurrent use; multiple processes may share a directory (writes
+// are atomic renames; last writer wins with identical content, since keys
+// are content hashes over the artifact's inputs).
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	mem      map[Key]*list.Element
+	order    *list.List // front = most recent
+	memBytes int64
+	memCap   int64
+	stats    Stats
+}
+
+type memEntry struct {
+	key     Key
+	payload []byte
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{
+		dir:    dir,
+		mem:    map[Key]*list.Element{},
+		order:  list.New(),
+		memCap: DefaultMemBytes,
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetMemCap bounds the in-memory LRU front to n payload bytes (0 disables
+// the front entirely; every hit reads disk).
+func (s *Store) SetMemCap(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.memCap = n
+	s.evictLocked()
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// path returns the artifact file for key: DIR/<hex[:2]>/<hex>.spda.
+func (s *Store) path(k Key) string {
+	name := k.String()
+	return filepath.Join(s.dir, name[:2], name+".spda")
+}
+
+// Get returns the verified payload stored under key. A miss — nothing
+// stored, or a stored artifact that failed its integrity footer — returns
+// false; corrupt files are deleted so the caller's recompute-and-Put
+// repairs the store.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.mem[k]; ok {
+		s.order.MoveToFront(el)
+		s.stats.Hits++
+		s.stats.MemHits++
+		payload := el.Value.(*memEntry).payload
+		s.mu.Unlock()
+		return payload, true
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.note(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	payload, err := checkFooter(data)
+	if err != nil {
+		s.dropCorrupt(k)
+		return nil, false
+	}
+	s.note(func(st *Stats) {
+		st.Hits++
+		st.BytesRead += int64(len(payload))
+	})
+	s.remember(k, payload)
+	return payload, true
+}
+
+// Put stores payload under key, sealing it with the integrity footer and
+// persisting via write-to-temp-then-rename. Errors are returned for tests
+// and diagnostics; callers may ignore them — a failed Put only costs a
+// future recompute.
+func (s *Store) Put(k Key, payload []byte) error {
+	sealed := make([]byte, 0, len(payload)+footerSize)
+	sealed = append(sealed, payload...)
+	var foot [footerSize]byte
+	copy(foot[:4], footerMagic[:])
+	binary.LittleEndian.PutUint32(foot[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(foot[8:12], crc32.ChecksumIEEE(payload))
+	sealed = append(sealed, foot[:]...)
+
+	path := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(sealed)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s: %w", k, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.note(func(st *Stats) {
+		st.Puts++
+		st.BytesWritten += int64(len(payload))
+	})
+	s.remember(k, sealed[:len(payload):len(payload)])
+	return nil
+}
+
+// DropCorrupt removes the artifact stored under key and counts it as
+// corruption-dropped. The typed decoders call it when a payload passes the
+// footer but fails its kind or version word.
+func (s *Store) DropCorrupt(k Key) { s.dropCorrupt(k) }
+
+func (s *Store) dropCorrupt(k Key) {
+	os.Remove(s.path(k))
+	s.mu.Lock()
+	if el, ok := s.mem[k]; ok {
+		s.memBytes -= int64(len(el.Value.(*memEntry).payload))
+		s.order.Remove(el)
+		delete(s.mem, k)
+	}
+	s.stats.Misses++
+	s.stats.CorruptDropped++
+	s.mu.Unlock()
+}
+
+// remember inserts a payload into the memory front, evicting LRU entries
+// over capacity.
+func (s *Store) remember(k Key, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.memCap <= 0 || int64(len(payload)) > s.memCap {
+		return
+	}
+	if el, ok := s.mem[k]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.mem[k] = s.order.PushFront(&memEntry{key: k, payload: payload})
+	s.memBytes += int64(len(payload))
+	s.evictLocked()
+}
+
+func (s *Store) evictLocked() {
+	for s.memBytes > s.memCap {
+		el := s.order.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*memEntry)
+		s.order.Remove(el)
+		delete(s.mem, e.key)
+		s.memBytes -= int64(len(e.payload))
+		s.stats.Evictions++
+	}
+}
+
+// note applies a stats mutation under the lock.
+func (s *Store) note(fn func(*Stats)) {
+	s.mu.Lock()
+	fn(&s.stats)
+	s.mu.Unlock()
+}
+
+// checkFooter verifies a sealed artifact and returns its payload.
+func checkFooter(data []byte) ([]byte, error) {
+	if len(data) < footerSize {
+		return nil, fmt.Errorf("%w: short file", ErrCorrupt)
+	}
+	foot := data[len(data)-footerSize:]
+	pay := data[:len(data)-footerSize]
+	if !bytes.Equal(foot[:4], footerMagic[:]) {
+		return nil, fmt.Errorf("%w: footer magic missing", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(foot[4:8]) != uint32(len(pay)) {
+		return nil, fmt.Errorf("%w: payload truncated", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(foot[8:12]) != crc32.ChecksumIEEE(pay) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+	return pay, nil
+}
