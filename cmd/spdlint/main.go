@@ -21,9 +21,18 @@
 //	-store DIR    persistent artifact store shared with spdbench: compiled
 //	              bytecode and native-tier metadata are reused instead of
 //	              recompiled, across cells, programs, and runs
+//	-code         translation-validate the compiled tiers (layer 4): every
+//	              tree's bytecode and native artifacts are re-derived and
+//	              checked against the IR (on by default; -code=false skips)
+//	-sched        replay every built schedule through the soundness auditor
+//	              (layer 5): arc ordering, FU capacity, critical-path cycle
+//	              count (on by default; -sched=false skips)
 //	-v            per-program checker statistics
 //	-corrupt KIND seed a violation before checking (debug: proves the
-//	              checkers catch it): seq | arc
+//	              checkers catch it): seq | arc | bmask (flip a commit
+//	              guard's polarity in the compiled bytecode; layer 4 must
+//	              catch it) | sched (swap two issue slots in the timeline;
+//	              layer 5 must catch it)
 //	-chaos KIND   self-test the lint engine's fault tolerance: panic (an
 //	              injected crash in every dynamic check must surface as a
 //	              lint/run-failed finding, never kill the process) | fuel
@@ -49,6 +58,7 @@ import (
 	"specdis/internal/disamb"
 	"specdis/internal/ir"
 	"specdis/internal/ncode"
+	"specdis/internal/sched"
 	"specdis/internal/sim"
 	"specdis/internal/store"
 )
@@ -66,9 +76,11 @@ func main() {
 	fus := flag.Int("fus", 5, "machine width for schedule validation")
 	execMode := flag.String("exec", "bcode", "execution backend for the dynamic checks: bcode, native or tree")
 	fuel := flag.Int64("fuel", 0, "dynamic-op budget per lint interpretation (0 = the engine default); exhausting cells are skipped, not failed")
+	code := flag.Bool("code", true, "translation-validate the compiled tiers (layer 4)")
+	schedOn := flag.Bool("sched", true, "audit schedule soundness against the dependence graph (layer 5)")
 	verbose := flag.Bool("v", false, "print per-program checker statistics")
 	storeDir := flag.String("store", "", "persistent artifact store directory (shared with spdbench): reuse compiled code across cells, programs and runs")
-	corrupt := flag.String("corrupt", "", "seed a violation before checking: seq | arc")
+	corrupt := flag.String("corrupt", "", "seed a violation before checking: seq | arc | bmask | sched")
 	chaos := flag.String("chaos", "", "fault-tolerance self-test: panic (injected crash must become a finding) | fuel (tiny budget must skip cleanly)")
 	flag.Parse()
 
@@ -81,7 +93,7 @@ func main() {
 		memLats = append(memLats, n)
 	}
 
-	opts := disamb.LintOptions{MemLats: memLats, NumFUs: *fus, MaxOps: *fuel}
+	opts := disamb.LintOptions{MemLats: memLats, NumFUs: *fus, MaxOps: *fuel, NoCode: !*code, NoSched: !*schedOn}
 	if *storeDir != "" {
 		s, err := store.Open(*storeDir)
 		if err != nil {
@@ -111,8 +123,12 @@ func main() {
 		opts.Corrupt = corruptSeq
 	case "arc":
 		opts.Corrupt = corruptArc
+	case "bmask":
+		opts.CorruptBCode = corruptBMask
+	case "sched":
+		opts.CorruptSched = corruptSchedule
 	default:
-		log.Fatalf("unknown -corrupt kind %q (want seq or arc)", *corrupt)
+		log.Fatalf("unknown -corrupt kind %q (want seq, arc, bmask or sched)", *corrupt)
 	}
 	switch *chaos {
 	case "":
@@ -160,8 +176,8 @@ func main() {
 			failed++
 		} else if *verbose {
 			st := rep.Stats
-			fmt.Printf("%s: ok (%d cells, %d trees, %d pairs, %d arcs checked, %d audited, %d schedules, %d patterns, %d skipped)\n",
-				tg.name, st.Cells, st.Trees, st.Pairs, st.ArcsChecked, st.ArcsAudited, st.Scheds, st.Patterns, st.Skipped)
+			fmt.Printf("%s: ok (%d cells, %d trees, %d pairs, %d arcs checked, %d audited, %d schedules, %d progs validated, %d schedules audited, %d patterns, %d skipped)\n",
+				tg.name, st.Cells, st.Trees, st.Pairs, st.ArcsChecked, st.ArcsAudited, st.Scheds, st.Progs, st.Audits, st.Patterns, st.Skipped)
 		}
 	}
 	if failed > 0 {
@@ -248,6 +264,33 @@ func corruptSeq(p *ir.Program) {
 		for _, t := range p.Funcs[name].Trees {
 			if len(t.Ops) >= 2 {
 				t.Ops[0], t.Ops[1] = t.Ops[1], t.Ops[0]
+				return
+			}
+		}
+	}
+}
+
+// corruptBMask flips the guard polarity of the first guarded instruction in
+// a compiled bytecode program: the commit protocol now commits the op on the
+// wrong side of the disambiguation test, and the translation validator
+// (layer 4) must flag the polarity mismatch against the tree IR.
+func corruptBMask(p *bcode.Prog) {
+	for i := range p.Code {
+		if p.Code[i].Guard >= 0 {
+			p.Code[i].GNeg = !p.Code[i].GNeg
+			return
+		}
+	}
+}
+
+// corruptSchedule swaps the first two distinct issue slots of a built
+// timeline: completion times no longer match issue-plus-latency (and arcs
+// may invert), and the schedule-soundness auditor (layer 5) must flag it.
+func corruptSchedule(s *sched.Schedule) {
+	for i := 0; i < len(s.Issue); i++ {
+		for j := i + 1; j < len(s.Issue); j++ {
+			if s.Issue[i] != s.Issue[j] {
+				s.Issue[i], s.Issue[j] = s.Issue[j], s.Issue[i]
 				return
 			}
 		}

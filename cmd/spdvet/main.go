@@ -1,0 +1,150 @@
+// Command spdvet runs this repository's custom static analyzers
+// (internal/analyzers) over the module: checks go vet cannot know about,
+// like exhaustive opcode switches and method-only use of atomic counter
+// fields. Built on the standard library alone — no module downloads — so it
+// runs wherever the repo builds.
+//
+// Usage:
+//
+//	spdvet ./...                 # the whole module (also the default)
+//	spdvet ./internal/bcode ...  # specific package directories
+//
+// Diagnostics print as file:line:col: [analyzer] message; the exit status
+// is 1 when there are any.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"specdis/internal/analyzers"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spdvet: ")
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, module, err := analyzers.FindModule(cwd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loader := analyzers.NewLoader(root, module)
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var paths []string
+	seen := map[string]bool{}
+	for _, arg := range args {
+		for _, p := range resolve(root, module, cwd, arg) {
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+	if len(paths) == 0 {
+		log.Fatal("no packages matched")
+	}
+	sort.Strings(paths)
+
+	suite := analyzers.All()
+	failed := false
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range analyzers.Run(pkg, suite) {
+			d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("spdvet: %d package(s) clean\n", len(paths))
+}
+
+// resolve expands one argument into import paths: "./..." walks every
+// package directory under the module (or under a prefix, "./internal/...");
+// other arguments name one directory relative to the working directory.
+func resolve(root, module, cwd, arg string) []string {
+	base := cwd
+	if rest, ok := strings.CutSuffix(arg, "..."); ok {
+		dir := filepath.Join(base, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+		return walkPackages(root, module, dir)
+	}
+	dir := filepath.Join(base, filepath.FromSlash(arg))
+	p, ok := importPath(root, module, dir)
+	if !ok {
+		log.Fatalf("%s is outside module %s", arg, module)
+	}
+	return []string{p}
+}
+
+// walkPackages lists the import path of every directory under dir holding
+// non-test Go files, skipping hidden directories and testdata.
+func walkPackages(root, module, dir string) []string {
+	found := map[string]bool{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		if p, ok := importPath(root, module, filepath.Dir(path)); ok {
+			found[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make([]string, 0, len(found))
+	for p := range found {
+		out = append(out, p)
+	}
+	return out
+}
+
+// importPath maps a directory inside the module to its import path.
+func importPath(root, module, dir string) (string, bool) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	if rel == "." {
+		return module, true
+	}
+	return module + "/" + filepath.ToSlash(rel), true
+}
+
+// relPath shortens abs for display when it sits under the working directory.
+func relPath(cwd, abs string) string {
+	if rel, err := filepath.Rel(cwd, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return abs
+}

@@ -1,0 +1,95 @@
+// Package analyzers is a small, dependency-free static-analysis suite for
+// this repository, in the style of go/analysis but built on the standard
+// library alone (go/parser + go/types): each Analyzer inspects one
+// type-checked package and reports diagnostics. cmd/spdvet drives the suite
+// over the whole module; CI runs it next to go vet.
+//
+// The suite exists for invariants go vet cannot know about:
+//
+//   - opswitch: every switch over the bytecode opcode type (bcode.Op) must
+//     either carry a default clause or cover every opcode. The bytecode
+//     executor, the fusion planner, and the translation validator all
+//     dispatch on opcodes; a new opcode that silently falls through one of
+//     those switches is a miscompilation waiting for an input, not a build
+//     error.
+//   - atomicfield: a struct field of a sync/atomic type must only be used
+//     through its methods or by address. The exper runner's statistics
+//     counters are updated by worker goroutines; reading one by value is a
+//     data race the type system happily permits.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ([name] msg).
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the package in pass and reports through pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Report records one diagnostic at pos.
+	Report func(pos token.Pos, format string, args ...any)
+}
+
+// Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Msg)
+}
+
+// All is the full suite, in reporting order.
+func All() []*Analyzer { return []*Analyzer{OpSwitch, AtomicField} }
+
+// Run applies the analyzers to one loaded package and returns the
+// diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(pos token.Pos, format string, args ...any) {
+			out = append(out, Diagnostic{
+				Pos:      pkg.Fset.Position(pos),
+				Analyzer: name,
+				Msg:      fmt.Sprintf(format, args...),
+			})
+		}
+		a.Run(pass)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out
+}

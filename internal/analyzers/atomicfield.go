@@ -1,0 +1,91 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField reports uses of struct fields with sync/atomic types that are
+// neither a method call on the field nor an explicit address-of. The exper
+// runner's statistics counters are atomic.Int64 fields updated by worker
+// goroutines while Stats() reads them from the caller; copying such a field
+// by value (st := r.nPrepares) compiles cleanly, races silently, and also
+// copies the noCopy guard. Legal uses go through the field's methods
+// (r.nPrepares.Add(1), r.nPrepares.Load()) or take its address.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "sync/atomic struct fields must be used via their methods or by address",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				checkAtomicSel(pass, sel, parentOf(stack))
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// checkAtomicSel flags sel when it selects a sync/atomic-typed field and the
+// surrounding expression is neither a method selection on that field nor an
+// address-of.
+func checkAtomicSel(pass *Pass, sel *ast.SelectorExpr, parent ast.Node) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	named := namedOf(s.Type())
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == sel {
+			// x.field.Method — atomic types have no exported fields, so a
+			// further selection is a method use.
+			return
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND && p.X == sel {
+			return // &x.field: handing out the address is the atomic idiom
+		}
+	}
+	pass.Report(sel.Pos(), "field %s.%s has atomic type %s and is used by value; call its methods or take its address",
+		exprString(sel.X), sel.Sel.Name, named.Obj().Name())
+}
+
+// exprString renders simple receiver expressions for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "expr"
+}

@@ -1,0 +1,120 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// opSwitchTargets lists the enum types whose switches must be exhaustive,
+// as "importpath.TypeName". The bytecode opcode enum is the one that
+// matters here: the executor, the fusion planner and the translation
+// validator all dispatch on it, and a freshly added opcode that falls
+// through one of those switches miscompiles silently instead of failing the
+// build. Sentinel constants (the enum's one-past-the-end count) are named in
+// opSwitchSentinels and never required. Package variables, not constants,
+// so the tests can retarget the analyzer at a synthetic enum.
+var (
+	opSwitchTargets   = map[string]bool{"specdis/internal/bcode.Op": true}
+	opSwitchSentinels = map[string]bool{"numOps": true}
+)
+
+// OpSwitch reports switches over a target enum type that neither carry a
+// default clause nor cover every constant of the enum.
+var OpSwitch = &Analyzer{
+	Name: "opswitch",
+	Doc:  "switches over bcode.Op must be exhaustive or carry a default",
+	Run:  runOpSwitch,
+}
+
+func runOpSwitch(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := namedOf(pass.Info.Types[sw.Tag].Type)
+			if named == nil || !opSwitchTargets[typeKey(named)] {
+				return true
+			}
+			covered := map[int64]bool{}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					return true // a default clause: fallthrough is deliberate
+				}
+				for _, e := range cc.List {
+					if v := pass.Info.Types[e].Value; v != nil && v.Kind() == constant.Int {
+						if i, exact := constant.Int64Val(v); exact {
+							covered[i] = true
+						}
+					}
+				}
+			}
+			var missing []string
+			for _, c := range enumConstants(named) {
+				if !covered[c.val] {
+					missing = append(missing, c.name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Report(sw.Switch, "switch over %s is not exhaustive: missing %s (cover them or add a default)",
+					named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// namedOf unwraps t to its named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typeKey renders a named type as "importpath.TypeName".
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// enumConstant is one declared constant of an enum type.
+type enumConstant struct {
+	name string
+	val  int64
+}
+
+// enumConstants lists every non-sentinel constant of the named type declared
+// in its defining package (unexported ones included — the loader
+// type-checks from source, so the full scope is visible), sorted by value.
+func enumConstants(named *types.Named) []enumConstant {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var out []enumConstant
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) || opSwitchSentinels[name] {
+			continue
+		}
+		if v, exact := constant.Int64Val(c.Val()); exact {
+			out = append(out, enumConstant{name, v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].val < out[j].val })
+	return out
+}

@@ -50,10 +50,13 @@ type Cache struct {
 // are offered to the backing for later processes. Implementations must be
 // safe for concurrent use and must return only programs encoded from the
 // same execution content as execKey (content addressing makes the key the
-// whole contract).
+// whole contract). Load receives the requesting tree so the implementation
+// can validate the decoded program against it (the persistent store runs
+// the translation validator, internal/verify.CheckBCode, and turns a
+// failed validation into a miss).
 type Backing interface {
 	// Load returns the program persisted under the exec key, or false.
-	Load(execKey []byte) (*Prog, bool)
+	Load(t *ir.Tree, execKey []byte) (*Prog, bool)
 	// Store persists a freshly compiled program under the exec key.
 	Store(execKey []byte, p *Prog)
 }
@@ -82,7 +85,7 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 		return p
 	}
 	if c.back != nil {
-		if p, ok := c.back.Load(c.key); ok {
+		if p, ok := c.back.Load(t, c.key); ok {
 			// Bind the loaded instruction stream to the requesting tree —
 			// the same aliasing an in-memory hit performs — and serve it as
 			// a cache hit: nothing was compiled.

@@ -303,12 +303,52 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 			}
 		}
 	}
+	if o.Verify {
+		// Layers 4–5 on the final trees: translation-validate both compiled
+		// tiers and audit a finite-machine list schedule for every tree, so
+		// a debug preparation proves not just the IR transforms (layers 1–3
+		// above) but the code the executable tiers would actually run and
+		// the timelines the evaluation would report.
+		if err := verifyCompiled(prog, lat); err != nil {
+			return nil, err
+		}
+	}
 	// Tree structure is final from here on (arc counters still mutate, but
 	// the shapes only capture arc endpoints), so the identity-keyed shape
 	// cache becomes safe to share across this preparation's runs. The
 	// profiling runs above predate the transforms and deliberately skip it.
 	p.Shapes = sim.NewShapeCache()
 	return p, nil
+}
+
+// verifyCompiled runs verification layers 4 and 5 over every tree of a
+// prepared program: compile to the bytecode and native tiers (trees outside
+// a tier's repertoire run on the reference walker and are skipped), run the
+// translation validator on each artifact, then list-schedule on a 5-FU
+// machine and replay the result through the soundness auditor. Used by the
+// Verify debug option and, through it, the end-to-end differential fuzzer.
+func verifyCompiled(prog *ir.Program, lat ir.LatencyFunc) error {
+	for _, name := range prog.Order {
+		for _, t := range prog.Funcs[name].Trees {
+			if bp, err := bcode.Compile(t); err == nil {
+				if err := verify.BCode(t, bp); err != nil {
+					return fmt.Errorf("bytecode of %s/%s fails translation validation: %w", name, t.Name, err)
+				}
+			}
+			if np, err := ncode.Compile(t); err == nil {
+				if err := verify.NCode(t, np); err != nil {
+					return fmt.Errorf("native code of %s/%s fails translation validation: %w", name, t.Name, err)
+				}
+			}
+			const nFUs = 5
+			g := ir.BuildDepGraph(t, lat)
+			s := sched.FromGraph(g, nFUs)
+			if err := verify.Schedule(g, s, nFUs); err != nil {
+				return fmt.Errorf("schedule of %s/%s fails soundness audit: %w", name, t.Name, err)
+			}
+		}
+	}
+	return nil
 }
 
 // removeSuperfluous deletes every arc whose endpoints never accessed a

@@ -51,6 +51,9 @@ func FuzzBytecodeVsTree(f *testing.F) {
 				if err != nil {
 					return nil, err
 				}
+				if mode == sim.ExecBytecode {
+					validateCompiled(t, p, src)
+				}
 				res, err := disamb.Measure(p, models)
 				if err != nil {
 					return nil, err

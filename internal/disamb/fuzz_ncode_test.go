@@ -53,6 +53,9 @@ func FuzzNativeVsBCode(f *testing.F) {
 				if err != nil {
 					return nil, err
 				}
+				if mode == sim.ExecNative {
+					validateCompiled(t, p, src)
+				}
 				res, err := disamb.Measure(p, models)
 				if err != nil {
 					return nil, err

@@ -66,6 +66,20 @@ type LintOptions struct {
 	// once per run — or never, when the store is warm.
 	BCode *bcode.Cache
 	NCode *ncode.Cache
+	// NoCode disables layer 4 (the compiled-code translation validator over
+	// both the bytecode and native tiers); NoSched disables layer 5 (the
+	// schedule-soundness auditor). Both run by default (spdlint -code,
+	// -sched).
+	NoCode  bool
+	NoSched bool
+	// CorruptBCode, when non-nil, mutates each tree's freshly compiled
+	// bytecode program before the translation validator sees it (the
+	// -corrupt bmask self-test). The corrupted program is private to the
+	// check — it is compiled outside the shared caches and never executed.
+	CorruptBCode func(*bcode.Prog)
+	// CorruptSched, when non-nil, mutates each built schedule before the
+	// soundness auditor replays it (the -corrupt sched self-test).
+	CorruptSched func(*sched.Schedule)
 }
 
 // DefaultLintMaxOps is the lint engine's fuel budget: generous next to the
@@ -82,6 +96,8 @@ type LintStats struct {
 	ArcsChecked int // arcs cross-validated against a trace histogram
 	ArcsAudited int // base arcs audited for unsound removal
 	Scheds      int // list schedules built and validated
+	Progs       int // compiled programs (bytecode + native) translation-validated
+	Audits      int // schedules replayed by the soundness auditor
 	Patterns    int // distinct trace commit patterns scanned
 	Skipped     int // cells skipped on fuel or deadline exhaustion
 }
@@ -214,7 +230,10 @@ func Lint(src string, o LintOptions) (*LintReport, error) {
 				}
 			}
 
-			fs = append(fs, lintSchedules(p.Prog, lat, numFUs, rep)...)
+			if !o.NoCode {
+				fs = append(fs, lintCode(p.Prog, &o, rep)...)
+			}
+			fs = append(fs, lintSchedules(p.Prog, lat, numFUs, &o, rep)...)
 
 			for _, f := range fs {
 				f.Msg = cell + ": " + f.Msg
@@ -286,16 +305,48 @@ func lintDynamic(p *Prepared, memLat int, chaosAt int64, pairs map[*ir.Tree][]ve
 	return out, nil
 }
 
+// lintCode is verification layer 4 inside the lint battery: it compiles
+// every tree to both executable tiers — bytecode and native closure chains
+// — and runs the translation validator over each artifact. Compilation goes
+// through bcode.Compile/ncode.Compile directly, not the shared caches, so
+// the CorruptBCode self-test hook can mutate a program without poisoning
+// compiled code another cell might execute. Trees outside a tier's
+// repertoire are skipped (they run on the reference walker and leave no
+// artifact to validate).
+func lintCode(prog *ir.Program, o *LintOptions, rep *LintReport) []verify.Finding {
+	var fs []verify.Finding
+	forEachTree(prog, func(t *ir.Tree) {
+		if bp, err := bcode.Compile(t); err == nil {
+			if o.CorruptBCode != nil {
+				o.CorruptBCode(bp)
+			}
+			rep.Stats.Progs++
+			fs = append(fs, verify.CheckBCode(t, bp)...)
+		}
+		if np, err := ncode.Compile(t); err == nil {
+			rep.Stats.Progs++
+			fs = append(fs, verify.CheckNCode(t, np)...)
+		}
+	})
+	return fs
+}
+
 // lintSchedules list-schedules every tree on an n-FU machine and validates
 // the result against the tree's dependence graph — the same construction
 // Plans uses for timed measurement, so a violation here means measured
-// cycle counts are untrustworthy.
-func lintSchedules(prog *ir.Program, memLat, n int, rep *LintReport) []verify.Finding {
+// cycle counts are untrustworthy. Unless layer 5 is disabled, every built
+// schedule is additionally replayed by the soundness auditor
+// (verify.AuditSchedule), which also recomputes the critical path the
+// reported cycle count must attain.
+func lintSchedules(prog *ir.Program, memLat, n int, o *LintOptions, rep *LintReport) []verify.Finding {
 	var fs []verify.Finding
 	lat := machine.Infinite(memLat).LatencyFunc()
 	forEachTree(prog, func(t *ir.Tree) {
 		g := ir.BuildDepGraph(t, lat)
 		s := sched.FromGraph(g, n)
+		if o.CorruptSched != nil {
+			o.CorruptSched(s)
+		}
 		rep.Stats.Scheds++
 		if err := sched.Validate(g, s, n); err != nil {
 			fs = append(fs, verify.Finding{
@@ -304,6 +355,10 @@ func lintSchedules(prog *ir.Program, memLat, n int, rep *LintReport) []verify.Fi
 				Tree:  fmt.Sprintf("T%d(%s)", t.ID, t.Name),
 				Msg:   err.Error(),
 			})
+		}
+		if !o.NoSched {
+			rep.Stats.Audits++
+			fs = append(fs, verify.AuditSchedule(g, s, n)...)
 		}
 	})
 	return fs

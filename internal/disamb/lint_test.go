@@ -5,8 +5,10 @@ import (
 	"sync"
 	"testing"
 
+	"specdis/internal/bcode"
 	"specdis/internal/bench"
 	"specdis/internal/ir"
+	"specdis/internal/sched"
 )
 
 // TestLintAllBenchmarksClean is the golden lint suite: every benchmark
@@ -130,4 +132,62 @@ func TestLintReportsCorruption(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestLintReportsCompiledCorruption seeds violations into the compiled
+// artifacts — an inverted commit mask in a bytecode stream, a swapped issue
+// slot in a schedule — through the layer-4/5 corruption hooks and checks the
+// translation validator and the schedule auditor each catch their own.
+func TestLintReportsCompiledCorruption(t *testing.T) {
+	src := bench.ByName("perm").Source
+
+	t.Run("bcode-guard-polarity", func(t *testing.T) {
+		rep, err := Lint(src, LintOptions{MemLats: []int{2}, CorruptBCode: func(p *bcode.Prog) {
+			for i := range p.Code {
+				if p.Code[i].Guard >= 0 {
+					p.Code[i].GNeg = !p.Code[i].GNeg
+					return
+				}
+			}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCheck(t, rep, "bvalid/guard-polarity")
+	})
+
+	t.Run("sched-issue-swap", func(t *testing.T) {
+		rep, err := Lint(src, LintOptions{MemLats: []int{2}, CorruptSched: func(s *sched.Schedule) {
+			for i := 0; i < len(s.Issue); i++ {
+				for j := i + 1; j < len(s.Issue); j++ {
+					if s.Issue[i] != s.Issue[j] {
+						s.Issue[i], s.Issue[j] = s.Issue[j], s.Issue[i]
+						return
+					}
+				}
+			}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCheck(t, rep, "sched/comp-latency")
+	})
+}
+
+// wantCheck asserts the report carries at least one finding with the check ID.
+func wantCheck(t *testing.T, rep *LintReport, check string) {
+	t.Helper()
+	if rep.Clean() {
+		t.Fatalf("corruption not detected; report clean")
+	}
+	for _, f := range rep.Findings {
+		if f.Check == check {
+			return
+		}
+	}
+	var got []string
+	for _, f := range rep.Findings {
+		got = append(got, f.String())
+	}
+	t.Fatalf("no %s finding; got:\n%s", check, strings.Join(got, "\n"))
 }

@@ -1,0 +1,84 @@
+package exper_test
+
+import (
+	"testing"
+
+	"specdis/internal/exper"
+	"specdis/internal/store"
+)
+
+// invertCommitMask decodes a persisted bytecode artifact, flips the guard
+// polarity of its first guarded instruction, and re-encodes it. The store's
+// CRC footer is resealed by TamperArtifacts, so only semantic validation —
+// the translation validator run at load time — can notice. Artifacts with
+// no guarded instruction are left untouched (nil).
+func invertCommitMask(payload []byte) []byte {
+	p, err := store.DecodeBCode(payload)
+	if err != nil {
+		return nil
+	}
+	for i := range p.Code {
+		if p.Code[i].Guard >= 0 {
+			p.Code[i].GNeg = !p.Code[i].GNeg
+			return store.EncodeBCode(p)
+		}
+	}
+	return nil
+}
+
+// TestTamperedArtifactsDroppedByValidation is the layer-4 resilience case:
+// stored bytecode whose commit mask was inverted *under a valid checksum*
+// must be rejected by load-time translation validation, recomputed, and
+// repaired — with byte-identical reports throughout. This is the corruption
+// class TestCorruptStoreDegradesToRecompute cannot see (there the CRC
+// catches the damage before any decode).
+func TestTamperedArtifactsDroppedByValidation(t *testing.T) {
+	dir := t.TempDir()
+	cold := exper.New()
+	cold.Store = openStore(t, dir)
+	want := renderAll(t, cold)
+
+	s := openStore(t, dir)
+	tampered, err := s.TamperArtifacts(store.KindBCode, invertCommitMask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tampered == 0 {
+		t.Fatal("no bytecode artifact carried a guarded instruction to tamper")
+	}
+	// The warm path is served whole measurement/preparation/trace cells and
+	// would never load the tampered bytecode; delete those derived kinds so
+	// the next run descends to the compiled-code artifacts.
+	for _, k := range []store.Kind{store.KindPrep, store.KindMeas, store.KindTrace} {
+		if _, err := s.DeleteKind(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	repair := exper.New()
+	repair.Store = openStore(t, dir)
+	if got := renderAll(t, repair); got != want {
+		t.Fatal("tampered store changed report bytes")
+	}
+	rs := repair.StoreStats()
+	if rs.InvalidDropped == 0 {
+		t.Errorf("no tampered artifact failed validation: %+v", rs)
+	}
+	if rs.CorruptDropped != 0 {
+		t.Errorf("resealed artifacts tripped the checksum, not validation: %+v", rs)
+	}
+
+	// The recomputing run re-put every artifact: warm and clean again.
+	warm := exper.New()
+	warm.Store = openStore(t, dir)
+	if got := renderAll(t, warm); got != want {
+		t.Fatal("post-repair output differs")
+	}
+	ws := warm.StoreStats()
+	if ws.InvalidDropped != 0 || ws.CorruptDropped != 0 {
+		t.Errorf("store not repaired: %+v", ws)
+	}
+	if st := warm.Stats(); st.Prepares != 0 || st.Measures != 0 || st.TraceCaptures != 0 {
+		t.Errorf("store not repaired; warm run did cold work: %+v", st)
+	}
+}

@@ -35,10 +35,12 @@ type Meta struct {
 
 // Backing is a second-level metadata store behind the in-memory cache — the
 // persistent artifact store (internal/store) in production. Implementations
-// must be safe for concurrent use.
+// must be safe for concurrent use. Load receives the requesting tree so the
+// implementation can bounds-check the persisted metadata against it and
+// turn an implausible record (a stale or tampered artifact) into a miss.
 type Backing interface {
 	// Load returns the metadata persisted under the exec key, or false.
-	Load(execKey []byte) (Meta, bool)
+	Load(t *ir.Tree, execKey []byte) (Meta, bool)
 	// Store persists one compilation's metadata under the exec key.
 	Store(execKey []byte, m Meta)
 }
@@ -66,7 +68,7 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 		return p
 	}
 	if c.back != nil {
-		if m, ok := c.back.Load(c.key); ok && m.Declined {
+		if m, ok := c.back.Load(t, c.key); ok && m.Declined {
 			// A persisted decline: the content is outside the repertoire, so
 			// skip the compile attempt and send the tree to the fallback
 			// tier, exactly as a fresh decline would.

@@ -16,18 +16,18 @@ type emitter struct {
 
 // emit builds the full step slice for one specialization. Execution is a
 // tight branchless loop over the slice (Prog.Exec).
-func (e *emitter) emit(plan []fuseKind, profiling bool) []step {
+func (e *emitter) emit(plan []FuseKind, profiling bool) []step {
 	steps := make([]step, 0, len(e.code))
 	for pc := range e.code {
 		var s step
 		switch plan[pc] {
-		case fuseConsumed:
+		case FuseConsumed:
 			continue
-		case fuseCmpExit:
+		case FuseCmpExit:
 			s = e.cmpExit(pc, profiling)
-		case fuseConstAlu:
+		case FuseConstAlu:
 			s = e.constAlu(pc)
-		case fusePair:
+		case FusePair:
 			s = e.pair(pc, profiling)
 		default:
 			s = e.one(pc, profiling)
@@ -302,6 +302,8 @@ func (e *emitter) guarded(in bcode.Instr, pc int, profiling bool) step {
 				env.ncommit++
 			}
 		}
+	default:
+		// Guarded pure ops: handled by the two stages below.
 	}
 
 	// Hot guarded pure ops get fully inline closures — speculative moves and
@@ -455,6 +457,8 @@ func (e *emitter) guarded(in bcode.Instr, pc int, profiling bool) step {
 				r[d] = fltV(r[a].F * r[b].F)
 			}
 		}
+	default:
+		// Cold guarded pure ops: the generic evaluator tail below.
 	}
 
 	// Guarded pure long tail: a captured evaluator computes the value only
@@ -599,8 +603,9 @@ func (e *emitter) constAlu(pc int) step {
 		return func(env *Env) { r := env.Regs; r[cd] = cv; r[d] = b2i(r[a].F > r[b].F) }
 	case bcode.FCmpGE:
 		return func(env *Env) { r := env.Regs; r[cd] = cv; r[d] = b2i(r[a].F >= r[b].F) }
+	default:
+		panic("ncode: const+arith fusion planned for unfusable op " + alu.Op.String())
 	}
-	panic("ncode: const+arith fusion planned for unfusable op " + alu.Op.String())
 }
 
 // cmpFor returns the boolean evaluator of one compare opcode.
@@ -630,8 +635,9 @@ func cmpFor(op bcode.Op) func(x, y ir.Value) bool {
 		return func(x, y ir.Value) bool { return x.F > y.F }
 	case bcode.FCmpGE:
 		return func(x, y ir.Value) bool { return x.F >= y.F }
+	default:
+		panic("ncode: cmpFor on non-compare " + op.String())
 	}
-	panic("ncode: cmpFor on non-compare " + op.String())
 }
 
 // evalFor returns the value evaluator of one pure opcode, used by the guarded
@@ -700,8 +706,9 @@ func evalFor(op bcode.Op) func(x, y ir.Value) ir.Value {
 		return func(x, y ir.Value) ir.Value { return fltV(math.Exp(x.F)) }
 	case bcode.Log:
 		return func(x, y ir.Value) ir.Value { return fltV(math.Log(x.F)) }
+	default:
+		panic("ncode: evalFor on non-pure " + op.String())
 	}
-	panic("ncode: evalFor on non-pure " + op.String())
 }
 
 // clamp bounds a speculative address into the memory image (non-faulting

@@ -97,6 +97,13 @@ type Prog struct {
 	// superinstructions the fusion pass formed (each saves one dispatch).
 	Steps, Fused int
 
+	// Src is the bytecode program the chains were lowered through, and Plan
+	// the fusion plan applied to it — retained so the translation validator
+	// (internal/verify.CheckNCode) can audit the compiled artifact against
+	// the source tree without recompiling.
+	Src  *bcode.Prog
+	Plan []FuseKind
+
 	plain, prof []step
 }
 
@@ -128,9 +135,9 @@ func Compile(t *ir.Tree) (*Prog, error) {
 		return nil, err
 	}
 	plan := fusePlan(bp.Code)
-	p := &Prog{Tree: t, NumGuarded: bp.NumGuarded}
+	p := &Prog{Tree: t, NumGuarded: bp.NumGuarded, Src: bp, Plan: plan}
 	for _, k := range plan {
-		if k == fuseCmpExit || k == fuseConstAlu || k == fusePair {
+		if k == FuseCmpExit || k == FuseConstAlu || k == FusePair {
 			p.Fused++
 		}
 	}
@@ -141,36 +148,37 @@ func Compile(t *ir.Tree) (*Prog, error) {
 	return p, nil
 }
 
-// fuseKind classifies each instruction's role in the fusion plan.
-type fuseKind uint8
+// FuseKind classifies each instruction's role in the fusion plan. It is
+// exported (with the plan itself, Prog.Plan) for the translation validator.
+type FuseKind uint8
 
 const (
-	// fuseNone: the instruction emits its own step.
-	fuseNone fuseKind = iota
-	// fuseConsumed: the instruction executes inside the previous
+	// FuseNone: the instruction emits its own step.
+	FuseNone FuseKind = iota
+	// FuseConsumed: the instruction executes inside the previous
 	// superinstruction and emits nothing.
-	fuseConsumed
-	// fuseCmpExit: an unguarded compare at pc whose result guards the exit
+	FuseConsumed
+	// FuseCmpExit: an unguarded compare at pc whose result guards the exit
 	// at pc+1 — one closure computes the compare, writes the (observable)
 	// boolean register, and resolves the exit.
-	fuseCmpExit
-	// fuseConstAlu: an unguarded constant at pc feeding an operand of the
+	FuseCmpExit
+	// FuseConstAlu: an unguarded constant at pc feeding an operand of the
 	// unguarded ALU/compare at pc+1 — one closure writes the constant and
 	// computes the operation.
-	fuseConstAlu
-	// fusePair: two adjacent unguarded instructions from the hot-pair
+	FuseConstAlu
+	// FusePair: two adjacent unguarded instructions from the hot-pair
 	// catalog (address arithmetic feeding a load, ALU and FP sequences,
 	// back-to-back constants or moves) executed by one closure.
-	fusePair
+	FusePair
 )
 
 // fusePlan scans the bytecode stream for fusable adjacent pairs. Fusion never
 // changes semantics — every architectural write of both members still
 // happens, in order — it only removes a dispatch.
-func fusePlan(code []bcode.Instr) []fuseKind {
-	plan := make([]fuseKind, len(code))
+func fusePlan(code []bcode.Instr) []FuseKind {
+	plan := make([]FuseKind, len(code))
 	for pc := 0; pc+1 < len(code); pc++ {
-		if plan[pc] != fuseNone {
+		if plan[pc] != FuseNone {
 			continue // already consumed by the previous pair
 		}
 		in, nx := &code[pc], &code[pc+1]
@@ -179,12 +187,12 @@ func fusePlan(code []bcode.Instr) []fuseKind {
 		}
 		switch {
 		case isCmp(in.Op) && nx.Op == bcode.Exit && nx.Guard == in.Dest:
-			plan[pc], plan[pc+1] = fuseCmpExit, fuseConsumed
+			plan[pc], plan[pc+1] = FuseCmpExit, FuseConsumed
 		case in.Op == bcode.Const && nx.Guard < 0 && nx.Dest >= 0 &&
 			fusableAlu(nx.Op) && (nx.A == in.Dest || nx.B == in.Dest):
-			plan[pc], plan[pc+1] = fuseConstAlu, fuseConsumed
+			plan[pc], plan[pc+1] = FuseConstAlu, FuseConsumed
 		case nx.Guard < 0 && nx.Dest >= 0 && pairable(in.Op, nx.Op):
-			plan[pc], plan[pc+1] = fusePair, fuseConsumed
+			plan[pc], plan[pc+1] = FusePair, FuseConsumed
 		}
 	}
 	return plan
@@ -206,19 +214,26 @@ func pairable(op1, op2 bcode.Op) bool {
 		switch op2 {
 		case bcode.Add, bcode.Sub, bcode.Mul, bcode.Load:
 			return true
+		default:
+			return false
 		}
 	case bcode.Load:
 		switch op2 {
 		case bcode.Add, bcode.Sub, bcode.Load, bcode.FMul, bcode.FAdd, bcode.FSub:
 			return true
+		default:
+			return false
 		}
 	case bcode.FMul, bcode.FAdd, bcode.FSub:
 		switch op2 {
 		case bcode.FMul, bcode.FAdd, bcode.FSub:
 			return true
+		default:
+			return false
 		}
+	default:
+		return false
 	}
-	return false
 }
 
 // isCmp reports whether op is an integer or floating-point compare (produces
@@ -228,8 +243,9 @@ func isCmp(op bcode.Op) bool {
 	case bcode.CmpEQ, bcode.CmpNE, bcode.CmpLT, bcode.CmpLE, bcode.CmpGT, bcode.CmpGE,
 		bcode.FCmpEQ, bcode.FCmpNE, bcode.FCmpLT, bcode.FCmpLE, bcode.FCmpGT, bcode.FCmpGE:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // fusableAlu reports whether op is a two-operand ALU or compare the
@@ -244,6 +260,7 @@ func fusableAlu(op bcode.Op) bool {
 		bcode.FAdd, bcode.FSub, bcode.FMul, bcode.FDiv,
 		bcode.FCmpEQ, bcode.FCmpNE, bcode.FCmpLT, bcode.FCmpLE, bcode.FCmpGT, bcode.FCmpGE:
 		return true
+	default:
+		return false
 	}
-	return false
 }

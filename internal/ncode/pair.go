@@ -50,6 +50,8 @@ func (e *emitter) pair(pc int, profiling bool) step {
 					r[d1] = intV(r[a1].I - r[b1].I)
 					r[d2] = intV(r[a2].I * r[b2].I)
 				}
+			default:
+				// Uncatalogued combo: the panic below reports it.
 			}
 		}
 		switch nx.Op {
@@ -71,6 +73,8 @@ func (e *emitter) pair(pc int, profiling bool) step {
 				r[d1] = intV(r[a1].I + r[b1].I)
 				r[d2] = intV(r[a2].I * r[b2].I)
 			}
+		default:
+			// Uncatalogued combo: the panic below reports it.
 		}
 	case bcode.Load:
 		// Load → {Load, Add, Sub, FMul, FAdd, FSub}; the load's address is
@@ -130,6 +134,8 @@ func (e *emitter) pair(pc int, profiling bool) step {
 					r[d1] = env.Mem[addr]
 					r[d2] = fltV(r[a2].F - r[b2].F)
 				}
+			default:
+				// Uncatalogued combo: the panic below reports it.
 			}
 			break
 		}
@@ -171,6 +177,8 @@ func (e *emitter) pair(pc int, profiling bool) step {
 				r[d1] = env.Mem[clamp(r[a1].I, int64(len(env.Mem))-1)]
 				r[d2] = fltV(r[a2].F - r[b2].F)
 			}
+		default:
+			// Uncatalogued combo: the panic below reports it.
 		}
 	case bcode.FMul:
 		switch nx.Op {
@@ -192,6 +200,8 @@ func (e *emitter) pair(pc int, profiling bool) step {
 				r[d1] = fltV(r[a1].F * r[b1].F)
 				r[d2] = fltV(r[a2].F - r[b2].F)
 			}
+		default:
+			// Uncatalogued combo: the panic below reports it.
 		}
 	case bcode.FAdd:
 		switch nx.Op {
@@ -213,6 +223,8 @@ func (e *emitter) pair(pc int, profiling bool) step {
 				r[d1] = fltV(r[a1].F + r[b1].F)
 				r[d2] = fltV(r[a2].F - r[b2].F)
 			}
+		default:
+			// Uncatalogued combo: the panic below reports it.
 		}
 	case bcode.FSub:
 		switch nx.Op {
@@ -234,7 +246,11 @@ func (e *emitter) pair(pc int, profiling bool) step {
 				r[d1] = fltV(r[a1].F - r[b1].F)
 				r[d2] = fltV(r[a2].F - r[b2].F)
 			}
+		default:
+			// Uncatalogued combo: the panic below reports it.
 		}
+	default:
+		// Not a catalogued head: the panic below reports it.
 	}
 	panic("ncode: pair fusion planned for uncatalogued ops " +
 		in.Op.String() + "/" + nx.Op.String())

@@ -474,7 +474,11 @@ const ctxCheckEveryOps = 1 << 16
 
 // fuel charges one tree execution's nops dynamic operations against the
 // run's budget, polls the deadline context, and fires the chaos-panic hook.
-// Shared by both execution engines so fuel semantics cannot diverge.
+// Shared by both execution engines so fuel semantics cannot diverge. The
+// charge is len(tree.Ops) regardless of tier, which is only sound because
+// every compiled tier keeps instruction index == Seq — the contract the
+// translation validators (internal/verify.CheckBCode/CheckNCode) enforce
+// statically on every compiled and store-loaded artifact.
 func (r *Runner) fuel(nops int) error {
 	maxOps := r.MaxOps
 	if maxOps == 0 {

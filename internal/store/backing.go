@@ -7,10 +7,21 @@ package store
 // Both key on the tree's execution content (ir.AppendExecKey) hashed under
 // the artifact kind, so the on-disk namespace is shared across every
 // process, program clone, and pipeline that ever compiles the same content.
+//
+// Loads are validated, not just decoded: a bcode payload that survives the
+// CRC footer and the format decoder is still run through the translation
+// validator (internal/verify.CheckBCode) against the tree that requested
+// it, and native metadata is bounds-checked against the tree's size. A
+// stale or tampered artifact — plausible bytes under a matching key — is
+// dropped (Stats.InvalidDropped) and reported as a miss, so the caller
+// recompiles and the next Put repairs the store: the same
+// drop→recompute→repair rung corruption takes, one layer deeper.
 
 import (
 	"specdis/internal/bcode"
+	"specdis/internal/ir"
 	"specdis/internal/ncode"
+	"specdis/internal/verify"
 )
 
 // bcodeBacking implements bcode.Backing over a store.
@@ -19,8 +30,20 @@ type bcodeBacking struct{ s *Store }
 // BCodeBacking returns a bcode.Backing persisting compiled programs in s.
 func BCodeBacking(s *Store) bcode.Backing { return bcodeBacking{s} }
 
-func (b bcodeBacking) Load(execKey []byte) (*bcode.Prog, bool) {
-	return getTyped(b.s, NewKey(KindBCode, execKey), DecodeBCode)
+func (b bcodeBacking) Load(t *ir.Tree, execKey []byte) (*bcode.Prog, bool) {
+	k := NewKey(KindBCode, execKey)
+	p, ok := getTyped(b.s, k, DecodeBCode)
+	if !ok {
+		return nil, false
+	}
+	// Bind the loaded stream to the requesting tree (the caller's cache does
+	// the same on a hit) and validate the pair before serving it.
+	p.Tree = t
+	if fs := verify.CheckBCode(t, p); len(fs) > 0 {
+		b.s.DropInvalid(k)
+		return nil, false
+	}
+	return p, true
 }
 
 func (b bcodeBacking) Store(execKey []byte, p *bcode.Prog) {
@@ -34,9 +57,16 @@ type ncodeBacking struct{ s *Store }
 // metadata in s.
 func NCodeBacking(s *Store) ncode.Backing { return ncodeBacking{s} }
 
-func (b ncodeBacking) Load(execKey []byte) (ncode.Meta, bool) {
-	m, ok := getTyped(b.s, NewKey(KindNative, execKey), DecodeNative)
+func (b ncodeBacking) Load(t *ir.Tree, execKey []byte) (ncode.Meta, bool) {
+	k := NewKey(KindNative, execKey)
+	m, ok := getTyped(b.s, k, DecodeNative)
 	if !ok {
+		return ncode.Meta{}, false
+	}
+	// Fusion only ever shrinks the chain, and a compiled tree emits at
+	// least its exit step, so a plausible record has 1..len(t.Ops) steps.
+	if !m.Declined && (m.Steps < 1 || m.Steps > int64(len(t.Ops))) {
+		b.s.DropInvalid(k)
 		return ncode.Meta{}, false
 	}
 	return ncode.Meta{Declined: m.Declined, Steps: m.Steps}, true

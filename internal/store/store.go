@@ -130,6 +130,12 @@ type Stats struct {
 	// the footer, kind, or version checks; each one cost its caller a
 	// recompute and was repaired by the subsequent Put.
 	CorruptDropped int64
+	// InvalidDropped counts artifacts that decoded cleanly but failed
+	// semantic validation against the tree they were loaded for (the
+	// translation validator, internal/verify.CheckBCode, or the native
+	// metadata bounds) — a stale or tampered artifact whose CRC still
+	// matches. Dropped and recomputed exactly like corruption.
+	InvalidDropped int64
 }
 
 // DefaultMemBytes is the default capacity of the in-memory LRU front.
@@ -269,9 +275,21 @@ func (s *Store) Put(k Key, payload []byte) error {
 // DropCorrupt removes the artifact stored under key and counts it as
 // corruption-dropped. The typed decoders call it when a payload passes the
 // footer but fails its kind or version word.
-func (s *Store) DropCorrupt(k Key) { s.dropCorrupt(k) }
+func (s *Store) DropCorrupt(k Key) { s.drop(k, &s.stats.CorruptDropped) }
 
-func (s *Store) dropCorrupt(k Key) {
+// DropInvalid removes the artifact stored under key and counts it as
+// validation-dropped: the payload decoded cleanly but the decoded artifact
+// failed semantic validation against the tree it was loaded for. The load
+// adapters (backing.go) call it when the translation validator rejects a
+// loaded program.
+func (s *Store) DropInvalid(k Key) { s.drop(k, &s.stats.InvalidDropped) }
+
+func (s *Store) dropCorrupt(k Key) { s.drop(k, &s.stats.CorruptDropped) }
+
+// drop removes key from disk and the memory front and counts the Get that
+// led here as a miss, bumping ctr (a field of s.stats, mutated under the
+// lock) to make the repair observable.
+func (s *Store) drop(k Key, ctr *int64) {
 	os.Remove(s.path(k))
 	s.mu.Lock()
 	if el, ok := s.mem[k]; ok {
@@ -280,7 +298,7 @@ func (s *Store) dropCorrupt(k Key) {
 		delete(s.mem, k)
 	}
 	s.stats.Misses++
-	s.stats.CorruptDropped++
+	*ctr++
 	s.mu.Unlock()
 }
 

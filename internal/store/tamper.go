@@ -1,0 +1,107 @@
+package store
+
+// Tampering support for the validation self-tests: rewrite artifacts of one
+// kind in place with the integrity footer resealed, so the result passes
+// every CRC and format check and only semantic validation (the translation
+// validator at load time) can tell it from the genuine artifact. This is
+// how the fault-injection CI step and the repair tests seed "plausible but
+// wrong" artifacts — a raw bit flip would be caught by the footer, which
+// exercises the corruption rung, not the validation rung.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// DeleteKind removes every stored artifact of the given kind, from disk and
+// from the memory front. The tamper self-tests use it to clear derived cells
+// (prepare summaries, priced measurements, traces) so a warm run descends to
+// the compiled-code artifacts instead of being served whole cells above
+// them. Returns how many artifacts were removed.
+func (s *Store) DeleteKind(kind Kind) (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".spda" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		payload, err := checkFooter(data)
+		if err != nil || len(payload) == 0 || Kind(payload[0]) != kind {
+			return nil
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	s.mu.Lock()
+	for k := range s.mem {
+		delete(s.mem, k)
+	}
+	s.order.Init()
+	s.memBytes = 0
+	s.mu.Unlock()
+	return n, nil
+}
+
+// TamperArtifacts applies fn to the payload of every stored artifact of the
+// given kind and reseals the result under a fresh footer. fn receives the
+// decoded-format payload (kind byte and version varint included) and
+// returns the replacement, or nil to leave the artifact untouched. Returns
+// how many artifacts were rewritten. The memory front is cleared for
+// rewritten keys so a subsequent Get reads the tampered file from disk.
+func (s *Store) TamperArtifacts(kind Kind, fn func(payload []byte) []byte) (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".spda" {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		payload, err := checkFooter(data)
+		if err != nil || len(payload) == 0 || Kind(payload[0]) != kind {
+			return nil // other kinds and already-broken files stay as they are
+		}
+		repl := fn(append([]byte(nil), payload...))
+		if repl == nil {
+			return nil
+		}
+		sealed := make([]byte, 0, len(repl)+footerSize)
+		sealed = append(sealed, repl...)
+		var foot [footerSize]byte
+		copy(foot[:4], footerMagic[:])
+		binary.LittleEndian.PutUint32(foot[4:8], uint32(len(repl)))
+		binary.LittleEndian.PutUint32(foot[8:12], crc32.ChecksumIEEE(repl))
+		sealed = append(sealed, foot[:]...)
+		if err := os.WriteFile(path, sealed, 0o644); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	// Drop the whole memory front: tampered payloads must be re-read from
+	// disk, and dropping clean entries only costs a disk read.
+	s.mu.Lock()
+	for k := range s.mem {
+		delete(s.mem, k)
+	}
+	s.order.Init()
+	s.memBytes = 0
+	s.mu.Unlock()
+	return n, nil
+}

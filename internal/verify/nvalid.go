@@ -1,0 +1,175 @@
+package verify
+
+// This file is verification layer 4b: the translation validator for the
+// native tier. A native program is closure chains lowered through the
+// bytecode stream under a superinstruction fusion plan, so validation has
+// two halves: the retained bytecode source is validated against the tree
+// with CheckBCode, and the fusion plan is re-derived instruction by
+// instruction from an independent copy of the fusion preconditions — a plan
+// entry the catalog cannot justify means the emitter built a closure whose
+// semantics nobody proved. The chain lengths the executor and the fuel
+// accounting rely on (Steps, Fused, NumGuarded) are recomputed from the
+// plan and compared.
+
+import (
+	"fmt"
+
+	"specdis/internal/bcode"
+	"specdis/internal/ir"
+	"specdis/internal/ncode"
+)
+
+// NCode runs the native-tier translation validator and folds findings into
+// one error, or nil.
+func NCode(t *ir.Tree, p *ncode.Prog) error { return asError(CheckNCode(t, p)) }
+
+// CheckNCode validates one compiled native program against its source tree.
+// A nil program is vacuously valid (the tree runs on the reference walker).
+func CheckNCode(t *ir.Tree, p *ncode.Prog) []Finding {
+	if p == nil {
+		return nil
+	}
+	c := &bcodeChecker{t: t, fn: t.Fn, p: p.Src}
+	c.fail = func(check, format string, args ...any) {
+		c.out = append(c.out, Finding{
+			Check: check,
+			Func:  c.fn.Name,
+			Tree:  fmt.Sprintf("T%d(%s)", t.ID, t.Name),
+			Msg:   fmt.Sprintf(format, args...),
+		})
+	}
+	if p.Src == nil {
+		c.fail("nvalid/no-src", "native program retains no bytecode source; nothing to validate against")
+		return c.out
+	}
+	c.run()
+
+	code := p.Src.Code
+	if p.NumGuarded != p.Src.NumGuarded {
+		c.fail("nvalid/guard-count", "native program declares %d guarded steps, bytecode source has %d", p.NumGuarded, p.Src.NumGuarded)
+	}
+	if len(p.Plan) != len(code) {
+		c.fail("nvalid/plan-length", "fusion plan covers %d slots for %d instructions", len(p.Plan), len(code))
+		return c.out
+	}
+
+	steps, fused := 0, 0
+	for pc, k := range p.Plan {
+		switch k {
+		case ncode.FuseNone:
+			// An unguarded nop emits no closure; everything else emits one.
+			if !(code[pc].Op == bcode.Nop && code[pc].Guard < 0) {
+				steps++
+			}
+		case ncode.FuseConsumed:
+			if pc == 0 || !fuseHead(p.Plan[pc-1]) {
+				c.fail("nvalid/fuse-orphan", "instr %d marked consumed without a preceding superinstruction head", pc)
+			}
+		case ncode.FuseCmpExit, ncode.FuseConstAlu, ncode.FusePair:
+			steps++
+			fused++
+			if pc+1 >= len(code) || p.Plan[pc+1] != ncode.FuseConsumed {
+				c.fail("nvalid/fuse-unconsumed", "superinstruction head at instr %d does not consume instr %d", pc, pc+1)
+				continue
+			}
+			c.checkFusion(pc, k)
+		default:
+			c.fail("nvalid/fuse-kind", "instr %d has unknown fusion kind %d", pc, int(k))
+		}
+	}
+	if p.Steps != steps {
+		c.fail("nvalid/step-count", "native program declares %d steps, plan emits %d (fuel and cache metadata wrong)", p.Steps, steps)
+	}
+	if p.Fused != fused {
+		c.fail("nvalid/fused-count", "native program declares %d superinstructions, plan holds %d", p.Fused, fused)
+	}
+	return c.out
+}
+
+// checkFusion re-derives the legality of one superinstruction head from the
+// validator's own copy of the fusion preconditions.
+func (c *bcodeChecker) checkFusion(pc int, k ncode.FuseKind) {
+	code := c.p.Code
+	in, nx := &code[pc], &code[pc+1]
+	if in.Guard >= 0 || in.Dest < 0 {
+		c.fail("nvalid/fuse-guarded", "superinstruction head at instr %d (%s) is guarded or has no destination", pc, in.Op)
+		return
+	}
+	switch k {
+	case ncode.FuseCmpExit:
+		if !vIsCmp(in.Op) || nx.Op != bcode.Exit || nx.Guard != in.Dest {
+			c.fail("nvalid/fuse-illegal", "compare+exit fusion at instr %d: %s does not feed the guard of %s", pc, in.Op, nx.Op)
+		}
+	case ncode.FuseConstAlu:
+		if in.Op != bcode.Const || nx.Guard >= 0 || nx.Dest < 0 ||
+			!vFusableAlu(nx.Op) || (nx.A != in.Dest && nx.B != in.Dest) {
+			c.fail("nvalid/fuse-illegal", "const+arith fusion at instr %d: %s does not feed an operand of %s", pc, in.Op, nx.Op)
+		}
+	case ncode.FusePair:
+		if nx.Guard >= 0 || nx.Dest < 0 || !vPairable(in.Op, nx.Op) {
+			c.fail("nvalid/fuse-illegal", "pair fusion at instr %d: %s/%s is not in the hot-pair catalog", pc, in.Op, nx.Op)
+		}
+	}
+}
+
+func fuseHead(k ncode.FuseKind) bool {
+	return k == ncode.FuseCmpExit || k == ncode.FuseConstAlu || k == ncode.FusePair
+}
+
+// vIsCmp, vFusableAlu and vPairable are the validator's independent copies
+// of the fusion preconditions (see the package comment on re-derivation).
+
+func vIsCmp(op bcode.Op) bool {
+	switch op {
+	case bcode.CmpEQ, bcode.CmpNE, bcode.CmpLT, bcode.CmpLE, bcode.CmpGT, bcode.CmpGE,
+		bcode.FCmpEQ, bcode.FCmpNE, bcode.FCmpLT, bcode.FCmpLE, bcode.FCmpGT, bcode.FCmpGE:
+		return true
+	default:
+		return false
+	}
+}
+
+func vFusableAlu(op bcode.Op) bool {
+	switch op {
+	case bcode.Add, bcode.Sub, bcode.Mul, bcode.And, bcode.Or, bcode.Xor,
+		bcode.Shl, bcode.Shr,
+		bcode.CmpEQ, bcode.CmpNE, bcode.CmpLT, bcode.CmpLE, bcode.CmpGT, bcode.CmpGE,
+		bcode.FAdd, bcode.FSub, bcode.FMul, bcode.FDiv,
+		bcode.FCmpEQ, bcode.FCmpNE, bcode.FCmpLT, bcode.FCmpLE, bcode.FCmpGT, bcode.FCmpGE:
+		return true
+	default:
+		return false
+	}
+}
+
+func vPairable(op1, op2 bcode.Op) bool {
+	switch op1 {
+	case bcode.Const:
+		return op2 == bcode.Const
+	case bcode.Move:
+		return op2 == bcode.Move
+	case bcode.Add, bcode.Sub:
+		switch op2 {
+		case bcode.Add, bcode.Sub, bcode.Mul, bcode.Load:
+			return true
+		default:
+			return false
+		}
+	case bcode.Load:
+		switch op2 {
+		case bcode.Add, bcode.Sub, bcode.Load, bcode.FMul, bcode.FAdd, bcode.FSub:
+			return true
+		default:
+			return false
+		}
+	case bcode.FMul, bcode.FAdd, bcode.FSub:
+		switch op2 {
+		case bcode.FMul, bcode.FAdd, bcode.FSub:
+			return true
+		default:
+			return false
+		}
+	default:
+		return false
+	}
+}
