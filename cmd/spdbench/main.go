@@ -12,8 +12,11 @@
 //	spdbench -bench fft       # restrict to one benchmark
 //	spdbench -par 4           # evaluation-cell worker pool width (0 = GOMAXPROCS)
 //	spdbench -trace interp    # interpret every timed run instead of trace replay
-//	spdbench -exec native     # interpret on the closure-threaded native tier
-//	spdbench -exec tree       # interpret on the reference tree walker instead of bytecode
+//	spdbench -exec bcode      # interpret on the bytecode engine instead of the
+//	                          # native tier (the default)
+//	spdbench -exec tree       # interpret on the reference tree walker
+//	spdbench -tierup N        # adaptive tiering: promote a tree to the native
+//	                          # tier at its Nth execution (0 = compile eagerly)
 //	spdbench -verify          # static verifier after every pipeline stage
 //	spdbench -fuel N          # dynamic-op budget per interpretation
 //	spdbench -deadline 30s    # wall-clock deadline for the whole evaluation
@@ -115,8 +118,8 @@ type traceReport struct {
 
 // execReport is the "exec" section of BENCH_spdbench.json.
 type execReport struct {
-	// Mode is the execution backend the run used: "bcode", "native" or
-	// "tree".
+	// Mode is the execution backend the run used: "native" (the default),
+	// "bcode" or "tree".
 	Mode string `json:"mode"`
 	// TreesCompiled counts decision trees lowered to bytecode or native
 	// closure chains; Instrs their total instruction words (closure steps
@@ -125,6 +128,15 @@ type execReport struct {
 	TreesCompiled int64 `json:"trees_compiled"`
 	Instrs        int64 `json:"instrs"`
 	CacheHits     int64 `json:"cache_hits"`
+	// Steps, Fused and Windows describe the native tier's compiled closure
+	// chains (zero on the other backends): chain steps after window fusion,
+	// superinstruction heads among them, and 3-/4-wide window fusions among
+	// the heads. TierUps counts trees promoted from the bytecode rung by
+	// adaptive tiering (-tierup).
+	Steps   int64 `json:"steps"`
+	Fused   int64 `json:"fused"`
+	Windows int64 `json:"windows"`
+	TierUps int64 `json:"tier_ups"`
 }
 
 // resilienceReport is the "resilience" section of BENCH_spdbench.json; see
@@ -227,7 +239,8 @@ func run() int {
 	minGain := flag.Float64("mingain", -1, "override SpD MinGain")
 	par := flag.Int("par", 0, "evaluation-cell worker pool width (0 = GOMAXPROCS, 1 = sequential)")
 	traceMode := flag.String("trace", "replay", "timed-simulation backend: replay (capture a trace once, price every model by replay) or interp (interpret every timed run)")
-	execMode := flag.String("exec", "bcode", "execution backend: bcode (compile trees to register-machine bytecode), native (compile trees to closure-threaded native chains), or tree (reference tree-walking interpreter)")
+	execMode := flag.String("exec", "native", "execution backend: native (compile trees to closure-threaded window-fused chains), bcode (compile trees to register-machine bytecode), or tree (reference tree-walking interpreter)")
+	tierUp := flag.Int64("tierup", exper.DefaultTierUp, "adaptive tiering under -exec=native: a tree starts on the bytecode rung and is promoted to the native tier at its Nth execution of a run (0 = compile every tree eagerly)")
 	fuel := flag.Int64("fuel", defaultFuel, "dynamic-operation budget per interpretation; an exceeding cell fails typed instead of hanging")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline for the whole evaluation (0 = none); expiry fails in-flight cells typed")
 	inject := flag.String("inject", "", "seeded fault-injection plan, e.g. seed=42,rate=0.3,kinds=panic+fuel+flip+drop,times=1 (chaos mode)")
@@ -262,6 +275,7 @@ func run() int {
 	default:
 		log.Fatalf("unknown -exec mode %q (want bcode, native or tree)", *execMode)
 	}
+	r.TierUp = *tierUp
 	if *deadline > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
 		defer cancel()
@@ -459,6 +473,10 @@ func run() int {
 			TreesCompiled: st.BCodeCompiled,
 			Instrs:        st.BCodeInstrs,
 			CacheHits:     st.BCodeCacheHits,
+			Steps:         st.NativeSteps,
+			Fused:         st.NativeFused,
+			Windows:       st.NativeWindows,
+			TierUps:       st.TierUps,
 		}
 		report.Resilience = resilienceReport{
 			Inject:           *inject,

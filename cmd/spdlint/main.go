@@ -13,8 +13,8 @@
 //
 //	-mem 2,6      memory latencies to lint the SPEC pipeline at
 //	-fus 5        machine width for schedule validation
-//	-exec bcode   execution backend for the dynamic checks: bcode | native |
-//	              tree
+//	-exec native  execution backend for the dynamic checks: native (the
+//	              default) | bcode | tree
 //	-fuel N       dynamic-op budget per lint interpretation; a cell that
 //	              exhausts it (a nonterminating example, say) is skipped
 //	              with a notice, not failed
@@ -31,8 +31,9 @@
 //	-corrupt KIND seed a violation before checking (debug: proves the
 //	              checkers catch it): seq | arc | bmask (flip a commit
 //	              guard's polarity in the compiled bytecode; layer 4 must
-//	              catch it) | sched (swap two issue slots in the timeline;
-//	              layer 5 must catch it)
+//	              catch it) | nwin (gap a native window-fusion plan; layer
+//	              4's tiling check must catch it) | sched (swap two issue
+//	              slots in the timeline; layer 5 must catch it)
 //	-chaos KIND   self-test the lint engine's fault tolerance: panic (an
 //	              injected crash in every dynamic check must surface as a
 //	              lint/run-failed finding, never kill the process) | fuel
@@ -74,13 +75,13 @@ func main() {
 	log.SetPrefix("spdlint: ")
 	memFlag := flag.String("mem", "2,6", "comma-separated memory latencies to lint the SPEC pipeline at")
 	fus := flag.Int("fus", 5, "machine width for schedule validation")
-	execMode := flag.String("exec", "bcode", "execution backend for the dynamic checks: bcode, native or tree")
+	execMode := flag.String("exec", "native", "execution backend for the dynamic checks: native, bcode or tree")
 	fuel := flag.Int64("fuel", 0, "dynamic-op budget per lint interpretation (0 = the engine default); exhausting cells are skipped, not failed")
 	code := flag.Bool("code", true, "translation-validate the compiled tiers (layer 4)")
 	schedOn := flag.Bool("sched", true, "audit schedule soundness against the dependence graph (layer 5)")
 	verbose := flag.Bool("v", false, "print per-program checker statistics")
 	storeDir := flag.String("store", "", "persistent artifact store directory (shared with spdbench): reuse compiled code across cells, programs and runs")
-	corrupt := flag.String("corrupt", "", "seed a violation before checking: seq | arc | bmask | sched")
+	corrupt := flag.String("corrupt", "", "seed a violation before checking: seq | arc | bmask | nwin | sched")
 	chaos := flag.String("chaos", "", "fault-tolerance self-test: panic (injected crash must become a finding) | fuel (tiny budget must skip cleanly)")
 	flag.Parse()
 
@@ -125,10 +126,12 @@ func main() {
 		opts.Corrupt = corruptArc
 	case "bmask":
 		opts.CorruptBCode = corruptBMask
+	case "nwin":
+		opts.CorruptNCode = corruptNWin
 	case "sched":
 		opts.CorruptSched = corruptSchedule
 	default:
-		log.Fatalf("unknown -corrupt kind %q (want seq, arc, bmask or sched)", *corrupt)
+		log.Fatalf("unknown -corrupt kind %q (want seq, arc, bmask, nwin or sched)", *corrupt)
 	}
 	switch *chaos {
 	case "":
@@ -278,6 +281,20 @@ func corruptBMask(p *bcode.Prog) {
 	for i := range p.Code {
 		if p.Code[i].Guard >= 0 {
 			p.Code[i].GNeg = !p.Code[i].GNeg
+			return
+		}
+	}
+}
+
+// corruptNWin gaps the window-fusion plan of a compiled native closure
+// chain: the instruction a fusion head claims to consume is marked unfused,
+// so the plan no longer tiles the bytecode stream exactly, and the
+// translation validator's tiling check (layer 4) must flag the gap.
+func corruptNWin(p *ncode.Prog) {
+	for i := 0; i+1 < len(p.Plan); i++ {
+		if p.Plan[i] != ncode.FuseNone && p.Plan[i] != ncode.FuseConsumed &&
+			p.Plan[i+1] == ncode.FuseConsumed {
+			p.Plan[i+1] = ncode.FuseNone
 			return
 		}
 	}

@@ -87,8 +87,10 @@ type Prepared struct {
 	// preparation's cancellation scope.
 	Ctx context.Context
 	// Exec is the execution backend every interpretation of this preparation
-	// uses (Options.Exec).
-	Exec sim.ExecMode
+	// uses (Options.Exec), and TierUp its adaptive-tiering hot threshold
+	// (Options.TierUp).
+	Exec   sim.ExecMode
+	TierUp int64
 	// BCode and NCode cache the program's compiled bytecode and native
 	// closure chains, so every interpretation of this preparation — the
 	// profiling run, Capture, Measure, verification reruns — shares one
@@ -144,6 +146,10 @@ type Options struct {
 	// Exec selects the execution backend for every interpretation of the
 	// prepared program (zero value: the bytecode engine).
 	Exec sim.ExecMode
+	// TierUp, under sim.ExecNative, defers each tree's native compile until
+	// it has executed TierUp times within a run (see sim.Runner.TierUp);
+	// zero compiles eagerly.
+	TierUp int64
 	// ExecCounters, when non-nil, accumulates compilation and cache
 	// statistics across the preparation and everything derived from it
 	// (bytecode or native, per Exec).
@@ -195,7 +201,7 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 			return nil, err
 		}
 	}
-	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount(), MaxOps: o.MaxOps, Ctx: o.Ctx, Exec: o.Exec}
+	p := &Prepared{Kind: kind, MemLat: memLat, Prog: prog, BaseOps: prog.OpCount(), MaxOps: o.MaxOps, Ctx: o.Ctx, Exec: o.Exec, TierUp: o.TierUp}
 	p.BCode = o.BCode
 	if p.BCode == nil {
 		p.BCode = bcode.NewCache(o.ExecCounters)
@@ -212,7 +218,7 @@ func PrepareOpts(src string, o Options) (*Prepared, error) {
 		// SPEC's pre-SpD profile): the transformed trees re-key and
 		// recompile, while untouched trees keep hitting.
 		p.Profile = sim.NewProfile()
-		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec, MaxOps: o.MaxOps, Ctx: o.Ctx, Exec: o.Exec, BCode: p.BCode, NCode: p.NCode}
+		r := &sim.Runner{Prog: prog, SemLat: lat, Prof: p.Profile, Rec: rec, MaxOps: o.MaxOps, Ctx: o.Ctx, Exec: o.Exec, TierUp: o.TierUp, BCode: p.BCode, NCode: p.NCode}
 		res, err := r.Run()
 		if err != nil {
 			return fmt.Errorf("%s profiling run: %w", kind, err)
@@ -462,6 +468,7 @@ func Recapture(p *Prepared, opt MeasureOpt) (*trace.Trace, error) {
 		Ctx:          opt.ctx(p),
 		ChaosPanicAt: opt.ChaosPanicAt,
 		Exec:         opt.exec(p),
+		TierUp:       p.TierUp,
 		BCode:        p.BCode,
 		NCode:        p.NCode,
 		Shapes:       p.Shapes,
@@ -524,6 +531,7 @@ func MeasureWith(p *Prepared, models []machine.Model, opt MeasureOpt) (*sim.Resu
 		Ctx:          opt.ctx(p),
 		ChaosPanicAt: opt.ChaosPanicAt,
 		Exec:         opt.exec(p),
+		TierUp:       p.TierUp,
 		BCode:        p.BCode,
 		NCode:        p.NCode,
 		Shapes:       p.Shapes,

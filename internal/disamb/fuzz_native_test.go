@@ -12,7 +12,9 @@ import (
 // fuzzSeeds is the seed corpus for FuzzDisamb. The hand-written entries
 // concentrate on guarded stores — stores under if conditions and through
 // ambiguous subscripts, the shapes SpD must guard correctly — plus WAR and
-// forwarding-RAW patterns; the generated tail adds structural variety.
+// forwarding-RAW patterns, long straight-line chains that tile into 3- and
+// 4-wide native fusion windows, and guard-dense trees where windows must
+// stop at every guarded op; the generated tail adds structural variety.
 var fuzzSeeds = []string{
 	// Guarded store through an ambiguous subscript (the paper's core shape).
 	`int a[16]; int b[16];
@@ -73,6 +75,46 @@ void main() {
 	int i = 0;
 	while (i < 3000000) { i = i + 1; }
 	print(i);
+}`,
+	// Long straight-line chains: unguarded const/ALU/load runs that the
+	// native tier tiles into 3- and 4-wide fusion windows, mixing integer,
+	// float, shift/mask and array-read elements inside one tree.
+	`int a[16]; float f[4] = {1.5, 2.25, -3.5, 4.0};
+int chain(int k) {
+	int x = k * 3 + 7;
+	int y = x * 5 - k;
+	int z = (x + y) * 2 + 11;
+	int w = z - x * 4 + y;
+	float g = f[k % 4] * 2.5 + 1.25;
+	float h = g * g - f[(k + 1) % 4];
+	int m = a[k % 16] + z;
+	int n = a[(k + 5) % 16] * 3 - w;
+	return ((x + y + z + w + m + n) % 4096) + int(h * g) % 97;
+}
+void main() {
+	int s = 0;
+	for (int k = 0; k < 96; k = k + 1) { s = (s * 17 + chain(k)) % 1000003; a[k % 16] = s % 251; }
+	print(s);
+}`,
+	// Guard-dense tree: ambiguous stores under alternating conditions split
+	// the straight-line runs, so every window must end before a guarded op
+	// and fusion falls back to narrow pairs between guards.
+	`int a[12]; int b[12];
+void main() {
+	for (int k = 0; k < 72; k = k + 1) {
+		int i = k % 12;
+		int j = (k * 7 + 5) % 12;
+		int u = a[i] * 3 + k;
+		int v = b[j] - u % 9;
+		if (u % 2 == 0) { a[j] = u + 1; }
+		int w = u * v + a[i];
+		if (v > 4) { b[i] = w % 127; }
+		if (w % 3 == 1) { a[i] = a[i] + b[j]; }
+		b[j] = (u + v + w) % 251;
+	}
+	int s = 0;
+	for (int k = 0; k < 12; k = k + 1) { s = (s * 29 + a[k] * 3 + b[k]) % 1000003; }
+	print(s);
 }`,
 }
 

@@ -77,6 +77,11 @@ type LintOptions struct {
 	// -corrupt bmask self-test). The corrupted program is private to the
 	// check — it is compiled outside the shared caches and never executed.
 	CorruptBCode func(*bcode.Prog)
+	// CorruptNCode, when non-nil, mutates each tree's freshly compiled
+	// native closure chain before the translation validator sees it (the
+	// -corrupt nwin self-test). Same isolation as CorruptBCode: private to
+	// the check, never executed.
+	CorruptNCode func(*ncode.Prog)
 	// CorruptSched, when non-nil, mutates each built schedule before the
 	// soundness auditor replays it (the -corrupt sched self-test).
 	CorruptSched func(*sched.Schedule)
@@ -324,6 +329,9 @@ func lintCode(prog *ir.Program, o *LintOptions, rep *LintReport) []verify.Findin
 			fs = append(fs, verify.CheckBCode(t, bp)...)
 		}
 		if np, err := ncode.Compile(t); err == nil {
+			if o.CorruptNCode != nil {
+				o.CorruptNCode(np)
+			}
 			rep.Stats.Progs++
 			fs = append(fs, verify.CheckNCode(t, np)...)
 		}

@@ -66,11 +66,19 @@ type Runner struct {
 	// the first finding. Debug mode (`spdbench -verify`).
 	Verify bool
 
-	// Exec selects the execution backend every interpretation uses (zero
-	// value: the bytecode engine; `spdbench -exec=native` selects the
-	// closure-threaded native tier, `-exec=tree` forces the reference tree
-	// walker). Reports are byte-identical under all three backends.
+	// Exec selects the execution backend every interpretation uses. The
+	// zero value is the bytecode engine; New selects the closure-threaded
+	// native tier — the CLIs' default (`spdbench -exec=bcode` and
+	// `-exec=tree` walk back down the ladder). Reports are byte-identical
+	// under all three backends.
 	Exec sim.ExecMode
+
+	// TierUp is the adaptive-tiering hot threshold under the native backend
+	// (sim.Runner.TierUp): every tree starts on the bytecode rung and is
+	// promoted to the native tier at its TierUp-th execution of a run, so
+	// cold trees never pay native compilation. 0 (and any value <= 0)
+	// compiles eagerly. New sets DefaultTierUp.
+	TierUp int64
 
 	// Fuel bounds every interpretation's dynamic operation count (0 =
 	// sim.DefaultMaxOps): a nonterminating cell fails with a typed
@@ -175,14 +183,24 @@ type Measurement struct {
 	Ops int64
 }
 
+// DefaultTierUp is New's adaptive-tiering threshold: a tree's 32nd execution
+// within a run promotes it from the bytecode rung to the native tier. Low
+// enough that every hot loop tree promotes almost immediately, high enough
+// that straight-line setup trees executed a handful of times never pay
+// native compilation. See BenchmarkTierUpThreshold for the sweep behind it.
+const DefaultTierUp = 32
+
 // New returns a Runner over the full suite with default SpD parameters, the
-// parallel cell engine enabled (Par = GOMAXPROCS), and the trace-replay
-// simulation backend.
+// parallel cell engine enabled (Par = GOMAXPROCS), the trace-replay
+// simulation backend, and the native execution tier under profile-guided
+// adaptive tiering (TierUp = DefaultTierUp).
 func New() *Runner {
 	return &Runner{
 		Params:      spd.DefaultParams(),
 		Benchmarks:  bench.All(),
 		TraceReplay: true,
+		Exec:        sim.ExecNative,
+		TierUp:      DefaultTierUp,
 	}
 }
 
@@ -232,7 +250,7 @@ func (r *Runner) Prepared(b *bench.Benchmark, kind disamb.Kind, memLat int) (*di
 				Record: r.TraceReplay && kind == disamb.Perfect,
 				Verify: r.Verify,
 				MaxOps: r.Fuel, Ctx: r.Ctx,
-				Exec: mode, ExecCounters: &r.bcodeCtrs,
+				Exec: mode, TierUp: r.TierUp, ExecCounters: &r.bcodeCtrs,
 				BCode: bcc, NCode: ncc,
 			})
 		}

@@ -1,0 +1,54 @@
+package ncode_test
+
+import (
+	"fmt"
+	"testing"
+
+	"specdis/internal/ir"
+	"specdis/internal/ncode"
+)
+
+// chainFixture builds the 40-op straight-line int/float chain of
+// TestWindowLongChain — the shape window fusion exists for: long unguarded
+// runs that tile into maximal windows.
+func chainFixture() (*ir.Function, *ir.Tree) {
+	fn, tr := newTree()
+	ri := constOp(fn, tr, iv(3))
+	rf := constOp(fn, tr, fv(1.5))
+	ai, af := ri, rf
+	for i := 0; i < 19; i++ {
+		d := fn.NewReg()
+		tr.NewOp(ir.OpAdd, []ir.Reg{ai, ri}, d)
+		ai = d
+		e := fn.NewReg()
+		tr.NewOp(ir.OpFMul, []ir.Reg{af, rf}, e)
+		af = e
+	}
+	ex := tr.NewOp(ir.OpExit, nil, ir.NoReg)
+	ex.Exit = ir.ExitRet
+	return fn, tr
+}
+
+// BenchmarkWindowWidths sweeps the fuser's maximum window width over the
+// chain fixture: width 1 disables fusion entirely, width 2 is the old
+// pairwise-only fuser, widths 3 and 4 enable wide windows. The per-op gap
+// between width 2 and width 4 is the dispatch overhead window fusion
+// removes; see docs/PERFORMANCE.md for recorded numbers.
+func BenchmarkWindowWidths(b *testing.B) {
+	fn, tr := chainFixture()
+	for w := 1; w <= ncode.MaxWindow; w++ {
+		p, err := ncode.CompileWidth(tr, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		regs := make([]ir.Value, fn.NumRegs)
+		env := ncode.Env{Regs: regs, Mem: make([]ir.Value, 8)}
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if taken, dup, _ := p.Exec(&env, false); taken < 0 || dup >= 0 {
+					b.Fatalf("bad exit: taken=%d dup=%d", taken, dup)
+				}
+			}
+		})
+	}
+}

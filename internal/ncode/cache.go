@@ -29,8 +29,10 @@ type Meta struct {
 	// Declined marks content outside the native repertoire; the tree runs
 	// on the fallback tier and a warm cache skips the compile attempt.
 	Declined bool
-	// Steps is the compiled chain length (0 when declined).
-	Steps int64
+	// Steps is the compiled chain length (0 when declined); Fused counts
+	// the superinstructions of the fusion plan and Windows the wide
+	// (width ≥ 3) ones among them.
+	Steps, Fused, Windows int64
 }
 
 // Backing is a second-level metadata store behind the in-memory cache — the
@@ -85,14 +87,25 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 	} else if c.ctrs != nil {
 		c.ctrs.Compiled.Add(1)
 		c.ctrs.Instrs.Add(int64(p.Steps))
+		c.ctrs.Steps.Add(int64(p.Steps))
+		c.ctrs.Fused.Add(int64(p.Fused))
+		c.ctrs.Windows.Add(int64(p.Windows))
 	}
 	c.ents[string(c.key)] = p
 	if c.back != nil {
 		if p == nil {
 			c.back.Store(c.key, Meta{Declined: true})
 		} else {
-			c.back.Store(c.key, Meta{Steps: int64(p.Steps)})
+			c.back.Store(c.key, Meta{
+				Steps:   int64(p.Steps),
+				Fused:   int64(p.Fused),
+				Windows: int64(p.Windows),
+			})
 		}
 	}
 	return p
 }
+
+// Counters returns the cache's shared counter set (nil when none was
+// attached) — the simulator's adaptive tiering reports tier-ups through it.
+func (c *Cache) Counters() *bcode.Counters { return c.ctrs }

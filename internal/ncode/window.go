@@ -1,0 +1,253 @@
+package ncode
+
+import (
+	"specdis/internal/bcode"
+)
+
+// This file is the window fuser: a greedy, catalog-driven tiler that fuses
+// runs of up to MaxWindow adjacent bcode words into single closures, and the
+// emitters for the windows it plans. A window retires as one step of the
+// dispatch loop; inside it, fully-inlined emitters handle the hot shapes
+// (const + address arithmetic + load with the address forwarded, and the
+// exit-terminated windows, whose guard-read/commit/duplicate logic runs
+// inline after every member lands), and everything else re-runs the pairwise
+// catalog within the window, so wide fusion never executes a member more
+// slowly than the unfused chain would have.
+//
+// The catalog is class-based. A window *member* must be unguarded, have a
+// destination, and belong to one of six element classes — constants, moves,
+// two-operand integer ALU, two-operand float ALU, compares, loads — so a
+// window can never lift a side effect (store, print) out from under its
+// guard: side-effecting ops are simply not members. The one exception is the
+// final element, which may be an exit (guarded or not): the exit's full
+// guard-read, commit-bit and duplicate-detection logic runs inline at the
+// end of the window, reading the guard register after every earlier member
+// has landed, so semantics are exactly the unfused stream's. An exit in any
+// non-final position is illegal — windows never span an exit — and the
+// translation validator (internal/verify.CheckNCode) re-derives both rules
+// from its own copy of the catalog.
+
+// MaxWindow is the default maximum fusion window width. CompileWidth sweeps
+// it for the width ablation (BenchmarkWindowWidths).
+const MaxWindow = 4
+
+// winElem reports whether the instruction can be a window member: unguarded,
+// destination-writing, and in one of the six element classes. Stores, prints
+// and exits are never members (exits are handled separately as the final
+// element), so fusion can never move a side effect past its guard.
+func winElem(in *bcode.Instr) bool {
+	if in.Guard >= 0 || in.Dest < 0 {
+		return false
+	}
+	switch in.Op {
+	case bcode.Const, bcode.Move,
+		bcode.Add, bcode.Sub, bcode.Mul, bcode.And, bcode.Or, bcode.Xor,
+		bcode.Shl, bcode.Shr,
+		bcode.FAdd, bcode.FSub, bcode.FMul, bcode.FDiv,
+		bcode.CmpEQ, bcode.CmpNE, bcode.CmpLT, bcode.CmpLE, bcode.CmpGT, bcode.CmpGE,
+		bcode.FCmpEQ, bcode.FCmpNE, bcode.FCmpLT, bcode.FCmpLE, bcode.FCmpGT, bcode.FCmpGE,
+		bcode.Load:
+		return true
+	default:
+		return false
+	}
+}
+
+// windowAt reports whether code[pc:pc+w] tiles as one window: every element
+// a catalog member, except that the final one may be an exit.
+func windowAt(code []bcode.Instr, pc, w int) bool {
+	if pc+w > len(code) {
+		return false
+	}
+	for i := 0; i < w; i++ {
+		in := &code[pc+i]
+		if winElem(in) {
+			continue
+		}
+		if i == w-1 && in.Op == bcode.Exit {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// members compiles the window's leading members (everything but a
+// terminating exit) into pre-bound inner steps, re-running the pairwise
+// catalog inside the window: adjacent members that form a const+arith or
+// hot-pair combo share one fused closure (with the address-forwarding load
+// combos and all), and the rest reuse the single-instruction emitters. Every
+// inner step is the same monomorphic closure body the unfused chain would
+// run, so the window's calls stay well-predicted; the window only removes
+// the outer dispatch loop from between them.
+func (e *emitter) members(pc, n int, profiling bool) []step {
+	out := make([]step, 0, n)
+	for i := 0; i < n; {
+		if i+1 < n {
+			in, nx := &e.code[pc+i], &e.code[pc+i+1]
+			switch {
+			case in.Op == bcode.Const && fusableAlu(nx.Op) && (nx.A == in.Dest || nx.B == in.Dest):
+				out = append(out, e.constAlu(pc+i))
+				i += 2
+				continue
+			case pairable(in.Op, nx.Op):
+				out = append(out, e.pair(pc+i, profiling))
+				i += 2
+				continue
+			}
+		}
+		out = append(out, e.one(pc+i, profiling))
+		i++
+	}
+	return out
+}
+
+// window emits one closure for the width-w window at pc. Architectural
+// writes happen member by member in stream order, and every member reads its
+// operands after the previous member's result landed, so sequential
+// semantics hold for any register overlap — including the exit's guard read,
+// which happens last.
+func (e *emitter) window(pc, w int, profiling bool) step {
+	last := &e.code[pc+w-1]
+	if last.Op == bcode.Exit {
+		return e.windowExit(pc, w, profiling)
+	}
+	if w == 3 {
+		if s := e.constAluLoad(pc, profiling); s != nil {
+			return s
+		}
+	}
+	ss := e.members(pc, w, profiling)
+	switch len(ss) {
+	case 1:
+		return ss[0]
+	case 2:
+		s0, s1 := ss[0], ss[1]
+		return func(env *Env) { s0(env); s1(env) }
+	case 3:
+		s0, s1, s2 := ss[0], ss[1], ss[2]
+		return func(env *Env) { s0(env); s1(env); s2(env) }
+	default: // 4
+		s0, s1, s2, s3 := ss[0], ss[1], ss[2], ss[3]
+		return func(env *Env) { s0(env); s1(env); s2(env); s3(env) }
+	}
+}
+
+// constAluLoad emits the const + address-arithmetic + load window with the
+// computed address forwarded into the load (the load never re-reads the
+// register it just watched being written). Returns nil when the window is
+// not that shape; the generic member composition handles it then. The
+// profiling variant additionally samples the load's effective address (the
+// member is unguarded, so the sample is unconditional).
+func (e *emitter) constAluLoad(pc int, profiling bool) step {
+	in, alu, ld := &e.code[pc], &e.code[pc+1], &e.code[pc+2]
+	if in.Op != bcode.Const || ld.Op != bcode.Load || ld.A != alu.Dest {
+		return nil
+	}
+	sub := false
+	switch alu.Op {
+	case bcode.Add:
+	case bcode.Sub:
+		sub = true
+	default:
+		return nil
+	}
+	cv := e.consts[in.A]
+	cd := int(in.Dest)
+	a, b, d1 := int(alu.A), int(alu.B), int(alu.Dest)
+	d2 := int(ld.Dest)
+	ldpc := pc + 2
+	if profiling {
+		return func(env *Env) {
+			r := env.Regs
+			r[cd] = cv
+			v := r[a].I + r[b].I
+			if sub {
+				v = r[a].I - r[b].I
+			}
+			r[d1] = intV(v)
+			addr := clamp(v, int64(len(env.Mem))-1)
+			env.Addrs[ldpc] = addr
+			r[d2] = env.Mem[addr]
+		}
+	}
+	return func(env *Env) {
+		r := env.Regs
+		r[cd] = cv
+		v := r[a].I + r[b].I
+		if sub {
+			v = r[a].I - r[b].I
+		}
+		r[d1] = intV(v)
+		r[d2] = env.Mem[clamp(v, int64(len(env.Mem))-1)]
+	}
+}
+
+// windowExit emits an exit-terminated window: the leading members execute as
+// slots, then the exit's guard-read, commit-bit write, duplicate detection
+// and (under profiling) commit sample run inline — exactly the logic of the
+// exit's own unfused closure, reading the guard register after every earlier
+// member has landed.
+func (e *emitter) windowExit(pc, w int, profiling bool) step {
+	ss := e.members(pc, w-1, profiling)
+	ex := e.code[pc+w-1]
+	exitPC := pc + w - 1
+	var runBody step
+	switch len(ss) {
+	case 1:
+		runBody = ss[0]
+	case 2:
+		s0, s1 := ss[0], ss[1]
+		runBody = func(env *Env) { s0(env); s1(env) }
+	default: // 3
+		s0, s1, s2 := ss[0], ss[1], ss[2]
+		runBody = func(env *Env) { s0(env); s1(env); s2(env) }
+	}
+	if ex.Guard < 0 {
+		return func(env *Env) {
+			runBody(env)
+			if env.taken >= 0 {
+				if env.dup < 0 {
+					env.dup = exitPC
+				}
+				return
+			}
+			env.taken = exitPC
+		}
+	}
+	g := int(ex.Guard)
+	want := !ex.GNeg
+	bb, mask := int(ex.GIdx>>3), byte(1)<<(ex.GIdx&7)
+	if profiling {
+		return func(env *Env) {
+			runBody(env)
+			ok := (env.Regs[g].I != 0) == want
+			env.Committed[exitPC] = ok
+			if ok {
+				env.Bits[bb] |= mask
+				env.ncommit++
+				if env.taken >= 0 {
+					if env.dup < 0 {
+						env.dup = exitPC
+					}
+					return
+				}
+				env.taken = exitPC
+			}
+		}
+	}
+	return func(env *Env) {
+		runBody(env)
+		if (env.Regs[g].I != 0) == want {
+			env.Bits[bb] |= mask
+			env.ncommit++
+			if env.taken >= 0 {
+				if env.dup < 0 {
+					env.dup = exitPC
+				}
+				return
+			}
+			env.taken = exitPC
+		}
+	}
+}

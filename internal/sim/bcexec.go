@@ -10,14 +10,14 @@ import (
 // ExecMode selects the Runner's execution backend.
 type ExecMode uint8
 
-// Execution backends. The bytecode engine is the default: every tree is
+// Execution backends. The zero value is the bytecode engine: every tree is
 // lowered once to a flat register-machine program (internal/bcode) and run
 // by a tight dispatch loop. The native engine lowers further, to chains of
-// pre-bound closures with superinstruction fusion (internal/ncode) — the
-// fastest tier, selected explicitly with -exec=native. The tree walker is
-// the reference interpreter both compiled engines are differentially tested
-// against; it also serves as the automatic fallback for any tree the
-// compilers decline.
+// pre-bound closures with window-fused superinstructions (internal/ncode) —
+// the fastest tier and the CLIs' default, optionally entered adaptively per
+// tree via Runner.TierUp. The tree walker is the reference interpreter both
+// compiled engines are differentially tested against; it also serves as the
+// automatic fallback for any tree the compilers decline.
 const (
 	ExecBytecode ExecMode = iota
 	ExecTree

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"fmt"
 	"testing"
 
 	"specdis/internal/bcode"
@@ -148,6 +149,41 @@ func BenchmarkCaptureBytecode(b *testing.B) { benchCapture(b, sim.ExecBytecode) 
 
 // BenchmarkCaptureNative is BenchmarkCaptureTree on the native tier.
 func BenchmarkCaptureNative(b *testing.B) { benchCapture(b, sim.ExecNative) }
+
+// BenchmarkTierUpThreshold sweeps the adaptive-tiering hot threshold on a
+// cold-cache timed run: every iteration starts with fresh compiled-code
+// caches, so the native compile cost of every tree that crosses the
+// threshold is inside the measurement. threshold=0 compiles every executed
+// tree eagerly; the huge threshold never promotes (all-bytecode with native
+// selected); the middle settings show the adaptive tradeoff spdbench's
+// -tierup default rides.
+func BenchmarkTierUpThreshold(b *testing.B) {
+	prog, plans := benchSetup(b)
+	shapes := sim.NewShapeCache()
+	for _, tu := range []int64{0, 1, 32, 1 << 30} {
+		name := fmt.Sprintf("tierup=%d", tu)
+		if tu == 1<<30 {
+			name = "tierup=never"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := &sim.Runner{
+					Prog:   prog,
+					SemLat: machine.Infinite(2).LatencyFunc(),
+					Plans:  plans,
+					Exec:   sim.ExecNative,
+					TierUp: tu,
+					BCode:  bcode.NewCache(nil),
+					NCode:  ncode.NewCache(nil),
+					Shapes: shapes,
+				}
+				if _, err := r.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkBytecodeCompile times lowering every tree of the fft benchmark to
 // bytecode (one whole-program compile per iteration).

@@ -9,13 +9,39 @@ import (
 // execBC exactly: same fuel charge, operation accounting, commit bits, trace
 // events, pricing and profiling. Trees the compiler declined fall back to
 // the tree walker.
+//
+// Under adaptive tiering (Runner.TierUp > 0) the tree starts on the bytecode
+// engine and is promoted here once its per-run execution count crosses the
+// threshold — the results are byte-identical on every tier, so promotion is
+// invisible to everything but the wall clock and the compile counters.
 func (r *Runner) execNC(t *ir.Tree, regs []ir.Value) (*ir.Op, error) {
 	c, err := r.ctx(t)
 	if err != nil {
 		return nil, err
 	}
 	if c.nc == nil {
-		return r.execTree(t, regs)
+		if c.bc == nil {
+			return r.execTree(t, regs)
+		}
+		// The tree is on the bytecode rung; count this run's executions and
+		// promote at the threshold. tiered keeps a declined promotion from
+		// being retried every execution.
+		c.execs++
+		if c.tiered || c.execs < r.TierUp {
+			return r.execBC(t, regs)
+		}
+		c.tiered = true
+		if c.nc = r.ncodeProg(t); c.nc == nil {
+			return r.execBC(t, regs)
+		}
+		c.nenv = ncode.Env{Mem: r.mem, Bits: c.bits, Print: r.printVal}
+		if r.Prof != nil {
+			c.nenv.Committed = c.committed
+			c.nenv.Addrs = c.addrs
+		}
+		if ctrs := r.NCode.Counters(); ctrs != nil {
+			ctrs.TierUps.Add(1)
+		}
 	}
 	if err := r.fuel(len(t.Ops)); err != nil {
 		return nil, err

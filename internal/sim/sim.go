@@ -173,6 +173,14 @@ type Runner struct {
 	// engine (ExecBytecode). ExecTree forces the reference tree walker,
 	// ExecNative the closure-chain native tier.
 	Exec ExecMode
+	// TierUp is the adaptive-tiering hot threshold under ExecNative: a tree
+	// starts on the bytecode engine and is promoted to a native closure
+	// chain only once it has executed TierUp times in this run, so cold
+	// trees never pay the native compile. Zero or negative compiles every
+	// tree natively up front (the eager behavior, and the zero-value
+	// default). Ignored by the other backends. Promotions are counted in
+	// the native cache's Counters().TierUps.
+	TierUp int64
 	// BCode caches compiled bytecode by tree. Callers that run the same
 	// program many times (or share it across Runners) should supply one;
 	// left nil, the Runner creates a private cache on first use. Both caches
@@ -355,6 +363,13 @@ type treeCtx struct {
 	nc   *ncode.Prog // compiled closure chain (nil: tree runs on the walker)
 	bits []byte      // packed commit bits maintained by the compiled executors
 
+	// Adaptive tiering state (ExecNative with Runner.TierUp > 0): execs
+	// counts this run's executions on the bytecode rung, tiered marks that
+	// the promotion decision was already made (so a declined native compile
+	// is not retried every execution).
+	execs  int64
+	tiered bool
+
 	// benv / nenv are the compiled executors' machine-state views, built
 	// once per tree with the bits, profiling tables, memory image and print
 	// hook already bound; per execution only the register frame changes
@@ -425,7 +440,21 @@ func (r *Runner) ctx(t *ir.Tree) (*treeCtx, error) {
 			}
 		}
 	case ExecNative:
-		if c.nc = r.ncodeProg(t); c.nc != nil {
+		if r.TierUp > 0 {
+			// Adaptive tiering: start the tree on the bytecode engine and
+			// defer the native compile until execNC sees it cross the hot
+			// threshold. A tree the bytecode compiler declines runs on the
+			// walker (the native compiler, which lowers through bytecode,
+			// would decline it too).
+			if c.bc = r.bcodeProg(t); c.bc != nil {
+				c.bits = make([]byte, c.bitBytes())
+				c.benv = bcode.Env{Mem: r.mem, Bits: c.bits, Print: r.printVal, Profiling: profiling}
+				if profiling {
+					c.benv.Committed = c.committed
+					c.benv.Addrs = c.addrs
+				}
+			}
+		} else if c.nc = r.ncodeProg(t); c.nc != nil {
 			c.bits = make([]byte, c.bitBytes())
 			c.nenv = ncode.Env{Mem: r.mem, Bits: c.bits, Print: r.printVal}
 			if profiling {

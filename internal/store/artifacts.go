@@ -24,7 +24,7 @@ import (
 // old artifacts then read as misses and are rewritten on the next cold run.
 const (
 	VersionBCode  = 1
-	VersionNative = 1
+	VersionNative = 2 // v2: window fusion added Fused and Windows
 	VersionTrace  = 1
 	VersionPrep   = 1
 	VersionMeas   = 1
@@ -315,8 +315,10 @@ type NativeMeta struct {
 	// Declined marks execution content outside the native repertoire: the
 	// tree runs on the fallback tier, and retrying the compile is pointless.
 	Declined bool
-	// Steps is the compiled closure-chain length (0 when declined).
-	Steps int64
+	// Steps is the compiled closure-chain length (0 when declined). Fused
+	// counts the superinstruction heads among those steps; Windows the 3- or
+	// 4-wide window fusions among the heads (both 0 when declined).
+	Steps, Fused, Windows int64
 }
 
 // EncodeNative encodes a native-tier metadata payload.
@@ -327,7 +329,9 @@ func EncodeNative(m *NativeMeta) []byte {
 		flag = 1
 	}
 	buf = append(buf, flag)
-	return binary.AppendVarint(buf, m.Steps)
+	buf = binary.AppendVarint(buf, m.Steps)
+	buf = binary.AppendVarint(buf, m.Fused)
+	return binary.AppendVarint(buf, m.Windows)
 }
 
 // DecodeNative decodes a native-tier metadata payload.
@@ -340,7 +344,12 @@ func DecodeNative(payload []byte) (*NativeMeta, error) {
 		return nil, fmt.Errorf("%w: empty native metadata", ErrCorrupt)
 	}
 	d := &dec{b: body[1:]}
-	m := &NativeMeta{Declined: body[0] != 0, Steps: d.varint("steps")}
+	m := &NativeMeta{
+		Declined: body[0] != 0,
+		Steps:    d.varint("steps"),
+		Fused:    d.varint("fused"),
+		Windows:  d.varint("windows"),
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}

@@ -65,13 +65,18 @@ func (b ncodeBacking) Load(t *ir.Tree, execKey []byte) (ncode.Meta, bool) {
 	}
 	// Fusion only ever shrinks the chain, and a compiled tree emits at
 	// least its exit step, so a plausible record has 1..len(t.Ops) steps.
-	if !m.Declined && (m.Steps < 1 || m.Steps > int64(len(t.Ops))) {
+	// Every window is a fusion head and every head retires one step, so
+	// Windows <= Fused <= Steps, and neither count can be negative.
+	if !m.Declined && (m.Steps < 1 || m.Steps > int64(len(t.Ops)) ||
+		m.Fused < 0 || m.Windows < 0 || m.Windows > m.Fused || m.Fused > m.Steps) {
 		b.s.DropInvalid(k)
 		return ncode.Meta{}, false
 	}
-	return ncode.Meta{Declined: m.Declined, Steps: m.Steps}, true
+	return ncode.Meta{Declined: m.Declined, Steps: m.Steps, Fused: m.Fused, Windows: m.Windows}, true
 }
 
 func (b ncodeBacking) Store(execKey []byte, m ncode.Meta) {
-	_ = b.s.Put(NewKey(KindNative, execKey), EncodeNative(&NativeMeta{Declined: m.Declined, Steps: m.Steps}))
+	_ = b.s.Put(NewKey(KindNative, execKey), EncodeNative(&NativeMeta{
+		Declined: m.Declined, Steps: m.Steps, Fused: m.Fused, Windows: m.Windows,
+	}))
 }

@@ -212,6 +212,104 @@ func TestNCodeValidatorCatchesBadPlan(t *testing.T) {
 	wantFinding(t, verify.CheckNCode(badTree, bad), "nvalid/fuse-unconsumed", "does not consume")
 }
 
+// windowTree builds one synthetic single-block tree from an op-kind recipe so
+// the window-negative cases below control the exact instruction stream; ops
+// are wired into a simple chain off two leading constants.
+func windowTree(kinds []ir.OpKind) (*ir.Function, *ir.Tree) {
+	fn := &ir.Function{Name: "w"}
+	tr := &ir.Tree{Fn: fn, Name: "w.t0"}
+	tr.NewBlock(-1, ir.NoReg, false)
+	fn.Trees = []*ir.Tree{tr}
+	r0 := fn.NewReg()
+	c0 := tr.NewOp(ir.OpConst, nil, r0)
+	c0.Imm = ir.Value{I: 1, F: 1}
+	prev := r0
+	for _, k := range kinds {
+		switch k {
+		case ir.OpConst:
+			d := fn.NewReg()
+			c := tr.NewOp(ir.OpConst, nil, d)
+			c.Imm = ir.Value{I: 2, F: 2}
+			prev = d
+		case ir.OpExit:
+			ex := tr.NewOp(ir.OpExit, nil, ir.NoReg)
+			ex.Exit = ir.ExitRet
+		case ir.OpStore:
+			tr.NewOp(ir.OpStore, []ir.Reg{r0, prev}, ir.NoReg)
+		default:
+			d := fn.NewReg()
+			tr.NewOp(k, []ir.Reg{prev, r0}, d)
+			prev = d
+		}
+	}
+	return fn, tr
+}
+
+// TestNCodeValidatorWindowNegative corrupts fusion plans in the three ways
+// the window-tiling invariants forbid — a gapped tiling (a window head that
+// does not consume its span), a window spanning an interior exit, and a
+// non-catalog member (a store, then a guarded op) smuggled into a window —
+// and requires the validator to name each.
+func TestNCodeValidatorWindowNegative(t *testing.T) {
+	compile := func(t *testing.T, tr *ir.Tree) *ncode.Prog {
+		t.Helper()
+		np, err := ncode.Compile(tr)
+		if err != nil {
+			t.Fatalf("ncode.Compile: %v", err)
+		}
+		wantClean(t, verify.CheckNCode(tr, np))
+		return np
+	}
+
+	t.Run("gapped-tiling", func(t *testing.T) {
+		_, tr := windowTree([]ir.OpKind{ir.OpConst, ir.OpAdd, ir.OpMul, ir.OpExit})
+		np := compile(t, tr)
+		if np.Plan[0] != ncode.FuseWin4 {
+			t.Fatalf("plan[0] = %d, want a width-4 window head", np.Plan[0])
+		}
+		np.Plan[1] = ncode.FuseNone // the head no longer covers its span
+		wantFinding(t, verify.CheckNCode(tr, np), "nvalid/fuse-unconsumed", "does not consume")
+	})
+
+	t.Run("window-spans-exit", func(t *testing.T) {
+		_, tr := windowTree([]ir.OpKind{ir.OpCmpEQ, ir.OpExit, ir.OpExit})
+		np := compile(t, tr)
+		// Claim a width-4 window over [const, cmp, exit, exit]: the first
+		// exit sits at an interior position.
+		np.Plan[0], np.Plan[1], np.Plan[2], np.Plan[3] =
+			ncode.FuseWin4, ncode.FuseConsumed, ncode.FuseConsumed, ncode.FuseConsumed
+		wantFinding(t, verify.CheckNCode(tr, np), "nvalid/win-exit", "spans the exit")
+	})
+
+	t.Run("store-in-window", func(t *testing.T) {
+		_, tr := windowTree([]ir.OpKind{ir.OpConst, ir.OpStore, ir.OpExit})
+		np := compile(t, tr)
+		// Claim a width-3 window over [const, const, store]: the store's
+		// architectural side effect must never join a window.
+		np.Plan[0], np.Plan[1], np.Plan[2] =
+			ncode.FuseWin3, ncode.FuseConsumed, ncode.FuseConsumed
+		wantFinding(t, verify.CheckNCode(tr, np), "nvalid/win-member", "non-member store")
+	})
+
+	t.Run("guarded-op-in-window", func(t *testing.T) {
+		fn, tr := windowTree([]ir.OpKind{ir.OpConst, ir.OpAdd, ir.OpExit})
+		// Guard the add: a squashable op inside a window would execute
+		// unconditionally, lifting its write out from under the guard.
+		var guarded *ir.Op
+		for _, op := range tr.Ops {
+			if op != nil && op.Kind == ir.OpAdd {
+				guarded = op
+			}
+		}
+		guarded.Guard = ir.Reg(0)
+		_ = fn
+		np := compile(t, tr)
+		np.Plan[0], np.Plan[1], np.Plan[2] =
+			ncode.FuseWin3, ncode.FuseConsumed, ncode.FuseConsumed
+		wantFinding(t, verify.CheckNCode(tr, np), "nvalid/win-member", "non-member")
+	})
+}
+
 // TestAuditScheduleNegative corrupts list schedules in three precise ways —
 // an inverted dependence arc, an oversubscribed functional unit, an
 // understated cycle count — and requires the auditor to name each.
