@@ -190,6 +190,11 @@ type storeReport struct {
 	Evictions      int64 `json:"evictions"`
 	CorruptDropped int64 `json:"corrupt_dropped"`
 	InvalidDropped int64 `json:"invalid_dropped"`
+	// IOShortReads and IOOpenErrors count injected store I/O faults
+	// (-inject kinds=sio): short reads degrade into the corruption path,
+	// transient open errors into a plain miss with the file intact.
+	IOShortReads int64 `json:"io_short_reads"`
+	IOOpenErrors int64 `json:"io_open_errors"`
 	// PrepsServed, MeasuresServed and TracesServed count whole evaluation
 	// cells served from the store instead of computed.
 	PrepsServed    int64 `json:"preps_served"`
@@ -281,12 +286,20 @@ func run() int {
 		defer cancel()
 		r.Ctx = ctx
 	}
+	var plan *resilience.FaultPlan
 	if *inject != "" {
-		plan, err := resilience.ParsePlan(*inject)
+		var err error
+		plan, err = resilience.ParsePlan(*inject)
 		if err != nil {
 			log.Fatal(err)
 		}
-		r.Inject = plan
+		// The store-level sio kind arms on the artifact store below; only a
+		// plan that deals per-cell faults goes to the runner (a non-nil
+		// Inject also bypasses the store, which would leave sio nothing to
+		// fault).
+		if len(plan.CellKinds()) > 0 || plan.Cells != nil {
+			r.Inject = plan
+		}
 	}
 	if *storeDir != "" {
 		s, err := store.Open(*storeDir)
@@ -296,6 +309,9 @@ func run() int {
 			log.Printf("warning: -store %s unusable (%v); running without a store", *storeDir, err)
 		} else {
 			r.Store = s
+			if plan.StoreIO() {
+				s.ArmIOFaults(plan.Seed, plan.Rate)
+			}
 		}
 	}
 	if *tamper != "" {
@@ -503,6 +519,8 @@ func run() int {
 		report.Store.Evictions = sst.Evictions
 		report.Store.CorruptDropped = sst.CorruptDropped
 		report.Store.InvalidDropped = sst.InvalidDropped
+		report.Store.IOShortReads = sst.IOShortReads
+		report.Store.IOOpenErrors = sst.IOOpenErrors
 		report.Store.PrepsServed = st.StorePreps
 		report.Store.MeasuresServed = st.StoreMeasures
 		report.Store.TracesServed = st.StoreTraces

@@ -253,6 +253,58 @@ func TestCacheReuse(t *testing.T) {
 	}
 }
 
+func TestCacheLimit(t *testing.T) {
+	// distinctTree builds a tree whose exec key differs by the const value.
+	distinctTree := func(v int64) *ir.Tree {
+		tr := newTree()
+		c := tr.NewOp(ir.OpConst, nil, tr.Fn.NewReg())
+		c.Imm = ir.Value{I: v, F: float64(v)}
+		ex := tr.NewOp(ir.OpExit, nil, ir.NoReg)
+		ex.Exit = ir.ExitRet
+		return tr
+	}
+	var ctrs bcode.Counters
+	c := bcode.NewCache(&ctrs)
+	c.SetLimit(2)
+	a, b, d := distinctTree(1), distinctTree(2), distinctTree(3)
+	c.Get(a)
+	c.Get(b)
+	c.Get(d) // over capacity: a (least recently used) is evicted
+	if got := c.Len(); got != 2 {
+		t.Fatalf("bounded cache holds %d entries, want 2", got)
+	}
+	if got := ctrs.Evictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	// b was used more recently than a, so it must still hit...
+	c.Get(b)
+	if got := ctrs.Hits.Load(); got != 1 {
+		t.Errorf("retained entry missed: hits = %d, want 1", got)
+	}
+	// ...and the evicted a recompiles (b's hit refreshed it, so this
+	// eviction drops d, the new least-recently-used entry).
+	compiled := ctrs.Compiled.Load()
+	c.Get(a)
+	if got := ctrs.Compiled.Load(); got != compiled+1 {
+		t.Errorf("evicted entry did not recompile: compiled = %d, want %d", got, compiled+1)
+	}
+	c.Get(d)
+	if got := ctrs.Compiled.Load(); got != compiled+2 {
+		t.Errorf("LRU refresh not honored: compiled = %d, want %d", got, compiled+2)
+	}
+	// Lifting the limit stops eviction: re-adding the evicted b grows the
+	// cache past the old bound.
+	c.SetLimit(0)
+	evictions := ctrs.Evictions.Load()
+	c.Get(b)
+	if got := c.Len(); got != 3 {
+		t.Errorf("unbounded cache holds %d entries, want 3", got)
+	}
+	if got := ctrs.Evictions.Load(); got != evictions {
+		t.Errorf("unbounded cache evicted: %d -> %d", evictions, got)
+	}
+}
+
 func TestCacheFallback(t *testing.T) {
 	// A tree outside the repertoire caches its nil result too.
 	tr := newTree()

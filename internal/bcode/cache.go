@@ -1,6 +1,7 @@
 package bcode
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +28,9 @@ type Counters struct {
 	// the bytecode engine to the native tier after crossing the hot
 	// threshold (sim.Runner.TierUp).
 	TierUps atomic.Int64
+	// Evictions counts entries a size-bounded cache dropped on capacity
+	// (Cache.SetLimit); an evicted tree recompiles on its next execution.
+	Evictions atomic.Int64
 }
 
 // Cache memoizes compiled trees by execution content (ir.AppendExecKey): two
@@ -45,11 +49,19 @@ type Counters struct {
 // caller resolves the taken exit's payload, pricing and profiling tables
 // from its own tree. Safe for concurrent use.
 type Cache struct {
-	mu   sync.Mutex
-	ctrs *Counters
-	back Backing
-	ents map[string]*Prog // nil Prog: compile declined; tree runs on the walker
-	key  []byte           // scratch for ir.AppendExecKey
+	mu    sync.Mutex
+	ctrs  *Counters
+	back  Backing
+	ents  map[string]*list.Element // nil Prog: compile declined; tree runs on the walker
+	order *list.List               // front = most recently used (holds *cacheEnt)
+	limit int                      // max entries; 0 = unbounded
+	key   []byte                   // scratch for ir.AppendExecKey
+}
+
+// cacheEnt is one cached compilation, threaded through the LRU order list.
+type cacheEnt struct {
+	key  string
+	prog *Prog
 }
 
 // Backing is a second-level compiled-program store behind the in-memory
@@ -71,12 +83,32 @@ type Backing interface {
 
 // NewCache returns an empty cache. ctrs may be nil.
 func NewCache(ctrs *Counters) *Cache {
-	return &Cache{ctrs: ctrs, ents: map[string]*Prog{}}
+	return &Cache{ctrs: ctrs, ents: map[string]*list.Element{}, order: list.New()}
 }
 
 // SetBacking attaches a second-level store consulted on in-memory misses.
 // Must be called before the cache is shared across goroutines.
 func (c *Cache) SetBacking(b Backing) { c.back = b }
+
+// SetLimit bounds the cache to n entries, evicting least-recently-used
+// compilations over capacity (0 restores the unbounded default). Long-running
+// multi-tenant services set a limit so one pathological tenant cannot grow
+// the shared cache without bound; an evicted tree simply recompiles (or
+// reloads from the backing store) on its next execution. Safe to call at any
+// time, including while the cache is shared across goroutines.
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.evictLocked()
+}
+
+// Len returns the number of cached compilations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ents)
+}
 
 // Get returns the tree's compiled program, compiling on first use of its
 // execution content. A nil result means the tree is outside the bytecode
@@ -86,11 +118,12 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.key = ir.AppendExecKey(c.key[:0], t)
-	if p, ok := c.ents[string(c.key)]; ok {
+	if el, ok := c.ents[string(c.key)]; ok {
+		c.order.MoveToFront(el)
 		if c.ctrs != nil {
 			c.ctrs.Hits.Add(1)
 		}
-		return p
+		return el.Value.(*cacheEnt).prog
 	}
 	if c.back != nil {
 		if p, ok := c.back.Load(t, c.key); ok {
@@ -98,7 +131,7 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 			// the same aliasing an in-memory hit performs — and serve it as
 			// a cache hit: nothing was compiled.
 			p.Tree = t
-			c.ents[string(c.key)] = p
+			c.insertLocked(string(c.key), p)
 			if c.ctrs != nil {
 				c.ctrs.Hits.Add(1)
 			}
@@ -106,11 +139,35 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 		}
 	}
 	p := c.compile(t)
-	c.ents[string(c.key)] = p
+	c.insertLocked(string(c.key), p)
 	if p != nil && c.back != nil {
 		c.back.Store(c.key, p)
 	}
 	return p
+}
+
+// insertLocked records a compilation at the front of the LRU order, evicting
+// over capacity. Caller holds the lock.
+func (c *Cache) insertLocked(key string, p *Prog) {
+	c.ents[key] = c.order.PushFront(&cacheEnt{key: key, prog: p})
+	c.evictLocked()
+}
+
+func (c *Cache) evictLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for len(c.ents) > c.limit {
+		el := c.order.Back()
+		if el == nil {
+			return
+		}
+		c.order.Remove(el)
+		delete(c.ents, el.Value.(*cacheEnt).key)
+		if c.ctrs != nil {
+			c.ctrs.Evictions.Add(1)
+		}
+	}
 }
 
 func (c *Cache) compile(t *ir.Tree) *Prog {

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -228,10 +229,14 @@ func (r *Runner) warmAsync(cells []warmCell) (wait func()) {
 	for i, c := range cells {
 		costs[i] = c.cost()
 	}
+	ctx := r.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		runStealing(workers, costs, func(i int) { cells[i].run(r) })
+		runStealing(ctx, workers, costs, func(i int) { cells[i].run(r) })
 	}()
 	return func() { <-done }
 }
@@ -295,13 +300,23 @@ func (d *stealDeque) push(tasks []int) {
 // computation whose owner runs it inline). A worker that finds every deque
 // empty therefore exits; tasks a thief holds mid-transfer are invisible to
 // that scan but remain owned by a live worker, so every task still runs.
-func runStealing(workers int, costs []int64, run func(task int)) {
+//
+// Cancellation: once a worker observes ctx done it exits, abandoning its
+// queued tasks instead of executing them — a cancelled request's cells must
+// be skipped, not run and discarded (the engines would fail them with typed
+// deadline errors anyway, but only after burning a full interpretation
+// each). In-flight tasks finish; no task starts after its worker observes
+// the cancellation. See TestStealingCancelSkipsQueued.
+func runStealing(ctx context.Context, workers int, costs []int64, run func(task int)) {
 	n := len(costs)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			run(i)
 		}
 		return
@@ -329,6 +344,9 @@ func runStealing(workers int, costs []int64, run func(task int)) {
 		go func(self int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				t, ok := deques[self].pop()
 				if !ok {
 					stolen := []int(nil)

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,7 +24,7 @@ func TestRunStealingRunsEveryTaskOnce(t *testing.T) {
 				}
 			}
 			ran := make([]atomic.Int32, n)
-			runStealing(workers, costs, func(i int) {
+			runStealing(context.Background(), workers, costs, func(i int) {
 				ran[i].Add(1)
 			})
 			for i := range ran {
@@ -50,7 +51,7 @@ func TestRunStealingStealsUnderSkew(t *testing.T) {
 	var barrier sync.WaitGroup
 	barrier.Add(2)
 	first := true
-	runStealing(2, costs, func(i int) {
+	runStealing(context.Background(), 2, costs, func(i int) {
 		mu.Lock()
 		if first {
 			first = false
@@ -72,6 +73,52 @@ func TestRunStealingStealsUnderSkew(t *testing.T) {
 	defer mu.Unlock()
 	if len(seen) != n {
 		t.Fatalf("ran %d of %d tasks", len(seen), n)
+	}
+}
+
+// TestStealingCancelSkipsQueued pins the cancellation contract: once a
+// worker observes the context cancelled, it exits without executing its
+// queued tasks — a cancelled request's cells are skipped, not run and
+// discarded. Both workers are parked inside in-flight tasks when the cancel
+// lands, so any further task start would be a task started strictly after
+// its worker could observe the cancellation.
+func TestStealingCancelSkipsQueued(t *testing.T) {
+	const n = 64
+	costs := make([]int64, n)
+	for i := range costs {
+		costs[i] = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := make(chan struct{})
+	var entered sync.WaitGroup
+	entered.Add(2)
+	var started atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runStealing(ctx, 2, costs, func(i int) {
+			if started.Add(1) <= 2 {
+				entered.Done()
+			}
+			<-release
+		})
+	}()
+	entered.Wait() // both workers are mid-task
+	cancel()       // cancellation is observable before any next pop
+	close(release)
+	<-done
+	if got := started.Load(); got != 2 {
+		t.Fatalf("%d tasks started; want exactly the 2 in-flight ones (queued tasks must be skipped)", got)
+	}
+
+	// The sequential path (one worker) honors a pre-cancelled context too.
+	pre, stop := context.WithCancel(context.Background())
+	stop()
+	ran := 0
+	runStealing(pre, 1, costs, func(i int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("sequential path ran %d tasks under a cancelled context", ran)
 	}
 }
 
@@ -100,7 +147,7 @@ func BenchmarkRunStealingSkewed(b *testing.B) {
 		b.Run(map[int]string{1: "workers=1", 4: "workers=4", 8: "workers=8"}[workers], func(b *testing.B) {
 			var sink atomic.Int64
 			for i := 0; i < b.N; i++ {
-				runStealing(workers, costs, func(t int) {
+				runStealing(context.Background(), workers, costs, func(t int) {
 					sink.Add(spin(costs[t]))
 				})
 			}

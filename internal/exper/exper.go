@@ -161,6 +161,20 @@ func (r *Runner) caches() (*bcode.Cache, *ncode.Cache) {
 	return r.bcCache, r.ncCache
 }
 
+// UseCaches makes the runner share pre-built compiled-code caches instead of
+// creating private ones — the service configuration, where one bounded
+// bcode/ncode cache pair (with its own server-level counters and store
+// backing) serves every request's runner. Must be called before the runner
+// executes any cell; it is a no-op if the private caches already exist. The
+// caches' own counters keep compile/hit/eviction totals at the server level,
+// while the runner's per-request Stats counters stay isolated.
+func (r *Runner) UseCaches(bc *bcode.Cache, nc *ncode.Cache) {
+	r.cacheOnce.Do(func() {
+		r.bcCache = bc
+		r.ncCache = nc
+	})
+}
+
 type prepKey struct {
 	bench  string
 	kind   disamb.Kind

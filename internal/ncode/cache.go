@@ -1,6 +1,7 @@
 package ncode
 
 import (
+	"container/list"
 	"sync"
 
 	"specdis/internal/bcode"
@@ -14,11 +15,19 @@ import (
 // set can report whichever tier a sweep ran (Instrs counts emitted closure
 // steps here). Safe for concurrent use.
 type Cache struct {
-	mu   sync.Mutex
-	ctrs *bcode.Counters
-	back Backing
-	ents map[string]*Prog // nil Prog: compile declined; tree runs on the walker
-	key  []byte           // scratch for ir.AppendExecKey
+	mu    sync.Mutex
+	ctrs  *bcode.Counters
+	back  Backing
+	ents  map[string]*list.Element // nil Prog: compile declined; tree runs on the walker
+	order *list.List               // front = most recently used (holds *cacheEnt)
+	limit int                      // max entries; 0 = unbounded
+	key   []byte                   // scratch for ir.AppendExecKey
+}
+
+// cacheEnt is one cached compilation, threaded through the LRU order list.
+type cacheEnt struct {
+	key  string
+	prog *Prog
 }
 
 // Meta is the persistable residue of one native compilation. Closure chains
@@ -49,12 +58,29 @@ type Backing interface {
 
 // NewCache returns an empty cache. ctrs may be nil.
 func NewCache(ctrs *bcode.Counters) *Cache {
-	return &Cache{ctrs: ctrs, ents: map[string]*Prog{}}
+	return &Cache{ctrs: ctrs, ents: map[string]*list.Element{}, order: list.New()}
 }
 
 // SetBacking attaches a second-level metadata store consulted on in-memory
 // misses. Must be called before the cache is shared across goroutines.
 func (c *Cache) SetBacking(b Backing) { c.back = b }
+
+// SetLimit bounds the cache to n entries, evicting least-recently-used
+// compilations over capacity (0 restores the unbounded default); see
+// bcode.Cache.SetLimit. Safe to call at any time.
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.evictLocked()
+}
+
+// Len returns the number of cached compilations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ents)
+}
 
 // Get returns the tree's compiled program, compiling on first use of its
 // execution content. A nil result means the tree is outside the repertoire
@@ -63,18 +89,19 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.key = ir.AppendExecKey(c.key[:0], t)
-	if p, ok := c.ents[string(c.key)]; ok {
+	if el, ok := c.ents[string(c.key)]; ok {
+		c.order.MoveToFront(el)
 		if c.ctrs != nil {
 			c.ctrs.Hits.Add(1)
 		}
-		return p
+		return el.Value.(*cacheEnt).prog
 	}
 	if c.back != nil {
 		if m, ok := c.back.Load(t, c.key); ok && m.Declined {
 			// A persisted decline: the content is outside the repertoire, so
 			// skip the compile attempt and send the tree to the fallback
 			// tier, exactly as a fresh decline would.
-			c.ents[string(c.key)] = nil
+			c.insertLocked(string(c.key), nil)
 			if c.ctrs != nil {
 				c.ctrs.Hits.Add(1)
 			}
@@ -91,7 +118,7 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 		c.ctrs.Fused.Add(int64(p.Fused))
 		c.ctrs.Windows.Add(int64(p.Windows))
 	}
-	c.ents[string(c.key)] = p
+	c.insertLocked(string(c.key), p)
 	if c.back != nil {
 		if p == nil {
 			c.back.Store(c.key, Meta{Declined: true})
@@ -104,6 +131,30 @@ func (c *Cache) Get(t *ir.Tree) *Prog {
 		}
 	}
 	return p
+}
+
+// insertLocked records a compilation at the front of the LRU order, evicting
+// over capacity. Caller holds the lock.
+func (c *Cache) insertLocked(key string, p *Prog) {
+	c.ents[key] = c.order.PushFront(&cacheEnt{key: key, prog: p})
+	c.evictLocked()
+}
+
+func (c *Cache) evictLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for len(c.ents) > c.limit {
+		el := c.order.Back()
+		if el == nil {
+			return
+		}
+		c.order.Remove(el)
+		delete(c.ents, el.Value.(*cacheEnt).key)
+		if c.ctrs != nil {
+			c.ctrs.Evictions.Add(1)
+		}
+	}
 }
 
 // Counters returns the cache's shared counter set (nil when none was

@@ -32,6 +32,13 @@ const (
 	// FaultDropSchedule deletes one tree's schedule from every pricing plan
 	// of the cell — proves the typed missing-schedule error path.
 	FaultDropSchedule
+	// FaultStoreIO injects I/O faults into the persistent artifact store's
+	// disk reads (short reads and transient open errors, as opposed to
+	// FaultFlipTrace's in-memory bit-flips) — proves the store's
+	// drop→recompute→repair rung. It is armed at the store layer
+	// (store.Store.ArmIOFaults), not dealt per evaluation cell, so it is
+	// never in ParsePlan's default kinds: naming it is an explicit opt-in.
+	FaultStoreIO
 )
 
 var faultNames = map[FaultKind]string{
@@ -41,6 +48,7 @@ var faultNames = map[FaultKind]string{
 	FaultFuel:         "fuel",
 	FaultFlipTrace:    "flip",
 	FaultDropSchedule: "drop",
+	FaultStoreIO:      "sio",
 }
 
 func (k FaultKind) String() string {
@@ -82,6 +90,36 @@ type FaultPlan struct {
 	Cells map[string]Fault
 }
 
+// CellKinds returns the plan's kinds minus store-level ones (FaultStoreIO):
+// the kinds dealt per evaluation cell. Store-level kinds are armed once on
+// the artifact store instead (store.Store.ArmIOFaults), so they never shift
+// the per-cell round-robin deal of an existing plan.
+func (p *FaultPlan) CellKinds() []FaultKind {
+	if p == nil {
+		return nil
+	}
+	kinds := make([]FaultKind, 0, len(p.Kinds))
+	for _, k := range p.Kinds {
+		if k != FaultStoreIO {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
+}
+
+// StoreIO reports whether the plan names the store I/O fault kind.
+func (p *FaultPlan) StoreIO() bool {
+	if p == nil {
+		return false
+	}
+	for _, k := range p.Kinds {
+		if k == FaultStoreIO {
+			return true
+		}
+	}
+	return false
+}
+
 // For returns the fault to inject in the named cell (FaultNone for most).
 func (p *FaultPlan) For(cell string) Fault {
 	if p == nil {
@@ -94,7 +132,8 @@ func (p *FaultPlan) For(cell string) Fault {
 		}
 		return f
 	}
-	if p.Rate <= 0 || len(p.Kinds) == 0 {
+	kinds := p.CellKinds()
+	if p.Rate <= 0 || len(kinds) == 0 {
 		return Fault{}
 	}
 	h := fnv.New64a()
@@ -105,7 +144,7 @@ func (p *FaultPlan) For(cell string) Fault {
 	if float64(sum%1_000_000)/1_000_000 >= p.Rate {
 		return Fault{}
 	}
-	f := Fault{Kind: p.Kinds[(sum>>20)%uint64(len(p.Kinds))]}
+	f := Fault{Kind: kinds[(sum>>20)%uint64(len(kinds))]}
 	param := int64((sum >> 32) % 4096)
 	switch f.Kind {
 	case FaultPanic, FaultBCodePanic:
@@ -129,8 +168,11 @@ func (p *FaultPlan) For(cell string) Fault {
 //	seed=42,rate=0.3,kinds=panic+fuel+flip+drop,times=2
 //
 // Fields may appear in any order; kinds are '+'-separated FaultKind names
-// (panic, bpanic, fuel, flip, drop). Defaults: seed 1, rate 1.0, times 1,
-// and all kinds when none are given.
+// (panic, bpanic, fuel, flip, drop, sio). Defaults: seed 1, rate 1.0,
+// times 1, and all per-cell kinds when none are given — the store-level sio
+// kind is never in the default deal (it would not change any cell anyway,
+// and keeping the default list fixed keeps historical chaos pins stable);
+// it must be named explicitly.
 func ParsePlan(s string) (*FaultPlan, error) {
 	p := &FaultPlan{Seed: 1, Rate: 1.0, FlipTimes: 1}
 	for _, field := range strings.Split(s, ",") {

@@ -170,3 +170,43 @@ func TestParsePlan(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreIOKind(t *testing.T) {
+	// sio parses, but is store-level: it never enters the per-cell deal.
+	p, err := ParsePlan("seed=5,kinds=bpanic+sio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.StoreIO() {
+		t.Fatal("plan naming sio did not report StoreIO")
+	}
+	if ck := p.CellKinds(); len(ck) != 1 || ck[0] != FaultBCodePanic {
+		t.Fatalf("CellKinds = %v, want [bpanic]", ck)
+	}
+	// An sio-only plan deals nothing per cell.
+	p, err = ParsePlan("seed=5,rate=1,kinds=sio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.For("fft/SPEC/m2"); f.Kind != FaultNone {
+		t.Fatalf("sio-only plan dealt a cell fault: %+v", f)
+	}
+	// The default deal must stay exactly the historical five kinds — adding
+	// sio there would shift the round-robin and break pinned chaos counts.
+	p, err = ParsePlan("seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StoreIO() {
+		t.Fatal("sio leaked into the default kinds")
+	}
+	// A mixed plan's per-cell deal is identical to the same plan without sio:
+	// naming the store kind never re-deals existing cell faults.
+	with, _ := ParsePlan("seed=11,rate=0.5,kinds=panic+fuel+sio")
+	without, _ := ParsePlan("seed=11,rate=0.5,kinds=panic+fuel")
+	for _, cell := range []string{"a/NAIVE/m2", "a/SPEC/m2", "b/SPEC/m6", "c/PERFECT/m0"} {
+		if fw, fo := with.For(cell), without.For(cell); fw != fo {
+			t.Fatalf("sio shifted the deal for %s: %+v vs %+v", cell, fw, fo)
+		}
+	}
+}

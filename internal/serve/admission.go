@@ -1,0 +1,75 @@
+package serve
+
+// Bounded admission: at most MaxInflight evaluations run concurrently and at
+// most MaxQueue requests wait for a slot. Beyond that the daemon sheds load
+// with 429 + Retry-After instead of queueing unboundedly — saturation must
+// degrade service latency for some requests, never memory or process health.
+// A queued request that outlives its own deadline leaves the queue with a
+// typed 504: its slot is never consumed by work nobody is waiting for.
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+)
+
+// admission is the daemon's slot-and-queue controller.
+type admission struct {
+	slots    chan struct{} // one token per running evaluation
+	queueMax int64
+	waiting  atomic.Int64
+	inflight atomic.Int64
+}
+
+func newAdmission(maxInflight, maxQueue int) *admission {
+	return &admission{slots: make(chan struct{}, maxInflight), queueMax: int64(maxQueue)}
+}
+
+// acquire takes an evaluation slot, queueing while the pool is full. It
+// returns a typed rejection when the queue is full (429, retryable) or the
+// request's context ends first (504 — the deadline propagated through the
+// queue, not just the engine). A nil return means the caller holds a slot
+// and must release it.
+func (a *admission) acquire(ctx context.Context) *apiError {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.queueMax {
+		a.waiting.Add(-1)
+		return &apiError{
+			Status: http.StatusTooManyRequests, Class: "saturated",
+			Msg:        "admission queue full",
+			RetryAfter: 1,
+		}
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return &apiError{
+			Status: http.StatusGatewayTimeout, Class: "deadline",
+			Msg: "request deadline expired while queued for admission",
+		}
+	}
+}
+
+// release returns a slot taken by acquire.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}
+
+// Inflight and QueueDepth are metric gauges.
+func (a *admission) Inflight() int64   { return a.inflight.Load() }
+func (a *admission) QueueDepth() int64 { return a.waiting.Load() }
+
+// saturated reports whether a new request would be rejected right now — the
+// readiness probe's backpressure signal.
+func (a *admission) saturated() bool {
+	return len(a.slots) == cap(a.slots) && a.waiting.Load() >= a.queueMax
+}

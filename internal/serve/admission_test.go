@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestAdmissionSlots pins the semaphore half: MaxInflight slots, release
+// frees exactly one, the gauges track occupancy.
+func TestAdmissionSlots(t *testing.T) {
+	a := newAdmission(2, 4)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("inflight %d, want 2", got)
+	}
+
+	// Pool full: a third acquire must queue; cancelling its context must
+	// return a typed 504, not block forever.
+	qctx, cancel := context.WithCancel(ctx)
+	errCh := make(chan *apiError, 1)
+	go func() { errCh <- a.acquire(qctx) }()
+	for a.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	apiErr := <-errCh
+	if apiErr == nil || apiErr.Status != http.StatusGatewayTimeout || apiErr.Class != "deadline" {
+		t.Fatalf("queued-past-deadline: %+v, want 504 deadline", apiErr)
+	}
+	if a.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after the queued request left", a.QueueDepth())
+	}
+
+	// Releasing a slot lets a queued request in.
+	go func() { errCh <- a.acquire(ctx) }()
+	for a.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	a.release()
+	if apiErr := <-errCh; apiErr != nil {
+		t.Fatalf("acquire after release: %+v", apiErr)
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("inflight %d after handoff, want 2", got)
+	}
+}
+
+// TestAdmissionQueueOverflow pins the shedding half: with the pool and the
+// queue both full, the next acquire is rejected immediately with 429 +
+// Retry-After — bounded memory, no unbounded waiting.
+func TestAdmissionQueueOverflow(t *testing.T) {
+	a := newAdmission(1, 2)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan *apiError, 2)
+	for i := 0; i < 2; i++ {
+		go func() { done <- a.acquire(qctx) }()
+	}
+	for a.QueueDepth() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if !a.saturated() {
+		t.Fatal("saturated() false with a full pool and full queue")
+	}
+
+	apiErr := a.acquire(ctx)
+	if apiErr == nil || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("overflow acquire: %+v, want 429", apiErr)
+	}
+	if apiErr.Class != "saturated" || apiErr.RetryAfter <= 0 {
+		t.Fatalf("overflow acquire: class %q retry-after %d", apiErr.Class, apiErr.RetryAfter)
+	}
+
+	// The rejection did not consume queue capacity.
+	if a.QueueDepth() != 2 {
+		t.Fatalf("queue depth %d after rejection, want 2", a.QueueDepth())
+	}
+	cancel()
+	for i := 0; i < 2; i++ {
+		if e := <-done; e == nil || e.Status != http.StatusGatewayTimeout {
+			t.Fatalf("queued request: %+v, want 504", e)
+		}
+	}
+}
+
+// TestAdmissionOverHTTP drives saturation end to end: with one slot and a
+// one-deep queue, a burst of slow evaluations must produce at least one 429
+// with a Retry-After header while every admitted request still succeeds.
+func TestAdmissionOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 1, MaxQueue: 1})
+
+	// Park the slot and fill the queue with synthetic acquires, so the HTTP
+	// request's rejection is deterministic rather than a scheduling race.
+	if err := s.adm.acquire(context.Background()); err != nil {
+		t.Fatalf("park slot: %v", err)
+	}
+	qctx, qcancel := context.WithCancel(context.Background())
+	queued := make(chan *apiError, 1)
+	go func() { queued <- s.adm.acquire(qctx) }()
+	for s.adm.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	status, hdr, resp := postEval(t, ts.URL, EvalRequest{Bench: "perm", Pipeline: "SPEC", MemLat: 2})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated eval: status %d (%+v)", status, resp.Error)
+	}
+	if resp.Error == nil || resp.Error.Class != "saturated" || hdr.Get("Retry-After") == "" {
+		t.Fatalf("saturated eval: %+v, Retry-After %q", resp.Error, hdr.Get("Retry-After"))
+	}
+	if status, _, body := get(t, ts.URL+"/readyz"); status != http.StatusServiceUnavailable || string(body) != "saturated\n" {
+		t.Fatalf("readyz while saturated: %d %q", status, body)
+	}
+	if m := s.Snapshot(); m.Server.AdmissionRejections == 0 {
+		t.Fatalf("admission_rejections 0 after a 429: %+v", m.Server)
+	}
+
+	// Free the slot and the queue: the daemon recovers without restart.
+	qcancel()
+	<-queued
+	s.adm.release()
+	status, _, resp = postEval(t, ts.URL, EvalRequest{Bench: "perm", Pipeline: "SPEC", MemLat: 2})
+	if status != http.StatusOK {
+		t.Fatalf("eval after saturation cleared: status %d (%+v)", status, resp.Error)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
@@ -136,6 +137,12 @@ type Stats struct {
 	// metadata bounds) — a stale or tampered artifact whose CRC still
 	// matches. Dropped and recomputed exactly like corruption.
 	InvalidDropped int64
+	// IOShortReads and IOOpenErrors count injected store I/O faults
+	// (ArmIOFaults): short reads surface as corruption (the footer check
+	// fails, the file is dropped and repaired by the recompute's Put), while
+	// transient open errors surface as a plain miss with the file left
+	// intact, so the next Get succeeds.
+	IOShortReads, IOOpenErrors int64
 }
 
 // DefaultMemBytes is the default capacity of the in-memory LRU front.
@@ -154,7 +161,26 @@ type Store struct {
 	memBytes int64
 	memCap   int64
 	stats    Stats
+	io       *ioFaults
 }
+
+// ioFaults is the armed store-level fault injector (ArmIOFaults): seeded,
+// per-key deterministic, firing at most once per key so every injected fault
+// is transient and the repair rung is what a test observes.
+type ioFaults struct {
+	seed uint64
+	rate float64
+	done map[Key]bool // keys whose disk-read fault already fired
+}
+
+// ioFaultKind selects the fault dealt to one disk read.
+type ioFaultKind uint8
+
+const (
+	ioFaultNone  ioFaultKind = iota
+	ioFaultShort             // truncated read: surfaces as corruption, drop→recompute→repair
+	ioFaultOpen              // transient open error: a plain miss, file left intact
+)
 
 type memEntry struct {
 	key     Key
@@ -184,6 +210,42 @@ func (s *Store) SetMemCap(n int64) {
 	defer s.mu.Unlock()
 	s.memCap = n
 	s.evictLocked()
+}
+
+// ArmIOFaults arms seeded I/O fault injection on the store's disk reads —
+// the persistent-rung counterpart of the per-cell fault plan
+// (resilience.FaultStoreIO). Each key's first faultable disk read is dealt,
+// deterministically from (seed, key), either nothing, a short read (the
+// payload is truncated before the footer check, so it surfaces exactly like
+// on-disk corruption and exercises drop→recompute→repair), or a transient
+// open error (the Get misses but the file survives, so the next Get
+// succeeds). rate is the fraction of keys faulted, in [0, 1]. Faults fire at
+// most once per key; the same (seed, rate) over the same access pattern
+// always deals the same faults, so chaos runs can pin the Stats counters.
+func (s *Store) ArmIOFaults(seed uint64, rate float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.io = &ioFaults{seed: seed, rate: rate, done: map[Key]bool{}}
+}
+
+// ioFaultFor deals (and consumes) the I/O fault for one disk read of key.
+func (s *Store) ioFaultFor(k Key) ioFaultKind {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.io == nil || s.io.done[k] {
+		return ioFaultNone
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", s.io.seed, k)
+	sum := h.Sum64()
+	if float64(sum%1_000_000)/1_000_000 >= s.io.rate {
+		return ioFaultNone
+	}
+	s.io.done[k] = true
+	if (sum>>20)&1 == 0 {
+		return ioFaultShort
+	}
+	return ioFaultOpen
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -219,6 +281,20 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	if err != nil {
 		s.note(func(st *Stats) { st.Misses++ })
 		return nil, false
+	}
+	// Armed I/O faults (ArmIOFaults) fire here, once per key, on a read that
+	// actually found a file — a short read degrades into the corruption path
+	// below, a transient open error into a plain miss.
+	switch s.ioFaultFor(k) {
+	case ioFaultOpen:
+		s.note(func(st *Stats) {
+			st.Misses++
+			st.IOOpenErrors++
+		})
+		return nil, false
+	case ioFaultShort:
+		s.note(func(st *Stats) { st.IOShortReads++ })
+		data = data[:len(data)/2]
 	}
 	payload, err := checkFooter(data)
 	if err != nil {

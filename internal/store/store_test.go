@@ -218,6 +218,109 @@ func TestCorruptionBattery(t *testing.T) {
 	}
 }
 
+// TestIOFaultInjection drives the armed store-level fault injector
+// (ArmIOFaults) through both fault kinds on a populated store: every key's
+// first disk read is dealt either a short read (which must surface exactly
+// like on-disk corruption — drop, recompute, repair) or a transient open
+// error (a plain miss with the file left intact), and the retry must always
+// serve the full verified payload.
+func TestIOFaultInjection(t *testing.T) {
+	s := openTemp(t)
+	s.SetMemCap(0) // every Get reads disk: faults are reachable
+	payloads := map[Key][]byte{}
+	for i := byte(0); i < 8; i++ {
+		k := NewKey(KindTrace, []byte{i})
+		p := bytes.Repeat([]byte{'a' + i}, 64)
+		if err := s.Put(k, p); err != nil {
+			t.Fatal(err)
+		}
+		payloads[k] = p
+	}
+	s.ArmIOFaults(7, 1) // rate 1: every key's first disk read is dealt a fault
+	short, open := 0, 0
+	for k, want := range payloads {
+		before := s.Stats()
+		if got, ok := s.Get(k); ok {
+			t.Fatalf("faulted first read served %q", got)
+		}
+		after := s.Stats()
+		switch {
+		case after.IOShortReads == before.IOShortReads+1:
+			short++
+			// A short read surfaces as corruption: the file is dropped...
+			if after.CorruptDropped != before.CorruptDropped+1 {
+				t.Fatalf("short read not counted as corruption: %+v -> %+v", before, after)
+			}
+			if _, err := os.Stat(s.path(k)); !os.IsNotExist(err) {
+				t.Fatalf("short-read file not dropped (err=%v)", err)
+			}
+			// ...and the recompute's Put repairs the store.
+			if err := s.Put(k, want); err != nil {
+				t.Fatal(err)
+			}
+		case after.IOOpenErrors == before.IOOpenErrors+1:
+			open++
+			// A transient open error leaves the file intact.
+			if _, err := os.Stat(s.path(k)); err != nil {
+				t.Fatalf("transient open error deleted the file: %v", err)
+			}
+		default:
+			t.Fatalf("faulted read fired no fault counter: %+v -> %+v", before, after)
+		}
+		// The fault fired once: the retry serves the full payload.
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("retry after fault = %d bytes, %v; want the original payload", len(got), ok)
+		}
+	}
+	if short == 0 || open == 0 {
+		t.Fatalf("seed dealt short=%d open=%d faults; want both kinds (pick another seed)", short, open)
+	}
+}
+
+// TestIOFaultKeepsMemFrontClean pins the LRU-front purity invariant: a
+// truncated disk read must never be remembered by the in-memory front — only
+// footer-verified payloads enter it, so the repair rung starts from a clean
+// cache.
+func TestIOFaultKeepsMemFrontClean(t *testing.T) {
+	s := openTemp(t)
+	k := NewKey(KindTrace, []byte("hot"))
+	want := bytes.Repeat([]byte{0xAB}, 128)
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the Put's resident copy so the next Get takes the disk path.
+	s.SetMemCap(0)
+	s.SetMemCap(DefaultMemBytes)
+	// Find a seed that deals this key a short read (the deal consumes the
+	// injector's once-per-key budget, so re-arm before the real Get).
+	var seed uint64
+	for s.ArmIOFaults(seed, 1); s.ioFaultFor(k) != ioFaultShort; seed++ {
+		s.ArmIOFaults(seed+1, 1)
+	}
+	s.ArmIOFaults(seed, 1)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("short read served a payload")
+	}
+	s.mu.Lock()
+	_, resident := s.mem[k]
+	s.mu.Unlock()
+	if resident {
+		t.Fatal("truncated payload poisoned the LRU front")
+	}
+	// Repair and verify the front holds the full payload again.
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("after repair Get = %d bytes, %v", len(got), ok)
+	}
+	if st := s.Stats(); st.MemHits == 0 {
+		t.Errorf("repaired payload not resident in the front: %+v", st)
+	}
+}
+
 // TestConcurrentWriters hammers one shared directory from many goroutines —
 // same keys, same content, interleaved reads — and requires every read to be
 // either a clean miss or the full payload: atomic rename must never expose a
